@@ -1,0 +1,113 @@
+// Table I reproduction: BP-NTT (measured on the cycle-level simulator)
+// against the published 45 nm-projected baselines, on a 256-point
+// polynomial.  Prints the full table, the paper's anchor row for BP-NTT,
+// and the headline TA/TP ratios ("up to 29x throughput-per-area, 10-138x
+// throughput-per-power").
+#include <cstdio>
+#include <string>
+
+#include "baselines/cpu_baseline.h"
+#include "baselines/design_model.h"
+#include "baselines/published.h"
+#include "bpntt/perf_model.h"
+#include "common/table.h"
+
+namespace {
+
+using bpntt::common::format_double;
+using bpntt::common::format_si;
+
+bpntt::baselines::design_point measure_bpntt_row(unsigned coef_bits, std::uint64_t q) {
+  bpntt::core::engine_config cfg;  // 256x256 @ 45 nm (paper's headline array)
+  bpntt::core::ntt_params p;
+  p.n = 256;
+  p.q = q;
+  p.k = coef_bits;
+  const auto m = bpntt::core::measure_forward(cfg, p);
+  bpntt::baselines::design_point d;
+  d.name = "BP-NTT (ours, k=" + std::to_string(coef_bits) + ")";
+  d.technology = "In-SRAM";
+  d.coef_bits = coef_bits;
+  d.max_f_mhz = cfg.tech.freq_ghz * 1e3;
+  d.latency_us = m.latency_us;
+  d.throughput_kntt_s = m.throughput_kntt_s;
+  d.energy_nj = m.energy_nj;
+  d.ntts_per_batch = m.lanes;
+  d.area_mm2 = m.area_mm2;
+  return d;
+}
+
+std::vector<std::string> row_cells(const bpntt::baselines::design_point& d) {
+  return {d.name,
+          d.technology,
+          std::to_string(d.coef_bits),
+          d.max_f_mhz > 0 ? format_si(d.max_f_mhz * 1e6, 1) + "Hz" : "-",
+          format_double(d.latency_us, 2),
+          format_double(d.throughput_kntt_s, 1),
+          format_double(d.energy_nj, 1),
+          d.area_mm2 > 0 ? format_double(d.area_mm2, 3) : "-",
+          d.area_mm2 > 0 ? format_double(d.tput_per_area(), 1) : "-",
+          format_double(d.tput_per_mj(), 2)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table I: comparing BP-NTT with state-of-the-art on a 256-point "
+              "polynomial (45 nm) ===\n\n");
+
+  // Measured BP-NTT rows at the paper's two parameter points.  16-bit uses
+  // the Falcon prime; "14-bit class" uses the round-1 Kyber prime on 14-bit
+  // tiles (2q < 2^14), matching the paper's coefficient-bitwidth pairing.
+  const auto bp16 = measure_bpntt_row(16, 12289);
+  const auto bp14 = measure_bpntt_row(14, 7681);
+  const auto paper = bpntt::baselines::published_bpntt();
+  const auto baselines = bpntt::baselines::all_published_baselines();
+
+  bpntt::common::text_table table({"Design", "Tech", "Bits", "Max f", "Lat(us)",
+                                   "Tput(KNTT/s)", "E(nJ)", "Area(mm2)", "TA", "TP(KNTT/mJ)"});
+  table.add_row(row_cells(bp16));
+  table.add_row(row_cells(bp14));
+  table.add_row(row_cells(paper));
+  table.add_separator();
+  for (const auto& d : baselines) table.add_row(row_cells(d));
+
+  // Measured CPU baselines on this host (methodology note printed below):
+  // the portable 128-bit-division NTT and the Montgomery-reduction one.
+  const bpntt::math::ntt_tables tables(256, 12289, true);
+  const auto cpu = bpntt::baselines::measure_cpu_ntt(tables);
+  auto cpu_row = bpntt::baselines::cpu_design_point(cpu, 16);
+  cpu_row.name = "CPU (measured, portable)";
+  const auto cpu_fast = bpntt::baselines::measure_cpu_ntt_fast(tables);
+  auto cpu_fast_row = bpntt::baselines::cpu_design_point(cpu_fast, 16);
+  cpu_fast_row.name = "CPU (measured, Montgomery)";
+  table.add_separator();
+  table.add_row(row_cells(cpu_row));
+  table.add_row(row_cells(cpu_fast_row));
+
+  std::printf("%s\n", table.to_string(2).c_str());
+
+  const auto ours = bpntt::baselines::compute_headlines(bp16, baselines);
+  const auto papers = bpntt::baselines::compute_headlines(paper, baselines);
+  std::printf("Headline ratios vs published baselines (paper claims: up to 29x TA, "
+              "10-138x TP):\n");
+  std::printf("  ours  : TA up to %.1fx | TP %.1fx - %.1fx\n", ours.max_ta, ours.min_tp,
+              ours.max_tp);
+  std::printf("  paper : TA up to %.1fx | TP %.1fx - %.1fx\n", papers.max_ta, papers.min_tp,
+              papers.max_tp);
+
+  std::printf("\nAnchor check (BP-NTT 16-bit, paper -> ours):\n");
+  std::printf("  latency  %.1f -> %.1f us   (%.2fx)\n", paper.latency_us, bp16.latency_us,
+              bp16.latency_us / paper.latency_us);
+  std::printf("  tput     %.1f -> %.1f KNTT/s\n", paper.throughput_kntt_s,
+              bp16.throughput_kntt_s);
+  std::printf("  energy   %.1f -> %.1f nJ/batch\n", paper.energy_nj, bp16.energy_nj);
+  std::printf("  area     %.3f -> %.3f mm2\n", paper.area_mm2, bp16.area_mm2);
+  std::printf("  TP       %.1f -> %.1f KNTT/mJ\n", paper.tput_per_mj(), bp16.tput_per_mj());
+
+  std::printf("\nNotes: baseline rows are the paper's published 45nm-projected numbers\n"
+              "(Table I footnote *); the measured CPU row uses this host and an assumed\n"
+              "%.0f W core power, so only its order of magnitude is meaningful.\n",
+              cpu.assumed_power_w);
+  return 0;
+}

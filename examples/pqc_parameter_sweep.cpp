@@ -1,0 +1,108 @@
+// Flexibility demo (§V-E): one BP-NTT array reconfigures across the PQC and
+// HE parameter sets the paper targets — different moduli, bitwidths and
+// polynomial orders — with no hardware change, only a different compiled
+// command stream and tile width.
+//
+// Sets that fit the 256-row array run on the cycle-level simulator and are
+// verified against the golden NTT on every lane; larger rings (Falcon-1024,
+// HE at n=1024) use the calibrated multi-tile performance model.
+#include <cstdio>
+#include <vector>
+
+#include "bpntt/perf_model.h"
+#include "common/table.h"
+#include "common/xoshiro.h"
+#include "crypto/params.h"
+#include "nttmath/incomplete_ntt.h"
+#include "nttmath/ntt.h"
+
+namespace {
+
+using bpntt::common::format_double;
+
+bool verify_once(const bpntt::core::engine_config& cfg, const bpntt::core::ntt_params& p) {
+  bpntt::core::bp_ntt_engine eng(cfg, p);
+  bpntt::common::xoshiro256ss rng(99);
+  std::vector<std::vector<bpntt::core::u64>> in(eng.lanes());
+  for (unsigned lane = 0; lane < eng.lanes(); ++lane) {
+    in[lane].resize(p.n);
+    for (auto& c : in[lane]) c = rng.below(p.q);
+    eng.load_polynomial(lane, in[lane]);
+  }
+  eng.run_forward();
+  for (unsigned lane = 0; lane < eng.lanes(); ++lane) {
+    auto expect = in[lane];
+    if (p.incomplete) {
+      bpntt::math::incomplete_ntt_forward(expect, *eng.incomplete_tables());
+    } else {
+      bpntt::math::ntt_forward(expect, *eng.tables());
+    }
+    if (eng.peek_polynomial(lane, p.n) != expect) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bpntt;
+  std::printf("=== BP-NTT flexibility: PQC and HE parameter sets on one 256x256 array ===\n\n");
+
+  struct entry {
+    crypto::param_set set;
+    std::uint64_t run_n;  // ring size actually exercised (Kyber's full NTT caps at 128)
+    bool incomplete = false;
+    const char* note;
+  };
+  std::vector<entry> entries = {
+      {crypto::kyber(), 256, true,
+       "native Kyber: one-layer-short (incomplete) transform, q=3329"},
+      {crypto::kyber(), 128, false,
+       "q=3329 also supports the complete negacyclic NTT up to n=128"},
+      {crypto::kyber_compat(), 256, false, "round-1 Kyber prime, full 256-point NTT"},
+      {crypto::dilithium(), 256, false, ""},
+      {crypto::falcon512(), 512, false, "multi-tile model"},
+      {crypto::falcon1024(), 1024, false, "multi-tile model"},
+      {crypto::he_level(16), 1024, false, "BKZ.qsieve HE level, multi-tile model"},
+      {crypto::he_level(21), 1024, false, "multi-tile model"},
+      {crypto::he_level(29), 1024, false, "multi-tile model"},
+  };
+
+  common::text_table t({"Set", "n", "q", "Tile(k)", "Lanes", "Cycles", "Lat(us)",
+                        "E/NTT(nJ)", "Verified", "Source"});
+
+  core::engine_config cfg;
+  for (const auto& e : entries) {
+    const unsigned k = e.set.min_tile_bits;
+    core::ntt_metrics m;
+    std::string verified;
+    std::string source;
+    if (e.run_n <= cfg.data_rows) {
+      core::ntt_params p;
+      p.n = e.run_n;
+      p.q = e.set.q;
+      p.k = k;
+      p.incomplete = e.incomplete;
+      m = core::measure_forward(cfg, p);
+      verified = verify_once(cfg, p) ? "yes (all lanes)" : "MISMATCH";
+      source = e.incomplete ? "[measured, incompl.]" : "[measured]";
+    } else {
+      m = core::extrapolate_forward(cfg, e.run_n, k);
+      verified = "n/a";
+      source = "[model]";
+    }
+    t.add_row({e.set.name, std::to_string(e.run_n), std::to_string(e.set.q),
+               std::to_string(k), std::to_string(m.lanes), std::to_string(m.cycles),
+               format_double(m.latency_us, 1), format_double(m.energy_nj / m.lanes, 2),
+               verified, source});
+  }
+  std::printf("%s\n", t.to_string(2).c_str());
+
+  for (const auto& e : entries) {
+    if (e.note[0] != '\0') std::printf("  %-10s %s\n", e.set.name.c_str(), e.note);
+  }
+  std::printf("\nThe same physical array serves every row: only the tile width (decoder\n"
+              "configuration) and the compiled CTRL/CMD stream change — the paper's\n"
+              "flexibility claim, covering NIST PQC and the three HE security levels.\n");
+  return 0;
+}

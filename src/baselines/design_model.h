@@ -1,0 +1,50 @@
+// Design-point abstraction for the Table I comparison.
+//
+// A design point carries the metrics the paper tabulates for one NTT
+// accelerator at one parameter setting.  The related-work rows come from
+// the published table (the paper itself projects them to 45 nm; footnote *)
+// while the BP-NTT row is produced by our simulator, so ratios are computed
+// with the same methodology as the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bpntt::baselines {
+
+struct design_point {
+  std::string name;
+  std::string technology;  // "In-SRAM", "ReRAM", "ASIC", "FPGA", "x86"
+  unsigned coef_bits = 0;
+  double max_f_mhz = 0.0;
+  double latency_us = 0.0;
+  double throughput_kntt_s = 0.0;
+  double energy_nj = 0.0;       // per batch as reported
+  unsigned ntts_per_batch = 1;  // parallel/pipelined NTTs sharing that energy
+  double area_mm2 = 0.0;        // 0 = not reported
+
+  // Table I derived columns.
+  [[nodiscard]] double tput_per_area() const noexcept {
+    return area_mm2 > 0 ? throughput_kntt_s / area_mm2 : 0.0;
+  }
+  [[nodiscard]] double tput_per_mj() const noexcept {  // KNTT per mJ
+    return energy_nj > 0 ? 1e3 * ntts_per_batch / energy_nj : 0.0;
+  }
+};
+
+// Ratio of BP-NTT to a baseline on a derived metric (0 when undefined).
+[[nodiscard]] double advantage(double bp_value, double baseline_value) noexcept;
+
+// Best/worst-case headline ratios across a set of baselines.  Only
+// accelerator rows with a reported area participate (the paper's
+// "up to 29x TA, 10-138x TP" spans the in-memory and ASIC designs;
+// the FPGA and CPU reference rows lack area and would inflate TP by
+// 700-130000x).
+struct headline_ratios {
+  double min_tp = 0.0, max_tp = 0.0;  // throughput-per-power advantages
+  double max_ta = 0.0;                // best throughput-per-area advantage
+};
+[[nodiscard]] headline_ratios compute_headlines(const design_point& bp,
+                                                const std::vector<design_point>& baselines);
+
+}  // namespace bpntt::baselines

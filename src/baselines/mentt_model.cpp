@@ -1,0 +1,35 @@
+#include "baselines/mentt_model.h"
+
+#include "common/bitutil.h"
+
+namespace bpntt::baselines {
+
+mentt_estimate mentt_ntt_estimate(std::uint64_t n, unsigned k, double f_mhz) {
+  const unsigned stages = common::log2_exact(n);
+  // Per stage: one bit-serial modular multiply (~2 k-bit additions per
+  // multiplier bit -> ~2k^2) plus butterfly add/sub and alignment
+  // (~3 passes of k cycles).  Calibrated to MeNTT's published point.
+  const double per_stage = 2.0 * k * k + 2.9 * k;
+  mentt_estimate e;
+  e.cycles = static_cast<std::uint64_t>(stages * per_stage);
+  // Per butterfly, a word-aligned in-SRAM design shifts for (a) the k + k/2
+  // shift steps inside the interleaved modular multiply and (b) operand
+  // alignment between butterfly partners across the stage interconnect,
+  // which costs about as much again (~3k/2 per butterfly).  BP-NTT's
+  // row-shared tiles eliminate (b) entirely — the paper's "costless shift
+  // for ~50% of the shift operations".
+  const std::uint64_t butterflies = (n / 2) * stages;
+  e.shift_ops = butterflies * 3 * k;
+  e.latency_us = static_cast<double>(e.cycles) / f_mhz;
+  return e;
+}
+
+std::uint64_t bit_parallel_shift_count(std::uint64_t n, unsigned k) {
+  const unsigned stages = common::log2_exact(n);
+  // Shifts remain only inside Algorithm 2: one Carry<<1 per set multiplier
+  // bit (~k/2 expected) and one s1>>1 per iteration (k), per butterfly.
+  const std::uint64_t butterflies = (n / 2) * stages;
+  return butterflies * (k + k / 2);
+}
+
+}  // namespace bpntt::baselines

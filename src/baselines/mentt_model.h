@@ -1,0 +1,34 @@
+// First-order cycle model of a MeNTT-style *bit-serial* in-SRAM NTT.
+//
+// MeNTT lays each coefficient down a column (bit-serial): every butterfly
+// in a stage executes concurrently across columns, but each arithmetic step
+// streams one bit per cycle, so a k-bit interleaved modular multiply costs
+// O(k^2) cycles and the stage count multiplies that.  This model exists for
+// the ablation the paper argues qualitatively: bit-parallel (row-major)
+// trades per-word parallelism for SIMD width, and its shift count is about
+// half of the bit-serial layout's (§I contribution 2).  Constants are
+// calibrated against MeNTT's published 256-point/14-bit latency
+// (15.9 us at 218 MHz = ~3466 cycles).
+#pragma once
+
+#include <cstdint>
+
+namespace bpntt::baselines {
+
+struct mentt_estimate {
+  std::uint64_t cycles = 0;
+  std::uint64_t shift_ops = 0;  // inter-stage alignment shifts
+  double latency_us = 0.0;
+};
+
+// n-point NTT with k-bit coefficients at frequency f_mhz.
+[[nodiscard]] mentt_estimate mentt_ntt_estimate(std::uint64_t n, unsigned k,
+                                                double f_mhz = 218.0);
+
+// Alignment-shift count of a bit-parallel (BP-NTT style) layout for the
+// same kernel, for the "half the shifts" comparison: only the k shift
+// cycles inside each modular multiply remain; all operand alignment is row
+// selection.
+[[nodiscard]] std::uint64_t bit_parallel_shift_count(std::uint64_t n, unsigned k);
+
+}  // namespace bpntt::baselines

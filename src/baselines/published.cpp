@@ -1,0 +1,43 @@
+#include "baselines/published.h"
+
+namespace bpntt::baselines {
+
+design_point published_mentt() {
+  return {"MeNTT", "In-SRAM", 14, 218.0, 15.9, 62.8, 47.8, 1, 0.173};
+}
+
+design_point published_cryptopim() {
+  // 38 in-flight NTTs reproduce the published 14.7 KNTT/mJ from 2.6 uJ.
+  return {"CryptoPIM", "ReRAM", 16, 909.0, 68.7, 553.3, 2600.0, 38, 0.152};
+}
+
+design_point published_rmntt() {
+  return {"RM-NTT", "ReRAM", 14, 249.0, 0.45, 2200.0, 602.0, 1, 0.289};
+}
+
+design_point published_leia() {
+  return {"LEIA", "ASIC", 14, 267.0, 0.6, 1700.0, 44.1, 1, 1.77};
+}
+
+design_point published_sapphire() {
+  return {"Sapphire", "ASIC", 14, 64.0, 20.1, 49.7, 236.3, 1, 0.354};
+}
+
+design_point published_fpga() {
+  return {"FPGA", "FPGA", 16, 164.0, 24.3, 41.2, 3061.0, 1, 0.0};
+}
+
+design_point published_cpu() {
+  return {"CPU", "x86", 16, 2000.0, 85.0, 11.8, 570000.0, 1, 0.0};
+}
+
+design_point published_bpntt() {
+  return {"BP-NTT (paper)", "In-SRAM", 16, 3800.0, 61.9, 258.6, 69.4, 16, 0.063};
+}
+
+std::vector<design_point> all_published_baselines() {
+  return {published_mentt(), published_cryptopim(), published_rmntt(),  published_leia(),
+          published_sapphire(), published_fpga(), published_cpu()};
+}
+
+}  // namespace bpntt::baselines

@@ -1,0 +1,32 @@
+// Published Table I rows for the related-work designs (256-point NTT,
+// technology projected to 45 nm by the paper; footnote *).
+//
+// These are inputs to the comparison, not our measurements: the authors of
+// BP-NTT took them from MeNTT [8], CryptoPIM [10], RM-NTT [9], LEIA [25],
+// Sapphire [3], an FPGA design [26] and a CPU reference [10].  CryptoPIM's
+// batch factor is inferred from its published throughput-per-power (its
+// pipeline keeps ~38 NTTs in flight per reported energy figure); every
+// other design reports per-NTT energy.
+#pragma once
+
+#include <vector>
+
+#include "baselines/design_model.h"
+
+namespace bpntt::baselines {
+
+[[nodiscard]] design_point published_mentt();
+[[nodiscard]] design_point published_cryptopim();
+[[nodiscard]] design_point published_rmntt();
+[[nodiscard]] design_point published_leia();
+[[nodiscard]] design_point published_sapphire();
+[[nodiscard]] design_point published_fpga();
+[[nodiscard]] design_point published_cpu();
+
+// The paper's own BP-NTT row (used to sanity-check our simulator against
+// the published anchor, not as a result).
+[[nodiscard]] design_point published_bpntt();
+
+[[nodiscard]] std::vector<design_point> all_published_baselines();
+
+}  // namespace bpntt::baselines

@@ -1,0 +1,32 @@
+#include "baselines/reram_area.h"
+
+namespace bpntt::baselines {
+
+double reram_array_area_mm2(const reram_params& p, std::uint64_t cells) {
+  const double f_um = p.feature_nm * 1e-3;
+  const double cell_um2 = p.cell_area_f2 * f_um * f_um;
+  return cells * cell_um2 / p.array_efficiency * 1e-6;
+}
+
+double cryptopim_area_estimate_mm2() {
+  // CryptoPIM pipelines the 256-point NTT across one crossbar mat per
+  // stage: 8 stages of 256x512-cell mats, tripled for the ping-pong
+  // buffering + pre-stored twiddle planes of its fixed interconnect, plus
+  // shift-add reduction LUTs.
+  const reram_params p;
+  const std::uint64_t stage_cells = 8ULL * 256 * 512;
+  const std::uint64_t cells = 3 * stage_cells + 256ULL * 1024;
+  return reram_array_area_mm2(p, cells);
+}
+
+double rmntt_area_estimate_mm2() {
+  // RM-NTT materialises the n x n transform matrix with 16-bit bit-sliced
+  // entries on differential (positive/negative) crossbar pairs, for both
+  // the forward and inverse directions, plus DAC-side vector staging.
+  const reram_params p;
+  const std::uint64_t matrix_cells = 256ULL * 256 * 16;
+  const std::uint64_t cells = 4 * matrix_cells + 2ULL * 256 * 16 * 64;
+  return reram_array_area_mm2(p, cells);
+}
+
+}  // namespace bpntt::baselines

@@ -1,0 +1,30 @@
+// First-order ReRAM array area model — our stand-in for the Destiny
+// simulator the paper uses to estimate the CryptoPIM and RM-NTT subarray
+// areas (§V-A: "we utilize the Destiny simulator to optimistically estimate
+// only the subarray areas, and we do not account for their complex
+// peripheral circuitry").
+//
+// 1T1R ReRAM cells are ~3x denser than 6T SRAM (≈12F² vs ≈150F² effective),
+// but compute-capable ReRAM arrays spend most of their footprint on
+// DAC/ADC/sense peripherals; following the paper we model cells plus a thin
+// mat-level overhead only.
+#pragma once
+
+#include <cstdint>
+
+namespace bpntt::baselines {
+
+struct reram_params {
+  double feature_nm = 45.0;
+  double cell_area_f2 = 12.0;      // 1T1R cell in F^2
+  double array_efficiency = 0.55;  // cells / (cells + drivers + mux), mat level
+};
+
+[[nodiscard]] double reram_array_area_mm2(const reram_params& p, std::uint64_t cells);
+
+// The two designs' Table I configurations (cells from their papers'
+// layouts for the 256-point evaluation).
+[[nodiscard]] double cryptopim_area_estimate_mm2();  // ≈ 0.152 mm^2 published
+[[nodiscard]] double rmntt_area_estimate_mm2();      // ≈ 0.289 mm^2 published
+
+}  // namespace bpntt::baselines

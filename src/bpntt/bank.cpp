@@ -1,0 +1,81 @@
+#include "bpntt/bank.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bpntt::core {
+
+void bank_config::validate() const {
+  if (subarrays < 2 || subarrays > 64) {
+    throw std::invalid_argument("bank_config: need 2..64 subarrays (one is CTRL/CMD)");
+  }
+  array.validate();
+}
+
+bp_ntt_bank::bp_ntt_bank(const bank_config& cfg, const ntt_params& params)
+    : cfg_(cfg), params_(params) {
+  cfg_.validate();
+  params_.validate();
+  for (unsigned s = 0; s + 1 < cfg_.subarrays; ++s) {
+    engines_.push_back(std::make_unique<bp_ntt_engine>(cfg_.array, params_, /*seed=*/s + 1));
+  }
+}
+
+unsigned bp_ntt_bank::ctrl_rows_used() const noexcept {
+  // Twiddles (n-1), inverse twiddles (n-1), n^-1, R^2 and the three row
+  // constants, each k bits, packed into cols-wide control rows.
+  const std::uint64_t words = 2 * (params_.n - 1) + 5;
+  const std::uint64_t bits = words * params_.k;
+  return static_cast<unsigned>((bits + cfg_.array.cols - 1) / cfg_.array.cols);
+}
+
+double bp_ntt_bank::area_mm2() const {
+  const row_layout layout{cfg_.array.data_rows};
+  return cfg_.subarrays *
+         sram::subarray_area_mm2(cfg_.array.tech, layout.total_rows(), cfg_.array.cols);
+}
+
+bank_run_result bp_ntt_bank::run_forward_batch(const std::vector<std::vector<u64>>& jobs) {
+  bank_run_result result;
+  result.outputs.resize(jobs.size());
+  const unsigned per_engine = engines_.front()->lanes();
+
+  std::size_t next = 0;
+  while (next < jobs.size()) {
+    // Fill one wave: engine e, lane l <- job next++.
+    struct placement {
+      std::size_t job;
+      unsigned engine;
+      unsigned lane;
+    };
+    std::vector<placement> wave;
+    for (unsigned e = 0; e < engines_.size() && next < jobs.size(); ++e) {
+      for (unsigned lane = 0; lane < per_engine && next < jobs.size(); ++lane, ++next) {
+        if (jobs[next].size() != params_.n) {
+          throw std::invalid_argument("bp_ntt_bank: job size mismatch");
+        }
+        engines_[e]->load_polynomial(lane, jobs[next]);
+        wave.push_back({next, e, lane});
+      }
+    }
+    // Execute every touched subarray; they run concurrently, so the wave
+    // costs the slowest one.
+    std::uint64_t wave_cycles = 0;
+    std::vector<bool> ran(engines_.size(), false);
+    for (const auto& p : wave) ran[p.engine] = true;
+    for (unsigned e = 0; e < engines_.size(); ++e) {
+      if (!ran[e]) continue;
+      const auto stats = engines_[e]->run_forward();
+      wave_cycles = std::max(wave_cycles, stats.cycles);
+      result.energy_nj += stats.energy_pj * 1e-3;
+    }
+    for (const auto& p : wave) {
+      result.outputs[p.job] = engines_[p.engine]->peek_polynomial(p.lane, params_.n);
+    }
+    result.cycles += wave_cycles;
+    ++result.waves;
+  }
+  return result;
+}
+
+}  // namespace bpntt::core

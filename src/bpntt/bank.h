@@ -1,0 +1,65 @@
+// Bank-level model (Fig. 4b): one cache bank holds several subarrays; one
+// is repurposed as the CTRL/CMD store and the rest become BP-NTT compute
+// arrays executing the same broadcast command stream ("different banks
+// performing the same operations can share the CTRL/CMD subarray", §IV-A).
+//
+// The CTRL subarray does not hold the unrolled command stream (a 256-point
+// kernel is ~3e5 control words — orders of magnitude beyond one subarray);
+// it holds what the stream is *generated from*: the Montgomery-domain
+// twiddle words plus the loop parameters, which the controller FSM expands
+// per butterfly.  ctrl_rows_used() models that storage.
+//
+// The scheduler runs an arbitrary batch of independent polynomials: each
+// wave fills every lane of every compute subarray, all subarrays execute in
+// lockstep (wave latency = slowest subarray, since ripple cycle counts are
+// data-dependent), and waves repeat until the batch drains.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bpntt/engine.h"
+
+namespace bpntt::core {
+
+struct bank_config {
+  unsigned subarrays = 4;  // including the CTRL/CMD subarray
+  engine_config array;
+
+  void validate() const;
+};
+
+struct bank_run_result {
+  std::uint64_t waves = 0;
+  std::uint64_t cycles = 0;      // sum over waves of the slowest subarray
+  double energy_nj = 0.0;        // all compute subarrays
+  std::vector<std::vector<u64>> outputs;  // one per input polynomial
+};
+
+class bp_ntt_bank {
+ public:
+  bp_ntt_bank(const bank_config& cfg, const ntt_params& params);
+
+  [[nodiscard]] unsigned compute_subarrays() const noexcept {
+    return static_cast<unsigned>(engines_.size());
+  }
+  [[nodiscard]] unsigned lanes_per_wave() const noexcept {
+    return compute_subarrays() * engines_.front()->lanes();
+  }
+  // Rows of the CTRL/CMD subarray occupied by twiddles + constants.
+  [[nodiscard]] unsigned ctrl_rows_used() const noexcept;
+  // Whole-bank area: compute subarrays + the CTRL/CMD subarray.
+  [[nodiscard]] double area_mm2() const;
+
+  // Forward-NTT every polynomial in `jobs` (each of size n, canonical).
+  [[nodiscard]] bank_run_result run_forward_batch(
+      const std::vector<std::vector<u64>>& jobs);
+
+ private:
+  bank_config cfg_;
+  ntt_params params_;
+  std::vector<std::unique_ptr<bp_ntt_engine>> engines_;
+};
+
+}  // namespace bpntt::core

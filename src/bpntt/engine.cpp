@@ -1,0 +1,143 @@
+#include "bpntt/engine.h"
+
+#include <stdexcept>
+
+#include "common/bitutil.h"
+
+namespace bpntt::core {
+namespace {
+enum kernel_kind : int { k_forward = 0, k_inverse = 1 };
+}
+
+bp_ntt_engine::bp_ntt_engine(const engine_config& cfg, const ntt_params& params,
+                             u64 synthetic_seed)
+    : params_(params),
+      layout_{cfg.data_rows},
+      compiler_(params, row_layout{cfg.data_rows}, cfg.microcode) {
+  cfg.validate();
+  params_.validate();
+  if (params_.n > cfg.data_rows) {
+    throw std::invalid_argument(
+        "bp_ntt_engine: polynomial exceeds data rows; use the performance model's "
+        "multi-tile extrapolation for larger orders");
+  }
+  if (params_.k > 64) throw std::invalid_argument("bp_ntt_engine: k > 64 needs wide loads");
+
+  sram::tile_geometry geom;
+  geom.cols = cfg.cols;
+  geom.tile_bits = params_.k;
+  geom.validate();
+  array_ = std::make_unique<sram::subarray>(layout_.total_rows(), geom, cfg.tech);
+
+  if (params_.synthetic()) {
+    plan_ = make_synthetic_plan(params_, synthetic_seed);
+  } else if (params_.incomplete) {
+    itables_ = std::make_unique<math::incomplete_ntt_tables>(params_.n, params_.q);
+    plan_ = make_incomplete_twiddle_plan(params_, *itables_, compiler_.iterations());
+  } else {
+    tables_ = std::make_unique<math::ntt_tables>(params_.n, params_.q, params_.negacyclic);
+    plan_ = make_twiddle_plan(params_, *tables_, compiler_.iterations());
+  }
+  write_constants();
+}
+
+void bp_ntt_engine::write_constants() {
+  // Broadcast M, 2^k - M and the constant 1 into every tile's constant rows.
+  sram::bitrow m(array_->cols());
+  sram::bitrow mneg(array_->cols());
+  sram::bitrow one(array_->cols());
+  const auto& geom = array_->geometry();
+  for (unsigned t = 0; t < geom.num_tiles(); ++t) {
+    m.deposit(geom.tile_base(t), geom.tile_bits, plan_.m);
+    mneg.deposit(geom.tile_base(t), geom.tile_bits, plan_.mneg);
+    one.deposit(geom.tile_base(t), geom.tile_bits, 1);
+  }
+  array_->host_write_row(layout_.m_row(), m);
+  array_->host_write_row(layout_.mneg_row(), mneg);
+  array_->host_write_row(layout_.one_row(), one);
+}
+
+void bp_ntt_engine::load_polynomial(unsigned lane, std::span<const u64> coeffs,
+                                    unsigned row_base) {
+  if (lane >= lanes()) throw std::out_of_range("bp_ntt_engine: lane");
+  if (row_base + coeffs.size() > layout_.data_rows) {
+    throw std::out_of_range("bp_ntt_engine: coefficients exceed data rows");
+  }
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    if (!params_.synthetic() && coeffs[i] >= params_.q) {
+      throw std::invalid_argument("bp_ntt_engine: coefficient not canonical");
+    }
+    array_->host_write_word(lane, row_base + static_cast<unsigned>(i), coeffs[i]);
+  }
+}
+
+std::vector<u64> bp_ntt_engine::read_polynomial(unsigned lane, u64 count, unsigned row_base) {
+  if (lane >= lanes()) throw std::out_of_range("bp_ntt_engine: lane");
+  std::vector<u64> out(count);
+  for (u64 i = 0; i < count; ++i) {
+    out[i] = array_->host_read_word(lane, row_base + static_cast<unsigned>(i));
+  }
+  return out;
+}
+
+std::vector<u64> bp_ntt_engine::peek_polynomial(unsigned lane, u64 count,
+                                                unsigned row_base) const {
+  if (lane >= lanes()) throw std::out_of_range("bp_ntt_engine: lane");
+  std::vector<u64> out(count);
+  for (u64 i = 0; i < count; ++i) {
+    out[i] = array_->peek_word(lane, row_base + static_cast<unsigned>(i));
+  }
+  return out;
+}
+
+sram::op_stats bp_ntt_engine::execute(const isa::program& p) {
+  const sram::op_stats before = array_->stats();
+  exec_.run(p, *array_);
+  sram::op_stats after = array_->stats();
+  sram::op_stats delta;
+  delta.cycles = after.cycles - before.cycles;
+  delta.binary_ops = after.binary_ops - before.binary_ops;
+  delta.pair_ops = after.pair_ops - before.pair_ops;
+  delta.copy_ops = after.copy_ops - before.copy_ops;
+  delta.shift_ops = after.shift_ops - before.shift_ops;
+  delta.check_ops = after.check_ops - before.check_ops;
+  delta.host_reads = after.host_reads - before.host_reads;
+  delta.host_writes = after.host_writes - before.host_writes;
+  delta.energy_pj = after.energy_pj - before.energy_pj;
+  delta.lossless_shift_violations =
+      after.lossless_shift_violations - before.lossless_shift_violations;
+  return delta;
+}
+
+sram::op_stats bp_ntt_engine::run_forward(unsigned row_base) {
+  auto key = std::make_pair(static_cast<int>(k_forward), row_base);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, compiler_.compile_forward(plan_, row_base)).first;
+  }
+  return execute(it->second);
+}
+
+sram::op_stats bp_ntt_engine::run_inverse(unsigned row_base) {
+  auto key = std::make_pair(static_cast<int>(k_inverse), row_base);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, compiler_.compile_inverse(plan_, row_base)).first;
+  }
+  return execute(it->second);
+}
+
+sram::op_stats bp_ntt_engine::run_pointwise(unsigned a_base, unsigned b_base, unsigned dst_base,
+                                            u64 count, bool scale_b) {
+  return execute(compiler_.compile_pointwise(plan_, a_base, b_base, dst_base, count, scale_b));
+}
+
+sram::op_stats bp_ntt_engine::run_basemul(unsigned a_base, unsigned b_base, bool scale_b) {
+  return execute(compiler_.compile_basemul(plan_, a_base, b_base, scale_b));
+}
+
+sram::op_stats bp_ntt_engine::run_modmul_rows(unsigned a_row, unsigned b_row, unsigned dst_row) {
+  return execute(compiler_.compile_modmul_data(a_row, b_row, dst_row));
+}
+
+}  // namespace bpntt::core

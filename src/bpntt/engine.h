@@ -1,0 +1,93 @@
+// Public API of the BP-NTT in-SRAM accelerator model.
+//
+// One engine owns one compute subarray configured with k-bit tiles; each
+// tile ("lane") holds an independent polynomial and all lanes execute the
+// same compiled command stream in SIMD lockstep — the source of the
+// paper's throughput (16 parallel 16-bit NTTs per 256-column array).
+//
+// Typical use:
+//   bp_ntt_engine eng(engine_config{}, ntt_params{.n=256, .q=7681, .k=16});
+//   eng.load_polynomial(lane, coeffs);
+//   auto stats = eng.run_forward();          // cycles + energy of the batch
+//   auto out   = eng.peek_polynomial(lane);  // bit-reversed NTT(coeffs)
+//
+// For full negacyclic polynomial products entirely in-array, place the two
+// operands at different row bases (n <= data_rows/2) and chain
+// run_forward_at / run_pointwise / run_inverse_at.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bpntt/compiler.h"
+#include "bpntt/config.h"
+#include "isa/executor.h"
+#include "nttmath/incomplete_ntt.h"
+#include "nttmath/ntt.h"
+#include "sram/subarray.h"
+
+namespace bpntt::core {
+
+class bp_ntt_engine {
+ public:
+  // Non-synthetic params build golden twiddle tables internally; synthetic
+  // params (q == 0) produce a performance-only engine.
+  bp_ntt_engine(const engine_config& cfg, const ntt_params& params, u64 synthetic_seed = 1);
+
+  [[nodiscard]] const ntt_params& params() const noexcept { return params_; }
+  [[nodiscard]] const row_layout& layout() const noexcept { return layout_; }
+  [[nodiscard]] unsigned lanes() const noexcept { return array_->geometry().num_tiles(); }
+  [[nodiscard]] const sram::subarray& array() const noexcept { return *array_; }
+  // Mutable access for fault-injection tests.
+  [[nodiscard]] sram::subarray& mutable_array() noexcept { return *array_; }
+  [[nodiscard]] const twiddle_plan& plan() const noexcept { return plan_; }
+  // Golden tables (absent in synthetic mode; one of the two is set
+  // depending on params().incomplete).
+  [[nodiscard]] const math::ntt_tables* tables() const noexcept { return tables_.get(); }
+  [[nodiscard]] const math::incomplete_ntt_tables* incomplete_tables() const noexcept {
+    return itables_.get();
+  }
+
+  // Host data movement.  Coefficients must be canonical (< q).
+  void load_polynomial(unsigned lane, std::span<const u64> coeffs, unsigned row_base = 0);
+  // Counted host readout.
+  [[nodiscard]] std::vector<u64> read_polynomial(unsigned lane, u64 count,
+                                                 unsigned row_base = 0);
+  // Free debug readout (no cycles/energy).
+  [[nodiscard]] std::vector<u64> peek_polynomial(unsigned lane, u64 count,
+                                                 unsigned row_base = 0) const;
+
+  // Kernels; each returns the stats delta for the run (batch of all lanes).
+  sram::op_stats run_forward(unsigned row_base = 0);
+  sram::op_stats run_inverse(unsigned row_base = 0);
+  sram::op_stats run_pointwise(unsigned a_base, unsigned b_base, unsigned dst_base, u64 count,
+                               bool scale_b);
+  // Incomplete-mode base multiplications (results land in the a region).
+  sram::op_stats run_basemul(unsigned a_base, unsigned b_base, bool scale_b);
+  // Single modular product: dst = a * b mod q with per-lane operands.
+  sram::op_stats run_modmul_rows(unsigned a_row, unsigned b_row, unsigned dst_row);
+
+  [[nodiscard]] const sram::op_stats& cumulative_stats() const noexcept {
+    return array_->stats();
+  }
+
+ private:
+  sram::op_stats execute(const isa::program& p);
+  void write_constants();
+
+  ntt_params params_;
+  row_layout layout_;
+  std::unique_ptr<math::ntt_tables> tables_;
+  std::unique_ptr<math::incomplete_ntt_tables> itables_;
+  twiddle_plan plan_;
+  std::unique_ptr<sram::subarray> array_;
+  microcode_compiler compiler_;
+  isa::executor exec_;
+  // Compiled-program cache keyed by (kind, base).
+  mutable std::map<std::pair<int, unsigned>, isa::program> cache_;
+};
+
+}  // namespace bpntt::core

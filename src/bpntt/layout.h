@@ -1,0 +1,67 @@
+// Row map of one BP-NTT data subarray (Fig. 5a).
+//
+// Coefficient i of every lane lives in row `i` (all lanes share wordlines —
+// that sharing is the paper's "costless shift": butterfly operand alignment
+// is pure row selection).  Above the data rows sit six mutable intermediate
+// rows (SUM/CARRY and four temporaries — the paper's "6 rows for
+// intermediate variables") and three constant rows our microcode needs:
+// M, 2^k - M (for the two's-complement conditional subtract) and the
+// all-ones-LSB row used to finish two's-complement negation.  The paper's
+// cell accounting counts only the 6 intermediates; footprint helpers below
+// report both accountings (used by the Fig. 7 bench).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace bpntt::core {
+
+struct row_layout {
+  unsigned data_rows = 256;
+
+  static constexpr unsigned scratch_rows = 6;
+  static constexpr unsigned const_rows = 3;
+  static constexpr unsigned stage_rows = 1;  // Kyber-mode basemul staging
+
+  // Mutable intermediates.
+  [[nodiscard]] std::uint16_t sum() const noexcept { return u16(data_rows + 0); }
+  [[nodiscard]] std::uint16_t carry() const noexcept { return u16(data_rows + 1); }
+  [[nodiscard]] std::uint16_t c1() const noexcept { return u16(data_rows + 2); }
+  [[nodiscard]] std::uint16_t s1() const noexcept { return u16(data_rows + 3); }
+  [[nodiscard]] std::uint16_t c2() const noexcept { return u16(data_rows + 4); }
+  [[nodiscard]] std::uint16_t t() const noexcept { return u16(data_rows + 5); }
+
+  // Constants (written once at engine initialisation).
+  [[nodiscard]] std::uint16_t m_row() const noexcept { return u16(data_rows + 6); }
+  [[nodiscard]] std::uint16_t mneg_row() const noexcept { return u16(data_rows + 7); }
+  [[nodiscard]] std::uint16_t one_row() const noexcept { return u16(data_rows + 8); }
+
+  // Staging row for the incomplete-NTT base multiplication (holds the
+  // a1*b1*gamma partial while the modmul scratch block cycles).
+  [[nodiscard]] std::uint16_t u() const noexcept { return u16(data_rows + 9); }
+
+  [[nodiscard]] unsigned total_rows() const noexcept {
+    return data_rows + scratch_rows + const_rows + stage_rows;
+  }
+
+  [[nodiscard]] std::uint16_t coeff_row(std::uint64_t base, std::uint64_t i) const {
+    if (base + i >= data_rows) throw std::out_of_range("row_layout: coefficient row");
+    return u16(base + i);
+  }
+
+  // SRAM cells one n-point, k-bit polynomial occupies — the paper's Fig. 7
+  // accounting (n + 6 rows) and our actual accounting (n + 9 rows).
+  [[nodiscard]] static std::uint64_t footprint_cells_paper(std::uint64_t n, unsigned k) noexcept {
+    return (n + scratch_rows) * k;
+  }
+  [[nodiscard]] static std::uint64_t footprint_cells_actual(std::uint64_t n, unsigned k) noexcept {
+    return (n + scratch_rows + const_rows) * k;
+  }
+
+ private:
+  [[nodiscard]] static std::uint16_t u16(std::uint64_t v) noexcept {
+    return static_cast<std::uint16_t>(v);
+  }
+};
+
+}  // namespace bpntt::core

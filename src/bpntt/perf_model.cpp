@@ -1,0 +1,98 @@
+#include "bpntt/perf_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitutil.h"
+#include "common/xoshiro.h"
+
+namespace bpntt::core {
+
+ntt_metrics metrics_from_run(const engine_config& cfg, u64 n, unsigned k, unsigned lanes,
+                             u64 cycles, double energy_nj, bool extrapolated) {
+  ntt_metrics m;
+  m.n = n;
+  m.k = k;
+  m.lanes = lanes;
+  m.cycles = cycles;
+  m.energy_nj = energy_nj;
+  m.latency_us = static_cast<double>(cycles) / (cfg.tech.freq_ghz * 1e3);
+  m.throughput_kntt_s = m.latency_us > 0 ? lanes / m.latency_us * 1e3 : 0.0;
+  const row_layout layout{cfg.data_rows};
+  m.area_mm2 = sram::subarray_area_mm2(cfg.tech, layout.total_rows(), cfg.cols);
+  m.power_mw = m.latency_us > 0 ? energy_nj / m.latency_us : 0.0;  // nJ/us == mW
+  m.tput_per_area = m.area_mm2 > 0 ? m.throughput_kntt_s / m.area_mm2 : 0.0;
+  m.tput_per_mj = energy_nj > 0 ? 1e3 * lanes / energy_nj : 0.0;
+  m.extrapolated = extrapolated;
+  return m;
+}
+
+ntt_metrics measure_forward(const engine_config& cfg, const ntt_params& params, u64 seed) {
+  bp_ntt_engine eng(cfg, params, seed);
+  common::xoshiro256ss rng(seed);
+  const u64 bound = params.synthetic() ? eng.plan().m : params.q;
+  std::vector<u64> coeffs(params.n);
+  for (unsigned lane = 0; lane < eng.lanes(); ++lane) {
+    for (auto& c : coeffs) c = rng.below(bound);
+    eng.load_polynomial(lane, coeffs);
+  }
+  const auto stats = eng.run_forward();
+  if (!params.synthetic() && stats.lossless_shift_violations != 0) {
+    throw std::runtime_error("measure_forward: lossless-shift invariant violated");
+  }
+  return metrics_from_run(cfg, params.n, params.k, eng.lanes(), stats.cycles,
+                          stats.energy_pj * 1e-3);
+}
+
+u64 count_remote_butterflies(u64 n, unsigned segment_rows) {
+  if (segment_rows == 0) throw std::invalid_argument("count_remote_butterflies: zero segment");
+  u64 remote = 0;
+  for (u64 len = n / 2; len >= 1; len >>= 1) {
+    for (u64 start = 0; start < n; start += 2 * len) {
+      for (u64 j = start; j < start + len; ++j) {
+        if (j / segment_rows != (j + len) / segment_rows) ++remote;
+      }
+    }
+  }
+  return remote;
+}
+
+ntt_metrics extrapolate_forward(const engine_config& cfg, u64 n, unsigned k, u64 seed) {
+  if (n <= cfg.data_rows) {
+    throw std::invalid_argument("extrapolate_forward: configuration fits; measure it instead");
+  }
+  // Measured per-butterfly baseline at the largest fitting power of two.
+  u64 base_n = cfg.data_rows;
+  while (!common::is_power_of_two(base_n)) --base_n;
+  ntt_params base_params;
+  base_params.n = base_n;
+  base_params.q = 0;  // synthetic: only cycles/energy are needed
+  base_params.k = k;
+  const ntt_metrics base = measure_forward(cfg, base_params, seed);
+  const u64 base_butterflies = (base_n / 2) * common::log2_exact(base_n);
+  const double cycles_per_bf = static_cast<double>(base.cycles) / base_butterflies;
+  const double energy_per_cycle_nj = base.energy_nj / static_cast<double>(base.cycles);
+
+  const sram::tile_geometry geom{cfg.cols, k};
+  const unsigned tiles = geom.num_tiles();
+  const u64 span = (n + cfg.data_rows - 1) / cfg.data_rows;  // tiles per polynomial
+  if (span > tiles) {
+    throw std::invalid_argument("extrapolate_forward: polynomial exceeds the whole array");
+  }
+  const unsigned lanes = static_cast<unsigned>(tiles / span);
+
+  const u64 butterflies = (n / 2) * common::log2_exact(n);
+  // A remote butterfly fetches the far operand into the local tile and
+  // writes it back: two k-column word moves of 1-bit shifts, plus a staging
+  // copy each way.
+  const u64 remote = count_remote_butterflies(n, cfg.data_rows);
+  const double remote_overhead = 2.0 * (k + 2.0);
+  const double cycles =
+      static_cast<double>(butterflies) * cycles_per_bf + remote * remote_overhead;
+  const double energy_nj = cycles * energy_per_cycle_nj;
+
+  return metrics_from_run(cfg, n, k, lanes, static_cast<u64>(cycles), energy_nj,
+                          /*extrapolated=*/true);
+}
+
+}  // namespace bpntt::core

@@ -1,0 +1,54 @@
+// Performance metrics for BP-NTT runs — the quantities reported in Table I
+// and Fig. 8 of the paper.
+//
+// Configurations that fit one subarray (n <= data_rows) are *measured* on
+// the cycle-level simulator.  Larger polynomial orders follow the paper's
+// multi-tile scheme (§IV-B: "excess coefficients stored in adjacent tiles
+// and merged during computation using the 1-bit shift operation"), which we
+// model analytically on top of a measured per-butterfly baseline: lanes
+// drop by the tile-span factor, and every butterfly whose two operand rows
+// live in different tile segments pays the k-cycle word-alignment shift
+// both ways.  These points are tagged `extrapolated`.
+#pragma once
+
+#include "bpntt/config.h"
+#include "bpntt/engine.h"
+
+namespace bpntt::core {
+
+struct ntt_metrics {
+  u64 n = 0;
+  unsigned k = 0;
+  unsigned lanes = 0;        // NTTs computed per batch
+  u64 cycles = 0;            // batch cycles
+  double energy_nj = 0.0;    // batch energy
+  double latency_us = 0.0;   // batch latency at tech.freq_ghz
+  double throughput_kntt_s = 0.0;
+  double area_mm2 = 0.0;
+  double power_mw = 0.0;
+  double tput_per_area = 0.0;  // KNTT/s/mm^2  (Table I "Tput./Area")
+  double tput_per_mj = 0.0;    // KNTT/mJ      (Table I "Tput./Power")
+  bool extrapolated = false;
+};
+
+// Derive all rate/efficiency metrics from raw cycles + energy.
+[[nodiscard]] ntt_metrics metrics_from_run(const engine_config& cfg, u64 n, unsigned k,
+                                           unsigned lanes, u64 cycles, double energy_nj,
+                                           bool extrapolated = false);
+
+// Run one forward-NTT batch (random canonical inputs, fixed seed) and
+// report metrics.  Non-synthetic params also verify lossless-shift
+// invariants held (throws on violation).
+[[nodiscard]] ntt_metrics measure_forward(const engine_config& cfg, const ntt_params& params,
+                                          u64 seed = 42);
+
+// Analytical extension for n > cfg.data_rows (see header comment).
+[[nodiscard]] ntt_metrics extrapolate_forward(const engine_config& cfg, u64 n, unsigned k,
+                                              u64 seed = 42);
+
+// Butterflies whose operand rows fall in different `segment_rows`-row
+// vertical segments (these pay cross-tile alignment shifts).  Exposed for
+// tests and the Fig. 8b bench.
+[[nodiscard]] u64 count_remote_butterflies(u64 n, unsigned segment_rows);
+
+}  // namespace bpntt::core

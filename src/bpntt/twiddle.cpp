@@ -1,0 +1,94 @@
+#include "bpntt/twiddle.h"
+
+#include <stdexcept>
+
+#include "common/bitutil.h"
+#include "common/xoshiro.h"
+#include "nttmath/modarith.h"
+#include "nttmath/montgomery.h"
+
+namespace bpntt::core {
+
+twiddle_plan make_twiddle_plan(const ntt_params& p, const math::ntt_tables& t,
+                               unsigned r_bits) {
+  p.validate();
+  if (p.synthetic()) throw std::invalid_argument("make_twiddle_plan: synthetic params");
+  if (t.n() != p.n || t.q() != p.q) throw std::invalid_argument("make_twiddle_plan: table mismatch");
+  if (r_bits == 0) r_bits = p.k;
+  if (r_bits > p.k || 2 * p.q >= (1ULL << r_bits)) {
+    throw std::invalid_argument("make_twiddle_plan: r_bits must satisfy 2q < 2^r_bits <= 2^k");
+  }
+
+  const u64 r = math::mont_r(p.q, r_bits);
+  twiddle_plan plan;
+  plan.r_bits = r_bits;
+  plan.m = p.q;
+  plan.mneg = (common::low_mask(p.k) - p.q + 1) & common::low_mask(p.k);  // 2^k - q
+  plan.r2 = math::mont_r2(p.q, r_bits);
+  plan.n_inv_mont = math::mul_mod(t.n_inv(), r, p.q);
+  plan.zetas_mont.resize(t.zetas().size());
+  plan.zetas_inv_mont.resize(t.zetas_inv().size());
+  for (std::size_t i = 1; i < t.zetas().size(); ++i) {
+    plan.zetas_mont[i] = math::mul_mod(t.zetas()[i], r, p.q);
+    plan.zetas_inv_mont[i] = math::mul_mod(t.zetas_inv()[i], r, p.q);
+  }
+  return plan;
+}
+
+twiddle_plan make_incomplete_twiddle_plan(const ntt_params& p,
+                                          const math::incomplete_ntt_tables& t,
+                                          unsigned r_bits) {
+  p.validate();
+  if (p.synthetic() || !p.incomplete) {
+    throw std::invalid_argument("make_incomplete_twiddle_plan: params not incomplete-mode");
+  }
+  if (t.n() != p.n || t.q() != p.q) {
+    throw std::invalid_argument("make_incomplete_twiddle_plan: table mismatch");
+  }
+  if (r_bits == 0) r_bits = p.k;
+  if (r_bits > p.k || 2 * p.q >= (1ULL << r_bits)) {
+    throw std::invalid_argument("make_incomplete_twiddle_plan: bad r_bits");
+  }
+
+  const u64 r = math::mont_r(p.q, r_bits);
+  twiddle_plan plan;
+  plan.r_bits = r_bits;
+  plan.m = p.q;
+  plan.mneg = (common::low_mask(p.k) - p.q + 1) & common::low_mask(p.k);
+  plan.r2 = math::mont_r2(p.q, r_bits);
+  plan.n_inv_mont = math::mul_mod(t.half_n_inv(), r, p.q);  // (n/2)^-1 scale
+  plan.zetas_mont.resize(t.zetas().size());
+  plan.zetas_inv_mont.resize(t.zetas_inv().size());
+  for (std::size_t i = 1; i < t.zetas().size(); ++i) {
+    plan.zetas_mont[i] = math::mul_mod(t.zetas()[i], r, p.q);
+    plan.zetas_inv_mont[i] = math::mul_mod(t.zetas_inv()[i], r, p.q);
+  }
+  plan.gammas_mont.resize(t.gammas().size());
+  for (std::size_t i = 0; i < t.gammas().size(); ++i) {
+    plan.gammas_mont[i] = math::mul_mod(t.gammas()[i], r, p.q);
+  }
+  return plan;
+}
+
+twiddle_plan make_synthetic_plan(const ntt_params& p, u64 seed) {
+  common::xoshiro256ss rng(seed);
+  const u64 mask = common::low_mask(p.k);
+  // Largest odd value with the required headroom bit clear.
+  const u64 m = p.k >= 2 ? ((1ULL << (p.k - 1)) - 1) | 1ULL : 1ULL;
+
+  twiddle_plan plan;
+  plan.r_bits = p.k;
+  plan.m = m;
+  plan.mneg = (mask - m + 1) & mask;
+  plan.r2 = rng.below(m);
+  plan.n_inv_mont = rng.below(m);
+  plan.zetas_mont.resize(p.n);
+  plan.zetas_inv_mont.resize(p.n);
+  for (std::size_t i = 1; i < p.n; ++i) {
+    plan.zetas_mont[i] = rng() & mask;
+    plan.zetas_inv_mont[i] = rng() & mask;
+  }
+  return plan;
+}
+
+}  // namespace bpntt::core

@@ -1,0 +1,49 @@
+// Twiddle-factor plan for the in-SRAM NTT.
+//
+// Algorithm 2 computes A*B*R^-1 mod M, so every constant multiplier the
+// microcode bakes into the command stream is pre-scaled by R = 2^k
+// ("the twiddle factors can be pre-computed by multiplying them to R in
+// advance", §IV-D).  Coefficients themselves stay in the plain domain.
+//
+// In synthetic mode (performance sweeps on tile widths that host no real
+// modulus) the plan carries pseudo-random bit patterns with the same ~0.5
+// set-bit density, so cycle counts remain representative.
+#pragma once
+
+#include <vector>
+
+#include "bpntt/config.h"
+#include "nttmath/incomplete_ntt.h"
+#include "nttmath/ntt.h"
+
+namespace bpntt::core {
+
+struct twiddle_plan {
+  // Indexed like math::ntt_tables::zetas() (1..n-1): zeta * R mod q.
+  std::vector<u64> zetas_mont;
+  std::vector<u64> zetas_inv_mont;
+  u64 n_inv_mont = 0;  // n^-1 * R mod q (inverse-NTT scaling multiplier)
+  u64 r2 = 0;          // R^2 mod q (to-Montgomery multiplier for pointwise)
+  u64 m = 0;           // modulus as written to the constant row
+  u64 mneg = 0;        // (2^k - m) mod 2^k
+  unsigned r_bits = 0; // R = 2^r_bits (== Montgomery iteration count)
+  // Incomplete mode only: gamma_i * R mod q for the base multiplications.
+  std::vector<u64> gammas_mont;
+};
+
+// Build the plan from golden tables (params must be non-synthetic and match
+// the tables' n/q).  r_bits selects R = 2^r_bits; 0 means the tile width
+// (the compile_options::reduced_iterations path passes ceil(log2 2q)).
+[[nodiscard]] twiddle_plan make_twiddle_plan(const ntt_params& p, const math::ntt_tables& t,
+                                             unsigned r_bits = 0);
+
+// Incomplete-transform plan (standardized Kyber): the n/2-entry twiddle
+// vectors, (n/2)^-1 in the scale slot, and Montgomery-domain gammas.
+[[nodiscard]] twiddle_plan make_incomplete_twiddle_plan(const ntt_params& p,
+                                                        const math::incomplete_ntt_tables& t,
+                                                        unsigned r_bits = 0);
+
+// Synthetic plan for performance-only runs; `seed` fixes the bit patterns.
+[[nodiscard]] twiddle_plan make_synthetic_plan(const ntt_params& p, u64 seed);
+
+}  // namespace bpntt::core

@@ -1,0 +1,47 @@
+// Small bit-manipulation helpers shared by the math library and the SRAM
+// simulator.  Everything is constexpr so tables can be built at compile time.
+#pragma once
+
+#include <cstdint>
+
+namespace bpntt::common {
+
+// Number of bits needed to represent v (bit_length(0) == 0).
+constexpr unsigned bit_length(std::uint64_t v) noexcept {
+  unsigned n = 0;
+  while (v != 0) {
+    ++n;
+    v >>= 1;
+  }
+  return n;
+}
+
+constexpr bool is_power_of_two(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+// log2 of a power of two (undefined for non-powers; callers validate).
+constexpr unsigned log2_exact(std::uint64_t v) noexcept {
+  unsigned n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+// Reverse the low `bits` bits of v (used for NTT bit-reversed ordering).
+constexpr std::uint64_t reverse_bits(std::uint64_t v, unsigned bits) noexcept {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    r = (r << 1) | ((v >> i) & 1ULL);
+  }
+  return r;
+}
+
+// Mask with the low `bits` bits set; bits may be 0..64.
+constexpr std::uint64_t low_mask(unsigned bits) noexcept {
+  return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+}  // namespace bpntt::common

@@ -1,0 +1,83 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bpntt::common {
+
+text_table::text_table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(row{std::move(cells), false});
+}
+
+void text_table::add_separator() { rows_.push_back(row{{}, true}); }
+
+std::string text_table::to_string(int indent) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.cells.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], r.cells[i].size());
+    }
+  }
+
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out += pad;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      out += c;
+      out.append(widths[i] - c.size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  auto emit_sep = [&] {
+    out += pad;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      out.append(widths[i], '-');
+      if (i + 1 < widths.size()) out += "  ";
+    }
+    out += '\n';
+  };
+
+  emit_row(header_);
+  emit_sep();
+  for (const auto& r : rows_) {
+    if (r.separator) {
+      emit_sep();
+    } else {
+      emit_row(r.cells);
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_si(double v, int precision) {
+  const char* suffix = "";
+  double scaled = v;
+  if (std::fabs(v) >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (std::fabs(v) >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (std::fabs(v) >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "K";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%s", precision, scaled, suffix);
+  return buf;
+}
+
+}  // namespace bpntt::common

@@ -1,0 +1,35 @@
+// Console table printer used by the benchmark harnesses to render the
+// paper's tables/figures as aligned text.  Deliberately minimal: columns of
+// strings, auto-sized widths, optional separator rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bpntt::common {
+
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void add_separator();
+
+  // Render with column padding; `indent` spaces prepended to every line.
+  [[nodiscard]] std::string to_string(int indent = 0) const;
+
+ private:
+  struct row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<row> rows_;
+};
+
+// Format helpers shared by bench binaries.
+[[nodiscard]] std::string format_double(double v, int precision = 2);
+[[nodiscard]] std::string format_si(double v, int precision = 2);  // 1.2K, 3.4M ...
+
+}  // namespace bpntt::common

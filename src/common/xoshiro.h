@@ -1,0 +1,64 @@
+// Deterministic pseudo-random generator used throughout the project.
+//
+// All experiments and tests must be reproducible run-to-run, so we avoid
+// std::random_device and use the public-domain xoshiro256** generator with
+// a splitmix64 seeding sequence (Blackman & Vigna).  The class satisfies
+// std::uniform_random_bit_generator and can be plugged into <random>
+// distributions.
+#pragma once
+
+#include <cstdint>
+
+namespace bpntt::common {
+
+class xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr xoshiro256ss(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    // splitmix64 expansion of the 64-bit seed into 256 bits of state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound).  Uses rejection sampling to stay unbiased.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    const std::uint64_t limit = max() - max() % bound;
+    std::uint64_t v = (*this)();
+    while (v >= limit) v = (*this)();
+    return v % bound;
+  }
+
+  constexpr bool coin() noexcept { return ((*this)() & 1ULL) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace bpntt::common

@@ -1,0 +1,39 @@
+#include "crypto/params.h"
+
+#include "common/bitutil.h"
+#include "nttmath/primes.h"
+
+namespace bpntt::crypto {
+
+bool param_set::supports_full_ntt() const { return q > 1 && (q - 1) % (2 * n) == 0; }
+
+unsigned required_tile_bits(std::uint64_t q) { return common::bit_length(2 * q); }
+
+namespace {
+param_set make(std::string name, std::uint64_t n, std::uint64_t q) {
+  param_set p;
+  p.name = std::move(name);
+  p.n = n;
+  p.q = q;
+  p.min_tile_bits = required_tile_bits(q);
+  return p;
+}
+}  // namespace
+
+param_set kyber() { return make("Kyber", 256, 3329); }
+param_set kyber_compat() { return make("Kyber-r1", 256, 7681); }
+param_set dilithium() { return make("Dilithium", 256, 8380417); }
+param_set falcon512() { return make("Falcon-512", 512, 12289); }
+param_set falcon1024() { return make("Falcon-1024", 1024, 12289); }
+
+param_set he_level(unsigned modulus_bits, std::uint64_t n) {
+  const std::uint64_t q = math::ntt_friendly_prime(modulus_bits, n, /*negacyclic=*/true);
+  return make("HE-" + std::to_string(modulus_bits) + "b", n, q);
+}
+
+std::vector<param_set> all_param_sets() {
+  return {kyber(),       kyber_compat(), dilithium(),  falcon512(),
+          falcon1024(),  he_level(16),   he_level(21), he_level(29)};
+}
+
+}  // namespace bpntt::crypto

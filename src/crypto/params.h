@@ -1,0 +1,42 @@
+// Lattice-crypto parameter sets the paper targets (§I): NIST PQC schemes
+// (Kyber, Dilithium, Falcon) and homomorphic-encryption RNS primes at three
+// BKZ.qsieve security levels.  Each set records the ring (n, q) and the
+// BP-NTT tile width it needs (bitlen(2q): the carry-save datapath wants one
+// spare bit — 14-bit PQC moduli ride in >= 14/16-bit tiles, matching
+// Table I's "Coef. Bitwidth" column).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpntt::crypto {
+
+struct param_set {
+  std::string name;
+  std::uint64_t n = 0;       // polynomial order
+  std::uint64_t q = 0;       // modulus
+  bool negacyclic = true;    // X^n + 1 ring
+  unsigned min_tile_bits = 0;
+
+  [[nodiscard]] bool supports_full_ntt() const;  // 2n | q-1
+};
+
+// NB: standardized Kyber (q=3329) uses an *incomplete* NTT — 3328 = 2^8*13
+// caps full negacyclic transforms at n=128.  kyber() is still exercised at
+// the modular-multiplication level and for n<=128 rings; kyber_compat()
+// (the round-1 prime 7681) supports the full 256-point transform.
+[[nodiscard]] param_set kyber();         // n=256,  q=3329  (incomplete NTT)
+[[nodiscard]] param_set kyber_compat();  // n=256,  q=7681  (full NTT)
+[[nodiscard]] param_set dilithium();    // n=256,  q=8380417
+[[nodiscard]] param_set falcon512();    // n=512,  q=12289
+[[nodiscard]] param_set falcon1024();   // n=1024, q=12289
+// HE primes found at runtime: smallest b-bit prime with q ≡ 1 (mod 2n).
+[[nodiscard]] param_set he_level(unsigned modulus_bits, std::uint64_t n = 1024);
+
+[[nodiscard]] std::vector<param_set> all_param_sets();
+
+// Smallest tile width with 2q < 2^k.
+[[nodiscard]] unsigned required_tile_bits(std::uint64_t q);
+
+}  // namespace bpntt::crypto

@@ -1,0 +1,65 @@
+#include "crypto/rlwe.h"
+
+#include <stdexcept>
+
+#include "nttmath/modarith.h"
+
+namespace bpntt::crypto {
+
+rlwe_scheme::rlwe_scheme(param_set params, unsigned eta, polymul_fn mul)
+    : params_(std::move(params)),
+      eta_(eta),
+      mul_(std::move(mul)),
+      tables_(params_.n, params_.q, /*negacyclic=*/true) {
+  if (!params_.supports_full_ntt()) {
+    throw std::invalid_argument("rlwe_scheme: parameter set lacks a full negacyclic NTT");
+  }
+  if (!mul_) {
+    mul_ = [this](std::span<const std::uint64_t> a, std::span<const std::uint64_t> b) {
+      return math::polymul_ntt(a, b, tables_);
+    };
+  }
+}
+
+rlwe_scheme::keypair rlwe_scheme::keygen(common::xoshiro256ss& rng) const {
+  keypair kp;
+  kp.pk.a = sample_uniform(params_.n, params_.q, rng);
+  kp.sk.s = sample_cbd(params_.n, params_.q, eta_, rng);
+  const poly e = sample_cbd(params_.n, params_.q, eta_, rng);
+  kp.pk.b = math::poly_add(mul_(kp.pk.a, kp.sk.s), e, params_.q);
+  return kp;
+}
+
+ciphertext rlwe_scheme::encrypt(const public_key& pk, std::span<const std::uint64_t> message,
+                                common::xoshiro256ss& rng) const {
+  if (message.size() != params_.n) throw std::invalid_argument("rlwe: message size");
+  const std::uint64_t q = params_.q;
+  const poly r = sample_cbd(params_.n, q, eta_, rng);
+  const poly e1 = sample_cbd(params_.n, q, eta_, rng);
+  const poly e2 = sample_cbd(params_.n, q, eta_, rng);
+
+  ciphertext ct;
+  ct.u = math::poly_add(mul_(pk.a, r), e1, q);
+  poly scaled(params_.n);
+  const std::uint64_t half = (q + 1) / 2;  // round(q/2)
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    scaled[i] = message[i] != 0 ? half : 0;
+  }
+  ct.v = math::poly_add(math::poly_add(mul_(pk.b, r), e2, q), scaled, q);
+  return ct;
+}
+
+poly rlwe_scheme::decrypt(const secret_key& sk, const ciphertext& ct) const {
+  const std::uint64_t q = params_.q;
+  const poly us = mul_(ct.u, sk.s);
+  poly m(params_.n);
+  for (std::size_t i = 0; i < params_.n; ++i) {
+    const std::uint64_t d = math::sub_mod(ct.v[i], us[i], q);
+    // Decision regions around 0 and q/2.
+    const std::uint64_t quarter = q / 4;
+    m[i] = (d > quarter && d < q - quarter) ? 1 : 0;
+  }
+  return m;
+}
+
+}  // namespace bpntt::crypto

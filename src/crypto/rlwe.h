@@ -1,0 +1,67 @@
+// Toy R-LWE public-key encryption (the LPR scheme, §II-A of the paper):
+// the end-to-end workload whose polynomial products BP-NTT accelerates.
+//
+//   keygen:  a <- U(R_q); s, e <- CBD(eta);  pk = (a, b = a*s + e)
+//   encrypt: r, e1, e2 <- CBD(eta);
+//            u = a*r + e1;  v = b*r + e2 + round(q/2) * m,  m in {0,1}^n
+//   decrypt: m' = round_to_bit(v - u*s)
+//
+// The ring product is pluggable so the same scheme can run on the golden
+// CPU NTT or entirely on the in-SRAM engine (examples/rlwe_encrypt).
+// This is a pedagogical scheme — no CCA transform, no compression — sized
+// so decryption succeeds with overwhelming margin at the provided params.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "crypto/params.h"
+#include "crypto/sampler.h"
+#include "nttmath/ntt.h"
+#include "nttmath/poly.h"
+
+namespace bpntt::crypto {
+
+using poly = std::vector<std::uint64_t>;
+// Negacyclic ring product c = a * b mod (x^n + 1, q).
+using polymul_fn = std::function<poly(std::span<const std::uint64_t>,
+                                      std::span<const std::uint64_t>)>;
+
+struct public_key {
+  poly a;
+  poly b;
+};
+struct secret_key {
+  poly s;
+};
+struct ciphertext {
+  poly u;
+  poly v;
+};
+
+class rlwe_scheme {
+ public:
+  // `mul` defaults to the golden NTT product when null.
+  rlwe_scheme(param_set params, unsigned eta = 2, polymul_fn mul = nullptr);
+
+  [[nodiscard]] const param_set& params() const noexcept { return params_; }
+
+  struct keypair {
+    public_key pk;
+    secret_key sk;
+  };
+  [[nodiscard]] keypair keygen(common::xoshiro256ss& rng) const;
+  [[nodiscard]] ciphertext encrypt(const public_key& pk, std::span<const std::uint64_t> message,
+                                   common::xoshiro256ss& rng) const;
+  [[nodiscard]] poly decrypt(const secret_key& sk, const ciphertext& ct) const;
+
+ private:
+  param_set params_;
+  unsigned eta_;
+  polymul_fn mul_;
+  math::ntt_tables tables_;
+};
+
+}  // namespace bpntt::crypto

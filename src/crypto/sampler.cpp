@@ -1,0 +1,34 @@
+#include "crypto/sampler.h"
+
+#include <bit>
+
+namespace bpntt::crypto {
+
+std::vector<std::uint64_t> sample_uniform(std::uint64_t n, std::uint64_t q,
+                                          common::xoshiro256ss& rng) {
+  std::vector<std::uint64_t> out(n);
+  for (auto& x : out) x = rng.below(q);
+  return out;
+}
+
+std::vector<std::uint64_t> sample_cbd(std::uint64_t n, std::uint64_t q, unsigned eta,
+                                      common::xoshiro256ss& rng) {
+  std::vector<std::uint64_t> out(n);
+  for (auto& x : out) {
+    // popcount(eta random bits) - popcount(eta random bits), in [-eta, eta].
+    const std::uint64_t mask = eta >= 64 ? ~0ULL : ((1ULL << eta) - 1);
+    const int a = std::popcount(rng() & mask);
+    const int b = std::popcount(rng() & mask);
+    const int v = a - b;
+    x = v >= 0 ? static_cast<std::uint64_t>(v) : q - static_cast<std::uint64_t>(-v);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> sample_message(std::uint64_t n, common::xoshiro256ss& rng) {
+  std::vector<std::uint64_t> out(n);
+  for (auto& x : out) x = rng.coin() ? 1 : 0;
+  return out;
+}
+
+}  // namespace bpntt::crypto

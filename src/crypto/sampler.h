@@ -1,0 +1,25 @@
+// Deterministic polynomial samplers for the R-LWE workloads: uniform
+// coefficients and the centered binomial distribution (the small-error
+// distribution Kyber-style schemes use; CBD(eta) has support [-eta, eta]).
+// Values are returned as canonical residues mod q.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/xoshiro.h"
+
+namespace bpntt::crypto {
+
+[[nodiscard]] std::vector<std::uint64_t> sample_uniform(std::uint64_t n, std::uint64_t q,
+                                                        common::xoshiro256ss& rng);
+
+// Centered binomial: sum of eta coin differences, mapped into Z_q.
+[[nodiscard]] std::vector<std::uint64_t> sample_cbd(std::uint64_t n, std::uint64_t q,
+                                                    unsigned eta, common::xoshiro256ss& rng);
+
+// Uniform message polynomial over {0, 1}.
+[[nodiscard]] std::vector<std::uint64_t> sample_message(std::uint64_t n,
+                                                        common::xoshiro256ss& rng);
+
+}  // namespace bpntt::crypto

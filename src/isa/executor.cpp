@@ -1,0 +1,69 @@
+#include "isa/executor.h"
+
+#include <stdexcept>
+
+namespace bpntt::isa {
+
+run_result executor::run(const program& p, sram::subarray& array) const {
+  run_result r;
+  std::size_t pc = 0;
+  std::uint64_t budget = max_ops_;
+  while (pc < p.ops.size()) {
+    if (budget-- == 0) throw std::runtime_error("executor: op budget exhausted (runaway loop?)");
+    const micro_op& op = p.ops[pc];
+    std::size_t next = pc + 1;
+    switch (op.type) {
+      case op_type::check:
+        switch (op.mode) {
+          case check_mode::predicate:
+            array.op_check_pred(op.src0, op.bit_index);
+            ++r.executed_ops;
+            break;
+          case check_mode::zero_test:
+            array.op_check_zero(op.src0);
+            ++r.executed_ops;
+            break;
+          case check_mode::ctrl:
+            ++r.executed_ctrl;
+            switch (op.ctrl) {
+              case ctrl_kind::halt:
+                r.halted = true;
+                return r;
+              case ctrl_kind::jump:
+                next = pc + 1 + op.offset;
+                break;
+              case ctrl_kind::branch_nonzero:
+                if (!array.zero_flag()) next = pc + 1 + op.offset;
+                break;
+              case ctrl_kind::branch_zero:
+                if (array.zero_flag()) next = pc + 1 + op.offset;
+                break;
+            }
+            break;
+        }
+        break;
+      case op_type::unary:
+        array.op_copy(op.dst, op.src0, op.invert, op.mask);
+        ++r.executed_ops;
+        break;
+      case op_type::shift:
+        array.op_shift(op.dst, op.src0, op.dir, op.segmented, op.expect_lossless);
+        ++r.executed_ops;
+        break;
+      case op_type::binary:
+        if (op.pair) {
+          array.op_pair(op.dst, static_cast<std::uint16_t>(op.dst + op.s_dst_delta), op.src0,
+                        op.src1);
+        } else {
+          array.op_binary(op.dst, op.src0, op.src1, op.fn);
+        }
+        ++r.executed_ops;
+        break;
+    }
+    if (next > p.ops.size()) throw std::runtime_error("executor: branch out of range");
+    pc = next;
+  }
+  return r;
+}
+
+}  // namespace bpntt::isa

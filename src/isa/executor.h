@@ -1,0 +1,32 @@
+// Controller model: fetches micro-ops from a program image and issues them
+// to one subarray, handling the ctrl pseudo-ops (halt / jump / branches on
+// the wired-OR zero flag).  Array ops cost one array cycle each (counted by
+// the subarray); ctrl ops execute in the controller concurrently with the
+// array and cost no array cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.h"
+#include "sram/subarray.h"
+
+namespace bpntt::isa {
+
+struct run_result {
+  std::uint64_t executed_ops = 0;   // array ops issued
+  std::uint64_t executed_ctrl = 0;  // controller-only ops
+  bool halted = false;              // reached a halt (vs. fell off the end)
+};
+
+class executor {
+ public:
+  // `max_ops` guards against runaway loops in malformed programs.
+  explicit executor(std::uint64_t max_ops = 1ULL << 32) : max_ops_(max_ops) {}
+
+  run_result run(const program& p, sram::subarray& array) const;
+
+ private:
+  std::uint64_t max_ops_;
+};
+
+}  // namespace bpntt::isa

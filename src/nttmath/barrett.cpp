@@ -1,0 +1,44 @@
+#include "nttmath/barrett.h"
+
+#include <stdexcept>
+
+#include "common/bitutil.h"
+
+namespace bpntt::math {
+
+barrett::barrett(u64 q) : q_(q) {
+  if (q < 2) throw std::invalid_argument("barrett: q must be >= 2");
+  if (q >= (1ULL << 62)) throw std::invalid_argument("barrett: q must be < 2^62");
+  shift_ = 2 * common::bit_length(q);
+  // floor(2^shift / q) computed with 128-bit division.
+  mu_ = (static_cast<u128>(1) << shift_) / q;
+}
+
+u64 barrett::reduce(u128 a) const noexcept {
+  // Classic Barrett: estimate = floor(a * mu / 2^shift); remainder needs at
+  // most two correction subtractions.
+  // Compute high part of a * mu without a 256-bit type by splitting a.
+  const u64 a_lo = static_cast<u64>(a);
+  const u64 a_hi = static_cast<u64>(a >> 64);
+  const u64 mu_lo = static_cast<u64>(mu_);
+  const u64 mu_hi = static_cast<u64>(mu_ >> 64);
+
+  // a * mu = (a_hi*mu_hi << 128) + (a_hi*mu_lo + a_lo*mu_hi << 64) + a_lo*mu_lo
+  const u128 cross = static_cast<u128>(a_hi) * mu_lo + static_cast<u128>(a_lo) * mu_hi;
+  const u128 low = static_cast<u128>(a_lo) * mu_lo;
+  const u128 mid = cross + (low >> 64);
+  // Bits [shift_, shift_+64) of the 256-bit product; shift_ <= 124 and the
+  // estimate fits in 128 bits for a < q^2.
+  u128 estimate;
+  if (shift_ >= 64) {
+    const u128 hi192 = (static_cast<u128>(a_hi) * mu_hi << 64) + mid;  // product >> 64
+    estimate = hi192 >> (shift_ - 64);
+  } else {
+    estimate = (mid << (64 - shift_)) | (static_cast<u64>(low) >> shift_);
+  }
+  u128 r = a - estimate * q_;
+  while (r >= q_) r -= q_;
+  return static_cast<u64>(r);
+}
+
+}  // namespace bpntt::math

@@ -1,0 +1,31 @@
+// Barrett reduction context — the division-free reduction used by the
+// measured-CPU baseline (Table I "CPU" row) and as an independent oracle in
+// the modular arithmetic tests.
+#pragma once
+
+#include <cstdint>
+
+#include "nttmath/modarith.h"
+
+namespace bpntt::math {
+
+class barrett {
+ public:
+  explicit barrett(u64 q);
+
+  [[nodiscard]] u64 q() const noexcept { return q_; }
+
+  // a mod q for a < q^2 (the useful range for products of reduced values).
+  [[nodiscard]] u64 reduce(u128 a) const noexcept;
+
+  [[nodiscard]] u64 mul(u64 a, u64 b) const noexcept {
+    return reduce(static_cast<u128>(a) * b);
+  }
+
+ private:
+  u64 q_ = 0;
+  unsigned shift_ = 0;  // 2 * bit_length(q)
+  u128 mu_ = 0;         // floor(2^shift / q)
+};
+
+}  // namespace bpntt::math

@@ -1,0 +1,117 @@
+#include "nttmath/bp_modmul_ref.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/bitutil.h"
+
+namespace bpntt::math {
+
+bp_modmul_result bp_modmul(u64 a, u64 b, u64 m, unsigned k,
+                           std::vector<bp_modmul_step>* trace) {
+  if (k < 2 || k > 63) throw std::invalid_argument("bp_modmul: k out of range");
+  if ((m & 1ULL) == 0 || m >= (1ULL << k)) throw std::invalid_argument("bp_modmul: bad modulus");
+  if (a >= m || b >= m) throw std::invalid_argument("bp_modmul: operands must be < M");
+
+  const u64 mask = common::low_mask(k);
+  const u64 msb = 1ULL << (k - 1);
+
+  bp_modmul_result r;
+  u64 sum = 0;
+  u64 carry = 0;
+
+  for (unsigned i = 0; i < k; ++i) {
+    bp_modmul_step step;
+    step.iteration = i;
+    step.a_bit = ((a >> i) & 1ULL) != 0;
+
+    if (step.a_bit) {
+      // P = P + B using one carry-save layer pair: {c1,s1} = half(Sum, B),
+      // then fold the previous Carry (weight 2) back in after its shift.
+      const u64 c1 = sum & b;
+      const u64 s1 = sum ^ b;
+      if ((carry & msb) != 0) r.observation1_held = false;  // Obs. 1 (line 7)
+      const u64 carry_shifted = (carry << 1) & mask;
+      const u64 c2 = carry_shifted & s1;
+      sum = carry_shifted ^ s1;
+      assert((c1 & c2) == 0);  // half-adder carries are disjoint by construction
+      carry = c1 | c2;
+    }
+    step.sum_after_add = sum;
+    step.carry_after_add = carry;
+
+    // m-selection (line 11): LSB(P) == LSB(Sum) since Carry has weight 2.
+    step.m_selected = (sum & 1ULL) != 0;
+    const u64 mv = step.m_selected ? m : 0;
+    const u64 c1 = sum & mv;
+    u64 s1 = sum ^ mv;
+    if ((s1 & 1ULL) != 0) r.observation2_held = false;  // Obs. 2 (line 13)
+    s1 >>= 1;
+    // (P + m)/2 = (s1 >> 1) + c1 + Carry; two more half-adder layers.
+    const u64 c2 = s1 & c1;
+    const u64 s2 = s1 ^ c1;
+    const u64 c3 = carry & s2;
+    sum = carry ^ s2;
+    assert((c2 & c3) == 0);
+    carry = c2 | c3;
+
+    step.sum_end = sum;
+    step.carry_end = carry;
+    if (trace != nullptr) trace->push_back(step);
+  }
+
+  r.sum = sum;
+  r.carry = carry;
+  // Resolve the carry-save pair and apply the single conditional
+  // subtraction (interleaved Montgomery guarantees P < 2M).
+  const u128 p = static_cast<u128>(sum) + (static_cast<u128>(carry) << 1);
+  r.fits_in_k_bits = p < (static_cast<u128>(1) << k);
+  u128 v = p;
+  if (v >= m) v -= m;
+  assert(v < m);
+  r.value = static_cast<u64>(v);
+  return r;
+}
+
+bp_modmul_wide_result bp_modmul_wide(const wide_uint& a, const wide_uint& b,
+                                     const wide_uint& m) {
+  const unsigned k = m.bits();
+  if (a.bits() != k || b.bits() != k) throw std::invalid_argument("bp_modmul_wide: width mismatch");
+  if (!m.bit(0)) throw std::invalid_argument("bp_modmul_wide: M must be odd");
+
+  bp_modmul_wide_result r;
+  wide_uint sum(k);
+  wide_uint carry(k);
+  const wide_uint zero(k);
+
+  for (unsigned i = 0; i < k; ++i) {
+    if (a.bit(i)) {
+      const wide_uint c1 = sum & b;
+      const wide_uint s1 = sum ^ b;
+      if (carry.bit(k - 1)) r.observation1_held = false;
+      const wide_uint carry_shifted = carry.shl1();
+      const wide_uint c2 = carry_shifted & s1;
+      sum = carry_shifted ^ s1;
+      carry = c1 | c2;
+    }
+    const wide_uint mv = sum.bit(0) ? m : zero;
+    const wide_uint c1 = sum & mv;
+    wide_uint s1 = sum ^ mv;
+    if (s1.bit(0)) r.observation2_held = false;
+    s1 = s1.shr1();
+    const wide_uint c2 = s1 & c1;
+    const wide_uint s2 = s1 ^ c1;
+    const wide_uint c3 = carry & s2;
+    sum = carry ^ s2;
+    carry = c2 | c3;
+  }
+
+  r.sum = sum;
+  r.carry = carry;
+  wide_uint v = sum.add(carry.shl1());  // < 2M < 2^k when M < 2^(k-1)
+  if (v >= m) v = v.sub(m);
+  r.value = v;
+  return r;
+}
+
+}  // namespace bpntt::math

@@ -1,0 +1,64 @@
+// Software model of the paper's Algorithm 2: in-memory bit-parallel modular
+// multiplication (interleaved Montgomery kept in carry-save form).
+//
+// This model is the bridge between the mathematical specification
+// (interleaved_montgomery) and the in-SRAM microcode: it performs exactly
+// the bitwise operations the SRAM executes — half-adder {AND, XOR} pairs,
+// OR carry merges, and 1-bit shifts — and records the two structural
+// observations the paper relies on:
+//
+//   Observation 1: the MSB of Carry is 0 at every `Carry << 1` (line 7),
+//   Observation 2: the LSB of s1 is 0 at every `s1 >> 1` (line 13),
+//
+// which together are what let the whole computation fit in n columns.  The
+// model flags any violation so the tests can map the (M, k) envelope where
+// the claims hold (they hold whenever 2M < 2^k; see bp_modmul_envelope
+// tests).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nttmath/modarith.h"
+#include "nttmath/wide_uint.h"
+
+namespace bpntt::math {
+
+// One recorded iteration of Algorithm 2 (used by the Fig. 6 trace example).
+struct bp_modmul_step {
+  unsigned iteration = 0;
+  bool a_bit = false;     // was the multiplier bit set (lines 5-10 executed)?
+  u64 sum_after_add = 0;  // Sum after the P += a_i*B phase
+  u64 carry_after_add = 0;
+  bool m_selected = false;  // LSB(Sum) == 1, so m = M
+  u64 sum_end = 0;          // Sum at iteration end (after P += m; P >>= 1)
+  u64 carry_end = 0;
+};
+
+struct bp_modmul_result {
+  u64 sum = 0;
+  u64 carry = 0;  // final P = sum + 2*carry, congruent to A*B*R^-1 (mod M)
+  u64 value = 0;  // resolved and conditionally reduced: canonical < M
+  bool observation1_held = true;
+  bool observation2_held = true;
+  bool fits_in_k_bits = true;  // resolved P (< 2M) never exceeded 2^k
+};
+
+// Algorithm 2 with R = 2^k.  Requires odd M < 2^k, A,B < M, 2 <= k <= 63.
+// `trace` (if non-null) receives one entry per iteration.
+[[nodiscard]] bp_modmul_result bp_modmul(u64 a, u64 b, u64 m, unsigned k,
+                                         std::vector<bp_modmul_step>* trace = nullptr);
+
+// Wide-width variant (coefficients up to 4096 bits); same semantics.
+struct bp_modmul_wide_result {
+  wide_uint sum;
+  wide_uint carry;
+  wide_uint value;
+  bool observation1_held = true;
+  bool observation2_held = true;
+};
+[[nodiscard]] bp_modmul_wide_result bp_modmul_wide(const wide_uint& a, const wide_uint& b,
+                                                   const wide_uint& m);
+
+}  // namespace bpntt::math

@@ -1,0 +1,54 @@
+#include "nttmath/fast_ntt.h"
+
+#include <stdexcept>
+
+namespace bpntt::math {
+
+fast_ntt::fast_ntt(const ntt_tables& tables)
+    : n_(tables.n()), q_(tables.q()), mont_(tables.q()) {
+  if (!tables.negacyclic()) {
+    throw std::invalid_argument("fast_ntt: negacyclic tables required");
+  }
+  zetas_mont_.resize(tables.zetas().size());
+  zetas_inv_mont_.resize(tables.zetas_inv().size());
+  for (std::size_t i = 1; i < zetas_mont_.size(); ++i) {
+    zetas_mont_[i] = mont_.to_mont(tables.zetas()[i]);
+    zetas_inv_mont_[i] = mont_.to_mont(tables.zetas_inv()[i]);
+  }
+  n_inv_mont_ = mont_.to_mont(tables.n_inv());
+}
+
+void fast_ntt::forward(std::span<u64> a) const {
+  if (a.size() != n_) throw std::invalid_argument("fast_ntt: size mismatch");
+  std::size_t k = 1;
+  for (u64 len = n_ / 2; len >= 1; len >>= 1) {
+    for (u64 start = 0; start < n_; start += 2 * len) {
+      const u64 zeta = zetas_mont_[k++];
+      for (u64 j = start; j < start + len; ++j) {
+        // mul(zeta*R, x) = zeta*x: coefficients stay in the plain domain.
+        const u64 v = mont_.mul(zeta, a[j + len]);
+        a[j + len] = sub_mod(a[j], v, q_);
+        a[j] = add_mod(a[j], v, q_);
+      }
+    }
+  }
+}
+
+void fast_ntt::inverse(std::span<u64> a) const {
+  if (a.size() != n_) throw std::invalid_argument("fast_ntt: size mismatch");
+  for (u64 len = 1; len <= n_ / 2; len <<= 1) {
+    const u64 k_base = n_ / (2 * len);
+    for (u64 start = 0; start < n_; start += 2 * len) {
+      const u64 zeta_inv = zetas_inv_mont_[k_base + start / (2 * len)];
+      for (u64 j = start; j < start + len; ++j) {
+        const u64 u = a[j];
+        const u64 v = a[j + len];
+        a[j] = add_mod(u, v, q_);
+        a[j + len] = mont_.mul(zeta_inv, sub_mod(u, v, q_));
+      }
+    }
+  }
+  for (auto& x : a) x = mont_.mul(n_inv_mont_, x);
+}
+
+}  // namespace bpntt::math

@@ -1,0 +1,39 @@
+// Montgomery-accelerated NTT for the measured-CPU baseline.
+//
+// The plain golden transform reduces with a 128-bit division per product;
+// real software implementations keep twiddles in the Montgomery domain and
+// use word-level REDC — the same pre-scaling trick BP-NTT bakes into its
+// command stream.  This engine exists so the Table I "CPU (measured)" row
+// reflects a competitive software baseline, not a strawman.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nttmath/montgomery.h"
+#include "nttmath/ntt.h"
+
+namespace bpntt::math {
+
+class fast_ntt {
+ public:
+  explicit fast_ntt(const ntt_tables& tables);
+
+  [[nodiscard]] u64 n() const noexcept { return n_; }
+  [[nodiscard]] u64 q() const noexcept { return q_; }
+
+  // Canonical residues in and out; same ordering semantics as
+  // ntt_forward / ntt_inverse.
+  void forward(std::span<u64> a) const;
+  void inverse(std::span<u64> a) const;
+
+ private:
+  u64 n_ = 0;
+  u64 q_ = 0;
+  montgomery64 mont_;
+  std::vector<u64> zetas_mont_;      // zeta * 2^64 mod q
+  std::vector<u64> zetas_inv_mont_;
+  u64 n_inv_mont_ = 0;
+};
+
+}  // namespace bpntt::math

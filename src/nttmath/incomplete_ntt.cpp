@@ -1,0 +1,96 @@
+#include "nttmath/incomplete_ntt.h"
+
+#include <stdexcept>
+
+#include "common/bitutil.h"
+#include "nttmath/roots.h"
+
+namespace bpntt::math {
+
+incomplete_ntt_tables::incomplete_ntt_tables(u64 n, u64 q) : n_(n), q_(q) {
+  if (!common::is_power_of_two(n) || n < 4) {
+    throw std::invalid_argument("incomplete_ntt_tables: n must be a power of two >= 4");
+  }
+  if ((q - 1) % n != 0) {
+    throw std::invalid_argument("incomplete_ntt_tables: need n | q-1");
+  }
+  zeta_ = primitive_root_of_unity(n, q);
+  half_n_inv_ = inv_mod((n / 2) % q, q);
+
+  const unsigned logh = common::log2_exact(n / 2);
+  zetas_.assign(n / 2, 0);
+  zetas_inv_.assign(n / 2, 0);
+  for (u64 k = 1; k < n / 2; ++k) {
+    zetas_[k] = pow_mod(zeta_, common::reverse_bits(k, logh), q);
+    zetas_inv_[k] = inv_mod(zetas_[k], q);
+  }
+  gammas_.assign(n / 2, 0);
+  for (u64 i = 0; i < n / 2; ++i) {
+    gammas_[i] = pow_mod(zeta_, 2 * common::reverse_bits(i, logh) + 1, q);
+  }
+}
+
+void incomplete_ntt_forward(std::span<u64> a, const incomplete_ntt_tables& t) {
+  const u64 q = t.q();
+  const u64 n = t.n();
+  if (a.size() != n) throw std::invalid_argument("incomplete_ntt_forward: size mismatch");
+  std::size_t k = 1;
+  for (u64 len = n / 2; len >= 2; len >>= 1) {
+    for (u64 start = 0; start < n; start += 2 * len) {
+      const u64 zeta = t.zetas()[k++];
+      for (u64 j = start; j < start + len; ++j) {
+        const u64 v = mul_mod(zeta, a[j + len], q);
+        a[j + len] = sub_mod(a[j], v, q);
+        a[j] = add_mod(a[j], v, q);
+      }
+    }
+  }
+}
+
+void incomplete_ntt_inverse(std::span<u64> a, const incomplete_ntt_tables& t) {
+  const u64 q = t.q();
+  const u64 n = t.n();
+  if (a.size() != n) throw std::invalid_argument("incomplete_ntt_inverse: size mismatch");
+  for (u64 len = 2; len <= n / 2; len <<= 1) {
+    const u64 k_base = n / (2 * len);
+    for (u64 start = 0; start < n; start += 2 * len) {
+      const u64 zeta_inv = t.zetas_inv()[k_base + start / (2 * len)];
+      for (u64 j = start; j < start + len; ++j) {
+        const u64 u = a[j];
+        const u64 v = a[j + len];
+        a[j] = add_mod(u, v, q);
+        a[j + len] = mul_mod(sub_mod(u, v, q), zeta_inv, q);
+      }
+    }
+  }
+  for (auto& x : a) x = mul_mod(x, t.half_n_inv(), q);
+}
+
+void incomplete_basemul(std::span<const u64> a, std::span<const u64> b, std::span<u64> c,
+                        const incomplete_ntt_tables& t) {
+  const u64 q = t.q();
+  if (a.size() != t.n() || b.size() != t.n() || c.size() != t.n()) {
+    throw std::invalid_argument("incomplete_basemul: size mismatch");
+  }
+  for (u64 i = 0; i < t.n() / 2; ++i) {
+    const u64 g = t.gammas()[i];
+    const u64 a0 = a[2 * i], a1 = a[2 * i + 1];
+    const u64 b0 = b[2 * i], b1 = b[2 * i + 1];
+    c[2 * i] = add_mod(mul_mod(a0, b0, q), mul_mod(mul_mod(a1, b1, q), g, q), q);
+    c[2 * i + 1] = add_mod(mul_mod(a0, b1, q), mul_mod(a1, b0, q), q);
+  }
+}
+
+std::vector<u64> polymul_incomplete(std::span<const u64> a, std::span<const u64> b,
+                                    const incomplete_ntt_tables& t) {
+  std::vector<u64> fa(a.begin(), a.end());
+  std::vector<u64> fb(b.begin(), b.end());
+  std::vector<u64> c(a.size());
+  incomplete_ntt_forward(fa, t);
+  incomplete_ntt_forward(fb, t);
+  incomplete_basemul(fa, fb, c, t);
+  incomplete_ntt_inverse(c, t);
+  return c;
+}
+
+}  // namespace bpntt::math

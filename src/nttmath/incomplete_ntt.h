@@ -1,0 +1,63 @@
+// Incomplete (one-layer-short) negacyclic NTT — the transform standardized
+// Kyber actually uses.
+//
+// Kyber's q = 3329 has q-1 = 2^8 * 13, so Z_q contains 256th roots of unity
+// but no 512th ones: the full 256-point negacyclic NTT does not exist.
+// Instead the CT recursion stops one layer early, decomposing
+// Z_q[x]/(x^n + 1) into n/2 quadratic factors (x^2 - gamma_i); products are
+// finished with degree-1 "base multiplications" in each factor.
+//
+// This matters for BP-NTT's coverage claim: with this transform the engine
+// serves standardized Kyber at its native (n=256, q=3329) parameters.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nttmath/modarith.h"
+
+namespace bpntt::math {
+
+class incomplete_ntt_tables {
+ public:
+  // Requires n a power of two >= 4 and n | q-1 (note: *n*, not 2n).
+  incomplete_ntt_tables(u64 n, u64 q);
+
+  [[nodiscard]] u64 n() const noexcept { return n_; }
+  [[nodiscard]] u64 q() const noexcept { return q_; }
+  [[nodiscard]] u64 zeta() const noexcept { return zeta_; }  // primitive n-th root
+  // Twiddles consumed by the forward loop, index 1..n/2-1 (bit-reversed).
+  [[nodiscard]] const std::vector<u64>& zetas() const noexcept { return zetas_; }
+  [[nodiscard]] const std::vector<u64>& zetas_inv() const noexcept { return zetas_inv_; }
+  // gamma_i = zeta^(2*brv(i)+1): the quadratic-factor roots, i in [0, n/2).
+  [[nodiscard]] const std::vector<u64>& gammas() const noexcept { return gammas_; }
+  [[nodiscard]] u64 half_n_inv() const noexcept { return half_n_inv_; }  // (n/2)^-1
+
+ private:
+  u64 n_ = 0;
+  u64 q_ = 0;
+  u64 zeta_ = 0;
+  u64 half_n_inv_ = 0;
+  std::vector<u64> zetas_;
+  std::vector<u64> zetas_inv_;
+  std::vector<u64> gammas_;
+};
+
+// In-place forward transform: standard order in, n/2 degree-1 residues out
+// (pair (a[2i], a[2i+1]) is the residue mod x^2 - gamma_i).
+void incomplete_ntt_forward(std::span<u64> a, const incomplete_ntt_tables& t);
+
+// Inverse of the above, including the (n/2)^-1 scaling.
+void incomplete_ntt_inverse(std::span<u64> a, const incomplete_ntt_tables& t);
+
+// Pairwise base multiplication: c_i(x) = a_i(x) * b_i(x) mod (x^2 - gamma_i):
+//   c0 = a0*b0 + a1*b1*gamma;  c1 = a0*b1 + a1*b0.
+void incomplete_basemul(std::span<const u64> a, std::span<const u64> b, std::span<u64> c,
+                        const incomplete_ntt_tables& t);
+
+// Full negacyclic product via the incomplete transform.
+[[nodiscard]] std::vector<u64> polymul_incomplete(std::span<const u64> a,
+                                                  std::span<const u64> b,
+                                                  const incomplete_ntt_tables& t);
+
+}  // namespace bpntt::math

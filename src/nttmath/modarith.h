@@ -1,0 +1,62 @@
+// Scalar modular arithmetic over Z_q for q < 2^63.
+//
+// These are the golden-model primitives everything else is checked against.
+// Multiplication uses the compiler's 128-bit integer support; callers that
+// need wider coefficients (the paper claims up to 256-bit) use wide_uint.
+#pragma once
+
+#include <cstdint>
+
+namespace bpntt::math {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr u64 add_mod(u64 a, u64 b, u64 q) noexcept {
+  // a,b < q < 2^63 so the sum cannot wrap.
+  const u64 s = a + b;
+  return s >= q ? s - q : s;
+}
+
+constexpr u64 sub_mod(u64 a, u64 b, u64 q) noexcept {
+  return a >= b ? a - b : a + q - b;
+}
+
+constexpr u64 neg_mod(u64 a, u64 q) noexcept { return a == 0 ? 0 : q - a; }
+
+constexpr u64 mul_mod(u64 a, u64 b, u64 q) noexcept {
+  return static_cast<u64>((static_cast<u128>(a) * b) % q);
+}
+
+constexpr u64 pow_mod(u64 base, u64 exp, u64 q) noexcept {
+  u64 result = 1 % q;
+  u64 acc = base % q;
+  while (exp != 0) {
+    if (exp & 1ULL) result = mul_mod(result, acc, q);
+    acc = mul_mod(acc, acc, q);
+    exp >>= 1;
+  }
+  return result;
+}
+
+// Modular inverse via extended Euclid.  Returns 0 when gcd(a, q) != 1.
+constexpr u64 inv_mod(u64 a, u64 q) noexcept {
+  std::int64_t t = 0;
+  std::int64_t new_t = 1;
+  std::int64_t r = static_cast<std::int64_t>(q);
+  std::int64_t new_r = static_cast<std::int64_t>(a % q);
+  while (new_r != 0) {
+    const std::int64_t quot = r / new_r;
+    const std::int64_t tmp_t = t - quot * new_t;
+    t = new_t;
+    new_t = tmp_t;
+    const std::int64_t tmp_r = r - quot * new_r;
+    r = new_r;
+    new_r = tmp_r;
+  }
+  if (r != 1) return 0;
+  if (t < 0) t += static_cast<std::int64_t>(q);
+  return static_cast<u64>(t);
+}
+
+}  // namespace bpntt::math

@@ -1,0 +1,49 @@
+// Montgomery modular multiplication — two flavours.
+//
+// 1. montgomery64: the classic word-level REDC with R = 2^64, used by the
+//    fast golden NTT on the CPU.
+// 2. interleaved_montgomery: the textbook radix-2 interleaved algorithm with
+//    R = 2^k.  This is the mathematical specification that the paper's
+//    Algorithm 2 implements in carry-save form; the BP-NTT tests check the
+//    bit-parallel model against this function bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "nttmath/modarith.h"
+
+namespace bpntt::math {
+
+// Word-level Montgomery context with R = 2^64.  Requires odd q < 2^62.
+class montgomery64 {
+ public:
+  explicit montgomery64(u64 q);
+
+  [[nodiscard]] u64 q() const noexcept { return q_; }
+  [[nodiscard]] u64 to_mont(u64 a) const noexcept;    // a * R mod q
+  [[nodiscard]] u64 from_mont(u64 a) const noexcept;  // a * R^-1 mod q
+  // (a * b * R^-1) mod q for a, b < q.
+  [[nodiscard]] u64 mul(u64 a, u64 b) const noexcept;
+  // Plain modular product computed through the Montgomery domain.
+  [[nodiscard]] u64 mul_plain(u64 a, u64 b) const noexcept {
+    return mul(to_mont(a), b);
+  }
+
+ private:
+  [[nodiscard]] u64 redc(u128 t) const noexcept;
+
+  u64 q_ = 0;
+  u64 q_inv_neg_ = 0;  // -q^-1 mod 2^64
+  u64 r2_ = 0;         // R^2 mod q
+};
+
+// Radix-2 interleaved Montgomery multiplication with R = 2^k.
+// Returns a * b * 2^-k mod q (canonical, < q).  Requires odd q, q < 2^k,
+// a, b < q, and k <= 63.  This is the specification for Algorithm 2.
+[[nodiscard]] u64 interleaved_montgomery(u64 a, u64 b, u64 q, unsigned k) noexcept;
+
+// R mod q and R^2 mod q for R = 2^k (twiddle pre-scaling uses these).
+[[nodiscard]] u64 mont_r(u64 q, unsigned k) noexcept;
+[[nodiscard]] u64 mont_r2(u64 q, unsigned k) noexcept;
+
+}  // namespace bpntt::math

@@ -1,0 +1,129 @@
+#include "nttmath/ntt.h"
+
+#include <stdexcept>
+
+#include "common/bitutil.h"
+#include "nttmath/roots.h"
+
+namespace bpntt::math {
+
+ntt_tables::ntt_tables(u64 n, u64 q, bool negacyclic)
+    : n_(n), q_(q), negacyclic_(negacyclic) {
+  if (!common::is_power_of_two(n) || n < 2) {
+    throw std::invalid_argument("ntt_tables: n must be a power of two >= 2");
+  }
+  const u64 order = negacyclic ? 2 * n : n;
+  if ((q - 1) % order == 0) {
+    if (negacyclic) {
+      psi_ = primitive_root_of_unity(2 * n, q);
+      omega_ = mul_mod(psi_, psi_, q);
+    } else {
+      omega_ = primitive_root_of_unity(n, q);
+    }
+  } else {
+    throw std::invalid_argument("ntt_tables: q does not support this transform size");
+  }
+  n_inv_ = inv_mod(n % q, q);
+
+  const unsigned logn = common::log2_exact(n);
+  zetas_.assign(n, 0);
+  zetas_inv_.assign(n, 0);
+  const u64 base = negacyclic ? psi_ : omega_;
+  for (u64 k = 1; k < n; ++k) {
+    // For the cyclic case the CT recursion needs omega^(bitrev(k)/2 * ...)
+    // only for the negacyclic form; the cyclic transform below uses its own
+    // sequential twiddles, so tables are only fully populated when
+    // negacyclic.  We still fill them (harmless) for symmetric tests.
+    const u64 e = common::reverse_bits(k, logn);
+    zetas_[k] = pow_mod(base, e, q);
+    zetas_inv_[k] = inv_mod(zetas_[k], q);
+  }
+}
+
+void ntt_forward(std::span<u64> a, const ntt_tables& t) {
+  const u64 q = t.q();
+  const u64 n = t.n();
+  if (a.size() != n) throw std::invalid_argument("ntt_forward: size mismatch");
+  std::size_t k = 1;
+  for (u64 len = n / 2; len >= 1; len >>= 1) {
+    for (u64 start = 0; start < n; start += 2 * len) {
+      const u64 zeta = t.zetas()[k++];
+      for (u64 j = start; j < start + len; ++j) {
+        const u64 v = mul_mod(zeta, a[j + len], q);
+        a[j + len] = sub_mod(a[j], v, q);
+        a[j] = add_mod(a[j], v, q);
+      }
+    }
+  }
+}
+
+void ntt_inverse(std::span<u64> a, const ntt_tables& t) {
+  const u64 q = t.q();
+  const u64 n = t.n();
+  if (a.size() != n) throw std::invalid_argument("ntt_inverse: size mismatch");
+  for (u64 len = 1; len <= n / 2; len <<= 1) {
+    // Forward assigned k = n/(2*len) + start/(2*len) at this stage; undo the
+    // butterflies with the inverse twiddles in the same block order.
+    const u64 k_base = n / (2 * len);
+    for (u64 start = 0; start < n; start += 2 * len) {
+      const u64 zeta_inv = t.zetas_inv()[k_base + start / (2 * len)];
+      for (u64 j = start; j < start + len; ++j) {
+        const u64 u = a[j];
+        const u64 v = a[j + len];
+        a[j] = add_mod(u, v, q);
+        a[j + len] = mul_mod(sub_mod(u, v, q), zeta_inv, q);
+      }
+    }
+  }
+  for (auto& x : a) x = mul_mod(x, t.n_inv(), q);
+}
+
+void ntt_pointwise(std::span<const u64> a, std::span<const u64> b, std::span<u64> c, u64 q) {
+  if (a.size() != b.size() || a.size() != c.size()) {
+    throw std::invalid_argument("ntt_pointwise: size mismatch");
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = mul_mod(a[i], b[i], q);
+}
+
+void bitrev_permute(std::span<u64> a) {
+  const auto n = a.size();
+  const unsigned logn = common::log2_exact(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto j = static_cast<std::size_t>(common::reverse_bits(i, logn));
+    if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+namespace {
+
+void cyclic_transform(std::span<u64> a, u64 n, u64 q, u64 omega) {
+  bitrev_permute(a);
+  for (u64 len = 2; len <= n; len <<= 1) {
+    const u64 wlen = pow_mod(omega, n / len, q);
+    for (u64 start = 0; start < n; start += len) {
+      u64 w = 1;
+      for (u64 j = 0; j < len / 2; ++j) {
+        const u64 u = a[start + j];
+        const u64 v = mul_mod(a[start + j + len / 2], w, q);
+        a[start + j] = add_mod(u, v, q);
+        a[start + j + len / 2] = sub_mod(u, v, q);
+        w = mul_mod(w, wlen, q);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void cyclic_ntt_forward(std::span<u64> a, const ntt_tables& t) {
+  if (a.size() != t.n()) throw std::invalid_argument("cyclic_ntt_forward: size mismatch");
+  cyclic_transform(a, t.n(), t.q(), t.omega());
+}
+
+void cyclic_ntt_inverse(std::span<u64> a, const ntt_tables& t) {
+  if (a.size() != t.n()) throw std::invalid_argument("cyclic_ntt_inverse: size mismatch");
+  cyclic_transform(a, t.n(), t.q(), inv_mod(t.omega(), t.q()));
+  for (auto& x : a) x = mul_mod(x, t.n_inv(), t.q());
+}
+
+}  // namespace bpntt::math

@@ -1,0 +1,76 @@
+// Golden-model Number Theoretic Transform.
+//
+// Two transform families are provided:
+//
+// * Negacyclic (X^n + 1 rings, the PQC/HE case and the form of the paper's
+//   Algorithm 1): in-place Cooley-Tukey forward with ψ-power twiddles stored
+//   in bit-reversed order (input standard order, output bit-reversed) and
+//   the matching Gentleman-Sande inverse.  Pointwise products in the
+//   transformed domain realise negacyclic convolution with no explicit
+//   permutation, which is why the in-SRAM engine uses exactly this form.
+// * Cyclic (X^n - 1): textbook iterative radix-2 DIT with an explicit
+//   bit-reversal permutation, provided for generality tests.
+//
+// All functions operate on canonical residues (< q) and return canonical
+// residues.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nttmath/modarith.h"
+
+namespace bpntt::math {
+
+// Precomputed twiddle tables for one (n, q) pair.
+class ntt_tables {
+ public:
+  // n must be a power of two; q prime with 2n | q-1 (negacyclic) or
+  // n | q-1 (cyclic).  Throws std::invalid_argument otherwise.
+  ntt_tables(u64 n, u64 q, bool negacyclic);
+
+  [[nodiscard]] u64 n() const noexcept { return n_; }
+  [[nodiscard]] u64 q() const noexcept { return q_; }
+  [[nodiscard]] bool negacyclic() const noexcept { return negacyclic_; }
+  [[nodiscard]] u64 psi() const noexcept { return psi_; }
+  [[nodiscard]] u64 omega() const noexcept { return omega_; }
+  [[nodiscard]] u64 n_inv() const noexcept { return n_inv_; }
+
+  // zetas consumed by the forward CT loop, index 1..n-1 (index 0 unused);
+  // zetas_[k] = psi^bitrev(k).  Exposed so the BP-NTT microcode compiler can
+  // bake twiddle bits into the command stream.
+  [[nodiscard]] const std::vector<u64>& zetas() const noexcept { return zetas_; }
+  [[nodiscard]] const std::vector<u64>& zetas_inv() const noexcept { return zetas_inv_; }
+
+ private:
+  u64 n_ = 0;
+  u64 q_ = 0;
+  bool negacyclic_ = true;
+  u64 psi_ = 0;    // primitive 2n-th root (negacyclic) — 0 for cyclic tables
+  u64 omega_ = 0;  // primitive n-th root
+  u64 n_inv_ = 0;
+  std::vector<u64> zetas_;
+  std::vector<u64> zetas_inv_;
+};
+
+// In-place negacyclic forward NTT (Algorithm 1 of the paper).  Input in
+// standard order, output in bit-reversed order.
+void ntt_forward(std::span<u64> a, const ntt_tables& t);
+
+// In-place negacyclic inverse (Gentleman-Sande); consumes bit-reversed
+// order, produces standard order, includes the n^-1 scaling.
+void ntt_inverse(std::span<u64> a, const ntt_tables& t);
+
+// Pointwise product c[i] = a[i] * b[i] mod q.
+void ntt_pointwise(std::span<const u64> a, std::span<const u64> b, std::span<u64> c, u64 q);
+
+// Cyclic DFT over Z_q (forward / inverse), standard order in and out.
+void cyclic_ntt_forward(std::span<u64> a, const ntt_tables& t);
+void cyclic_ntt_inverse(std::span<u64> a, const ntt_tables& t);
+
+// Bit-reversal permutation (involution), used by the cyclic transform and
+// by tests that compare the negacyclic output ordering.
+void bitrev_permute(std::span<u64> a);
+
+}  // namespace bpntt::math

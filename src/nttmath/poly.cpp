@@ -1,0 +1,73 @@
+#include "nttmath/poly.h"
+
+#include <stdexcept>
+
+namespace bpntt::math {
+namespace {
+
+std::vector<u64> schoolbook(std::span<const u64> a, std::span<const u64> b, u64 q,
+                            bool negacyclic) {
+  if (a.size() != b.size()) throw std::invalid_argument("schoolbook: size mismatch");
+  const std::size_t n = a.size();
+  std::vector<u64> c(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      const u64 prod = mul_mod(a[i], b[j], q);
+      const std::size_t k = i + j;
+      if (k < n) {
+        c[k] = add_mod(c[k], prod, q);
+      } else if (negacyclic) {
+        c[k - n] = sub_mod(c[k - n], prod, q);  // x^n = -1
+      } else {
+        c[k - n] = add_mod(c[k - n], prod, q);  // x^n = 1
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<u64> schoolbook_negacyclic(std::span<const u64> a, std::span<const u64> b, u64 q) {
+  return schoolbook(a, b, q, true);
+}
+
+std::vector<u64> schoolbook_cyclic(std::span<const u64> a, std::span<const u64> b, u64 q) {
+  return schoolbook(a, b, q, false);
+}
+
+std::vector<u64> polymul_ntt(std::span<const u64> a, std::span<const u64> b,
+                             const ntt_tables& t) {
+  std::vector<u64> fa(a.begin(), a.end());
+  std::vector<u64> fb(b.begin(), b.end());
+  std::vector<u64> c(a.size());
+  if (t.negacyclic()) {
+    ntt_forward(fa, t);
+    ntt_forward(fb, t);
+    ntt_pointwise(fa, fb, c, t.q());
+    ntt_inverse(c, t);
+  } else {
+    cyclic_ntt_forward(fa, t);
+    cyclic_ntt_forward(fb, t);
+    ntt_pointwise(fa, fb, c, t.q());
+    cyclic_ntt_inverse(c, t);
+  }
+  return c;
+}
+
+std::vector<u64> poly_add(std::span<const u64> a, std::span<const u64> b, u64 q) {
+  if (a.size() != b.size()) throw std::invalid_argument("poly_add: size mismatch");
+  std::vector<u64> c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = add_mod(a[i], b[i], q);
+  return c;
+}
+
+std::vector<u64> poly_sub(std::span<const u64> a, std::span<const u64> b, u64 q) {
+  if (a.size() != b.size()) throw std::invalid_argument("poly_sub: size mismatch");
+  std::vector<u64> c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = sub_mod(a[i], b[i], q);
+  return c;
+}
+
+}  // namespace bpntt::math

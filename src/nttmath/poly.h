@@ -1,0 +1,32 @@
+// Polynomial-ring helpers over Z_q[x]/(x^n ± 1).
+//
+// The schoolbook products are the O(n^2) oracles the NTT-based products are
+// verified against (and the "no-NTT" baseline in the roofline study).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nttmath/modarith.h"
+#include "nttmath/ntt.h"
+
+namespace bpntt::math {
+
+// c = a * b mod (x^n + 1, q).  O(n^2) reference.
+[[nodiscard]] std::vector<u64> schoolbook_negacyclic(std::span<const u64> a,
+                                                     std::span<const u64> b, u64 q);
+
+// c = a * b mod (x^n - 1, q).  O(n^2) reference.
+[[nodiscard]] std::vector<u64> schoolbook_cyclic(std::span<const u64> a,
+                                                 std::span<const u64> b, u64 q);
+
+// c = a * b in the ring selected by the tables (negacyclic or cyclic),
+// computed through the transform: INTT(NTT(a) ∘ NTT(b)).
+[[nodiscard]] std::vector<u64> polymul_ntt(std::span<const u64> a, std::span<const u64> b,
+                                           const ntt_tables& t);
+
+// Pointwise ring operations.
+[[nodiscard]] std::vector<u64> poly_add(std::span<const u64> a, std::span<const u64> b, u64 q);
+[[nodiscard]] std::vector<u64> poly_sub(std::span<const u64> a, std::span<const u64> b, u64 q);
+
+}  // namespace bpntt::math

@@ -1,0 +1,122 @@
+#include "nttmath/primes.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace bpntt::math {
+namespace {
+
+bool miller_rabin_witness(u64 n, u64 a, u64 d, unsigned r) noexcept {
+  u64 x = pow_mod(a % n, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (unsigned i = 1; i < r; ++i) {
+    x = mul_mod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+u64 pollard_rho(u64 n, u64 c) noexcept {
+  // Brent-style cycle detection with batched gcds.
+  auto f = [n, c](u64 x) { return add_mod(mul_mod(x, x, n), c, n); };
+  u64 x = 2, y = 2, d = 1;
+  u64 prod = 1;
+  int count = 0;
+  while (d == 1) {
+    x = f(x);
+    y = f(f(y));
+    const u64 diff = x > y ? x - y : y - x;
+    if (diff != 0) prod = mul_mod(prod, diff, n);
+    if (++count % 64 == 0) {
+      d = std::gcd(prod, n);
+      prod = 1;
+    }
+  }
+  if (d == n) {
+    // Fall back to per-step gcd with this polynomial.
+    x = 2;
+    y = 2;
+    d = 1;
+    while (d == 1) {
+      x = f(x);
+      y = f(f(y));
+      d = std::gcd(x > y ? x - y : y - x, n);
+    }
+  }
+  return d;
+}
+
+void factor_rec(u64 n, std::vector<u64>& out) {
+  if (n == 1) return;
+  if (is_prime(n)) {
+    out.push_back(n);
+    return;
+  }
+  for (u64 c = 1;; ++c) {
+    const u64 d = pollard_rho(n, c);
+    if (d != n && d != 1) {
+      factor_rec(d, out);
+      factor_rec(n / d, out);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool is_prime(u64 n) noexcept {
+  if (n < 2) return false;
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  u64 d = n - 1;
+  unsigned r = 0;
+  while ((d & 1ULL) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64 (Sinclair 2011).
+  for (u64 a : {2ULL, 325ULL, 9375ULL, 28178ULL, 450775ULL, 9780504ULL, 1795265022ULL}) {
+    if (a % n == 0) continue;
+    if (!miller_rabin_witness(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::vector<u64> distinct_prime_factors(u64 n) {
+  std::vector<u64> all;
+  // Strip small factors first; keeps Pollard rho inputs odd and composite.
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL}) {
+    if (n % p == 0) {
+      all.push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) factor_rec(n, all);
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+u64 find_prime_congruent(u64 lo, u64 hi, u64 m) noexcept {
+  if (m == 0) return 0;
+  // Smallest q >= lo with q ≡ 1 (mod m).
+  u64 q = lo + (1 % m + m - lo % m) % m;
+  for (; q != 0 && q < hi; q += m) {
+    if (is_prime(q)) return q;
+  }
+  return 0;
+}
+
+u64 ntt_friendly_prime(unsigned bits, u64 n, bool negacyclic) {
+  if (bits < 2 || bits > 62) throw std::runtime_error("ntt_friendly_prime: bits out of range");
+  const u64 m = negacyclic ? 2 * n : n;
+  const u64 lo = 1ULL << (bits - 1);
+  const u64 hi = bits >= 63 ? ~0ULL : (1ULL << bits);
+  const u64 q = find_prime_congruent(lo, hi, m);
+  if (q == 0) throw std::runtime_error("ntt_friendly_prime: no prime found");
+  return q;
+}
+
+}  // namespace bpntt::math

@@ -1,0 +1,33 @@
+// Primality testing, factorization and NTT-friendly prime search.
+//
+// The paper's flexibility claims ("easily adjust the bitwidth, polynomial
+// order, and modulus") require generating working moduli for arbitrary
+// (bitwidth, n) pairs: an NTT of size n over Z_q needs n | q-1 (cyclic) or
+// 2n | q-1 (negacyclic).  This module provides a deterministic 64-bit
+// Miller-Rabin test, Pollard-rho factorization (for primitive-root search)
+// and a search routine for q of a given bit size with q ≡ 1 (mod m).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nttmath/modarith.h"
+
+namespace bpntt::math {
+
+// Deterministic for all 64-bit inputs (fixed witness set).
+[[nodiscard]] bool is_prime(u64 n) noexcept;
+
+// Prime factorization (with multiplicity collapsed: distinct primes only).
+[[nodiscard]] std::vector<u64> distinct_prime_factors(u64 n);
+
+// Smallest prime q >= lo with q ≡ 1 (mod m).  Returns 0 if none exists
+// below `hi`.
+[[nodiscard]] u64 find_prime_congruent(u64 lo, u64 hi, u64 m) noexcept;
+
+// An NTT-friendly prime of exactly `bits` bits supporting (nega)cyclic NTTs
+// of size n, i.e. q ≡ 1 (mod 2n), q odd, 2^(bits-1) <= q < 2^bits.
+// Throws std::runtime_error when no such prime exists.
+[[nodiscard]] u64 ntt_friendly_prime(unsigned bits, u64 n, bool negacyclic = true);
+
+}  // namespace bpntt::math

@@ -1,0 +1,44 @@
+#include "nttmath/roots.h"
+
+#include <stdexcept>
+
+#include "nttmath/primes.h"
+
+namespace bpntt::math {
+
+u64 find_generator(u64 q) {
+  if (q < 3) throw std::invalid_argument("find_generator: q must be an odd prime");
+  const u64 order = q - 1;
+  const auto factors = distinct_prime_factors(order);
+  for (u64 g = 2; g < q; ++g) {
+    bool ok = true;
+    for (u64 p : factors) {
+      if (pow_mod(g, order / p, q) == 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+  throw std::runtime_error("find_generator: no generator found (q not prime?)");
+}
+
+u64 primitive_root_of_unity(u64 n, u64 q) {
+  if (n == 0 || (q - 1) % n != 0) {
+    throw std::invalid_argument("primitive_root_of_unity: n must divide q-1");
+  }
+  const u64 g = find_generator(q);
+  const u64 w = pow_mod(g, (q - 1) / n, q);
+  if (!has_order(w, n, q)) throw std::runtime_error("primitive_root_of_unity: order check failed");
+  return w;
+}
+
+bool has_order(u64 w, u64 n, u64 q) {
+  if (pow_mod(w, n, q) != 1) return false;
+  for (u64 p : distinct_prime_factors(n)) {
+    if (pow_mod(w, n / p, q) == 1) return false;
+  }
+  return true;
+}
+
+}  // namespace bpntt::math

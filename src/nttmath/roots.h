@@ -1,0 +1,22 @@
+// Primitive roots and roots of unity in Z_q.
+//
+// The NTT needs a primitive n-th root of unity ω (cyclic) and additionally a
+// primitive 2n-th root ψ with ψ² = ω (negacyclic, the X^n + 1 rings used by
+// Kyber/Dilithium/HE).  We find a generator of Z_q* by factoring q-1 and
+// testing candidates, then exponentiate down to the needed order.
+#pragma once
+
+#include "nttmath/modarith.h"
+
+namespace bpntt::math {
+
+// A generator of the multiplicative group Z_q* (q prime).
+[[nodiscard]] u64 find_generator(u64 q);
+
+// Primitive n-th root of unity mod q; requires n | q-1.  Throws otherwise.
+[[nodiscard]] u64 primitive_root_of_unity(u64 n, u64 q);
+
+// True iff w has exact multiplicative order n mod q.
+[[nodiscard]] bool has_order(u64 w, u64 n, u64 q);
+
+}  // namespace bpntt::math

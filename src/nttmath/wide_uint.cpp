@@ -1,0 +1,176 @@
+#include "nttmath/wide_uint.h"
+
+#include <stdexcept>
+
+namespace bpntt::math {
+namespace {
+constexpr unsigned kLimbBits = 64;
+}
+
+wide_uint::wide_uint(unsigned bits) : bits_(bits) {
+  if (bits == 0 || bits > 4096) throw std::invalid_argument("wide_uint: bad width");
+  limbs_.assign((bits + kLimbBits - 1) / kLimbBits, 0);
+}
+
+wide_uint::wide_uint(unsigned bits, std::uint64_t value) : wide_uint(bits) {
+  limbs_[0] = value;
+  trim();
+}
+
+void wide_uint::trim() noexcept {
+  const unsigned top = bits_ % kLimbBits;
+  if (top != 0) limbs_.back() &= (top == 64 ? ~0ULL : ((1ULL << top) - 1));
+}
+
+bool wide_uint::is_zero() const noexcept {
+  for (auto l : limbs_) {
+    if (l != 0) return false;
+  }
+  return true;
+}
+
+bool wide_uint::bit(unsigned i) const noexcept {
+  if (i >= bits_) return false;
+  return (limbs_[i / kLimbBits] >> (i % kLimbBits)) & 1ULL;
+}
+
+void wide_uint::set_bit(unsigned i, bool v) noexcept {
+  if (i >= bits_) return;
+  const std::uint64_t mask = 1ULL << (i % kLimbBits);
+  if (v) {
+    limbs_[i / kLimbBits] |= mask;
+  } else {
+    limbs_[i / kLimbBits] &= ~mask;
+  }
+}
+
+std::uint64_t wide_uint::low64() const noexcept { return limbs_.empty() ? 0 : limbs_[0]; }
+
+std::string wide_uint::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  bool leading = true;
+  for (unsigned i = (bits_ + 3) / 4; i-- > 0;) {
+    const unsigned nibble = static_cast<unsigned>((limbs_[i * 4 / kLimbBits] >> (i * 4 % kLimbBits)) & 0xF);
+    if (nibble == 0 && leading && i != 0) continue;
+    leading = false;
+    out += digits[nibble];
+  }
+  return out;
+}
+
+wide_uint wide_uint::operator&(const wide_uint& o) const {
+  if (bits_ != o.bits_) throw std::invalid_argument("wide_uint: width mismatch");
+  wide_uint r(bits_);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) r.limbs_[i] = limbs_[i] & o.limbs_[i];
+  return r;
+}
+
+wide_uint wide_uint::operator|(const wide_uint& o) const {
+  if (bits_ != o.bits_) throw std::invalid_argument("wide_uint: width mismatch");
+  wide_uint r(bits_);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) r.limbs_[i] = limbs_[i] | o.limbs_[i];
+  return r;
+}
+
+wide_uint wide_uint::operator^(const wide_uint& o) const {
+  if (bits_ != o.bits_) throw std::invalid_argument("wide_uint: width mismatch");
+  wide_uint r(bits_);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) r.limbs_[i] = limbs_[i] ^ o.limbs_[i];
+  return r;
+}
+
+wide_uint wide_uint::shl1() const {
+  wide_uint r(bits_);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    r.limbs_[i] = (limbs_[i] << 1) | carry;
+    carry = limbs_[i] >> 63;
+  }
+  r.trim();
+  return r;
+}
+
+wide_uint wide_uint::shr1() const {
+  wide_uint r(bits_);
+  std::uint64_t carry = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    r.limbs_[i] = (limbs_[i] >> 1) | (carry << 63);
+    carry = limbs_[i] & 1ULL;
+  }
+  return r;
+}
+
+wide_uint wide_uint::shl(unsigned k) const {
+  wide_uint r = *this;
+  for (unsigned i = 0; i < k; ++i) r = r.shl1();
+  return r;
+}
+
+wide_uint wide_uint::add(const wide_uint& o) const {
+  if (bits_ != o.bits_) throw std::invalid_argument("wide_uint: width mismatch");
+  wide_uint r(bits_);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const unsigned __int128 s = carry + limbs_[i] + o.limbs_[i];
+    r.limbs_[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  r.trim();
+  return r;
+}
+
+wide_uint wide_uint::sub(const wide_uint& o) const {
+  if (bits_ != o.bits_) throw std::invalid_argument("wide_uint: width mismatch");
+  wide_uint r(bits_);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const unsigned __int128 lhs = limbs_[i];
+    const unsigned __int128 rhs = static_cast<unsigned __int128>(o.limbs_[i]) +
+                                  static_cast<unsigned __int128>(borrow);
+    if (lhs >= rhs) {
+      r.limbs_[i] = static_cast<std::uint64_t>(lhs - rhs);
+      borrow = 0;
+    } else {
+      r.limbs_[i] = static_cast<std::uint64_t>((static_cast<unsigned __int128>(1) << 64) + lhs - rhs);
+      borrow = 1;
+    }
+  }
+  r.trim();
+  return r;
+}
+
+int wide_uint::compare(const wide_uint& o) const noexcept {
+  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  for (std::size_t i = n; i-- > 0;) {
+    const std::uint64_t a = i < limbs_.size() ? limbs_[i] : 0;
+    const std::uint64_t b = i < o.limbs_.size() ? o.limbs_[i] : 0;
+    if (a != b) return a < b ? -1 : 1;
+  }
+  return 0;
+}
+
+wide_uint wide_uint::add_mod(const wide_uint& a, const wide_uint& b, const wide_uint& m) {
+  wide_uint s = a.add(b);
+  if (s >= m) s = s.sub(m);
+  return s;
+}
+
+wide_uint wide_uint::mul_mod(const wide_uint& a, const wide_uint& b, const wide_uint& m) {
+  // Double-and-add from the top bit down; all intermediates stay < m so the
+  // fixed width (>= bits(m)+1) never wraps.
+  wide_uint acc(a.bits());
+  for (unsigned i = a.bits(); i-- > 0;) {
+    acc = add_mod(acc, acc, m);
+    if (a.bit(i)) acc = add_mod(acc, b, m);
+  }
+  return acc;
+}
+
+wide_uint wide_uint::pow2_mod(unsigned k, const wide_uint& m) {
+  wide_uint r(m.bits(), 1);
+  for (unsigned i = 0; i < k; ++i) r = add_mod(r, r, m);
+  return r;
+}
+
+}  // namespace bpntt::math

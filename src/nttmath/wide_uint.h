@@ -1,0 +1,68 @@
+// Arbitrary-width unsigned integers for wide-coefficient experiments.
+//
+// The paper claims a single 256x256 subarray supports up to 256-bit
+// coefficients; the SRAM model works at bit level and doesn't care, but the
+// golden model needs arithmetic wider than __int128 to check those runs.
+// wide_uint is a simple little-endian limb vector with a fixed bit width;
+// every operation stays within that width (values are reduced mod 2^bits),
+// mirroring the fixed tile width of the hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpntt::math {
+
+class wide_uint {
+ public:
+  wide_uint() = default;
+  // Zero value of the given width (1..4096 bits).
+  explicit wide_uint(unsigned bits);
+  wide_uint(unsigned bits, std::uint64_t value);
+
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+  [[nodiscard]] bool is_zero() const noexcept;
+  [[nodiscard]] bool bit(unsigned i) const noexcept;
+  void set_bit(unsigned i, bool v) noexcept;
+  [[nodiscard]] std::uint64_t low64() const noexcept;
+  [[nodiscard]] std::string to_hex() const;
+
+  // Bitwise ops (widths must match).
+  [[nodiscard]] wide_uint operator&(const wide_uint& o) const;
+  [[nodiscard]] wide_uint operator|(const wide_uint& o) const;
+  [[nodiscard]] wide_uint operator^(const wide_uint& o) const;
+
+  // Logical shifts by one bit within the fixed width (bits shifted out are
+  // dropped, matching the hardware tile-segmented shifter).
+  [[nodiscard]] wide_uint shl1() const;
+  [[nodiscard]] wide_uint shr1() const;
+  [[nodiscard]] wide_uint shl(unsigned k) const;
+
+  // Arithmetic mod 2^bits.
+  [[nodiscard]] wide_uint add(const wide_uint& o) const;
+  [[nodiscard]] wide_uint sub(const wide_uint& o) const;  // wraps on underflow
+
+  [[nodiscard]] int compare(const wide_uint& o) const noexcept;  // -1/0/+1
+  bool operator==(const wide_uint& o) const noexcept { return compare(o) == 0; }
+  bool operator<(const wide_uint& o) const noexcept { return compare(o) < 0; }
+  bool operator>=(const wide_uint& o) const noexcept { return compare(o) >= 0; }
+
+  // (a + b) mod m, assuming a, b < m < 2^(bits-1).
+  [[nodiscard]] static wide_uint add_mod(const wide_uint& a, const wide_uint& b,
+                                         const wide_uint& m);
+  // (a * b) mod m via binary double-and-add; independent oracle for the
+  // carry-save Montgomery model at wide widths.
+  [[nodiscard]] static wide_uint mul_mod(const wide_uint& a, const wide_uint& b,
+                                         const wide_uint& m);
+  // 2^k mod m (for Montgomery-factor handling at wide widths).
+  [[nodiscard]] static wide_uint pow2_mod(unsigned k, const wide_uint& m);
+
+ private:
+  void trim() noexcept;  // clear bits above bits_
+
+  unsigned bits_ = 0;
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace bpntt::math

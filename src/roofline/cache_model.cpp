@@ -1,0 +1,110 @@
+#include "roofline/cache_model.h"
+
+#include <stdexcept>
+
+#include "common/bitutil.h"
+
+namespace bpntt::roofline {
+
+cache_level::cache_level(cache_config cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.line_bytes == 0 || !common::is_power_of_two(cfg_.line_bytes)) {
+    throw std::invalid_argument("cache_level: line size must be a power of two");
+  }
+  if (cfg_.associativity == 0) throw std::invalid_argument("cache_level: associativity");
+  const std::uint64_t lines = cfg_.size_bytes / cfg_.line_bytes;
+  if (lines == 0 || lines % cfg_.associativity != 0) {
+    throw std::invalid_argument("cache_level: size/assoc/line mismatch");
+  }
+  num_sets_ = static_cast<unsigned>(lines / cfg_.associativity);
+  ways_.assign(static_cast<std::size_t>(num_sets_) * cfg_.associativity, way{});
+}
+
+bool cache_level::access(std::uint64_t addr, bool write, bool* evicted_dirty) {
+  if (evicted_dirty != nullptr) *evicted_dirty = false;
+  const std::uint64_t line = addr / cfg_.line_bytes;
+  const unsigned set = static_cast<unsigned>(line % num_sets_);
+  const std::uint64_t tag = line / num_sets_;
+  way* base = &ways_[static_cast<std::size_t>(set) * cfg_.associativity];
+
+  ++ctr_.accesses;
+  ++tick_;
+  for (unsigned w = 0; w < cfg_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lru = tick_;
+      if (write) base[w].dirty = true;
+      ++ctr_.hits;
+      return true;
+    }
+  }
+
+  // Miss: choose LRU victim.
+  ++ctr_.misses;
+  way* victim = base;
+  for (unsigned w = 1; w < cfg_.associativity; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  if (victim->valid && victim->dirty) {
+    ++ctr_.writebacks;
+    if (evicted_dirty != nullptr) *evicted_dirty = true;
+  }
+  victim->valid = true;
+  victim->dirty = write;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+hierarchy::hierarchy(cache_config l1, cache_config l2, cache_config llc, double dram_bw_gbs)
+    : l1_(std::move(l1)), l2_(std::move(l2)), llc_(std::move(llc)), dram_bw_gbs_(dram_bw_gbs) {}
+
+void hierarchy::access(std::uint64_t addr, unsigned bytes, bool write) {
+  core_bytes_ += bytes;
+  // A straddling access touches each line once.
+  const unsigned line = l1_.config().line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + (bytes ? bytes - 1 : 0)) / line;
+  for (std::uint64_t ln = first; ln <= last; ++ln) {
+    const std::uint64_t a = ln * line;
+    bool dirty_evict = false;
+    if (l1_.access(a, write, &dirty_evict)) continue;
+    // L1 miss traffic (and any writeback) goes to L2.
+    bool l2_dirty = false;
+    const bool l2_hit = l2_.access(a, false, &l2_dirty);
+    if (dirty_evict) l2_.access(a, true, nullptr);  // writeback updates L2
+    if (l2_hit) continue;
+    bool llc_dirty = false;
+    const bool llc_hit = llc_.access(a, false, &llc_dirty);
+    if (l2_dirty) llc_.access(a, true, nullptr);
+    (void)llc_dirty;
+    if (llc_hit) continue;
+    // else: DRAM fill, counted through llc misses.
+  }
+}
+
+std::uint64_t hierarchy::bytes_l1_l2() const noexcept {
+  return (l1_.counters().misses + l1_.counters().writebacks) * l1_.config().line_bytes;
+}
+
+std::uint64_t hierarchy::bytes_l2_llc() const noexcept {
+  return (l2_.counters().misses + l2_.counters().writebacks) * l2_.config().line_bytes;
+}
+
+std::uint64_t hierarchy::bytes_llc_dram() const noexcept {
+  return (llc_.counters().misses + llc_.counters().writebacks) * llc_.config().line_bytes;
+}
+
+hierarchy make_default_hierarchy() {
+  // Single load/store-port edge-class core: one 128-bit L1 access per cycle
+  // at 3 GHz (48 GB/s), halving per level below — the regime where the
+  // paper's Fig. 1 places the lattice kernels.
+  cache_config l1{"L1", 32 * 1024, 8, 64, 48.0};
+  cache_config l2{"L2", 256 * 1024, 8, 64, 24.0};
+  cache_config llc{"LLC", 2 * 1024 * 1024, 16, 64, 16.0};
+  return hierarchy(l1, l2, llc, 8.0);
+}
+
+}  // namespace bpntt::roofline

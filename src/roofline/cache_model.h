@@ -1,0 +1,93 @@
+// Set-associative LRU cache hierarchy used to regenerate the paper's
+// roofline study (Fig. 1).
+//
+// The paper profiles CRYSTALS kernels with Intel Advisor on real hardware;
+// we reproduce the figure's substance — per-level traffic and arithmetic
+// intensity of the NTT kernels — from first principles by running the
+// kernel's exact address trace through this model (write-allocate,
+// write-back, inclusive fills).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpntt::roofline {
+
+struct cache_config {
+  std::string name = "L1";
+  std::uint64_t size_bytes = 32 * 1024;
+  unsigned associativity = 8;
+  unsigned line_bytes = 64;
+  double bandwidth_gbs = 0.0;  // roof for this level
+};
+
+struct cache_counters {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] double miss_rate() const noexcept {
+    return accesses ? static_cast<double>(misses) / accesses : 0.0;
+  }
+};
+
+class cache_level {
+ public:
+  explicit cache_level(cache_config cfg);
+
+  [[nodiscard]] const cache_config& config() const noexcept { return cfg_; }
+  [[nodiscard]] const cache_counters& counters() const noexcept { return ctr_; }
+
+  // Returns true on hit.  On miss the line is filled; *evicted_dirty
+  // receives whether a dirty victim was written back (for traffic
+  // accounting at the next level).
+  bool access(std::uint64_t addr, bool write, bool* evicted_dirty = nullptr);
+
+ private:
+  struct way {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;  // larger = more recently used
+  };
+
+  cache_config cfg_;
+  cache_counters ctr_;
+  unsigned num_sets_ = 0;
+  std::uint64_t tick_ = 0;
+  std::vector<way> ways_;  // num_sets * associativity
+};
+
+// Three-level hierarchy + DRAM traffic accounting.
+class hierarchy {
+ public:
+  hierarchy(cache_config l1, cache_config l2, cache_config llc, double dram_bw_gbs);
+
+  void access(std::uint64_t addr, unsigned bytes, bool write);
+
+  [[nodiscard]] const cache_level& l1() const noexcept { return l1_; }
+  [[nodiscard]] const cache_level& l2() const noexcept { return l2_; }
+  [[nodiscard]] const cache_level& llc() const noexcept { return llc_; }
+  [[nodiscard]] double dram_bw_gbs() const noexcept { return dram_bw_gbs_; }
+
+  // Bytes each level delivered to the level above it (line fills +
+  // writebacks).  bytes_from(0) = bytes the core moved to/from L1.
+  [[nodiscard]] std::uint64_t bytes_core_l1() const noexcept { return core_bytes_; }
+  [[nodiscard]] std::uint64_t bytes_l1_l2() const noexcept;
+  [[nodiscard]] std::uint64_t bytes_l2_llc() const noexcept;
+  [[nodiscard]] std::uint64_t bytes_llc_dram() const noexcept;
+
+ private:
+  cache_level l1_;
+  cache_level l2_;
+  cache_level llc_;
+  double dram_bw_gbs_;
+  std::uint64_t core_bytes_ = 0;
+};
+
+// Typical laptop-class core (sizes used by the bench and tests).
+[[nodiscard]] hierarchy make_default_hierarchy();
+
+}  // namespace bpntt::roofline

@@ -1,0 +1,45 @@
+#include "roofline/roofline.h"
+
+#include <algorithm>
+
+namespace bpntt::roofline {
+
+std::string roofline_report::binding_level() const {
+  for (const auto& lv : levels) {
+    if (lv.bandwidth_bound) return lv.level;
+  }
+  return {};
+}
+
+roofline_report make_report(const kernel_trace_result& trace, const hierarchy& hier,
+                            double peak_gops) {
+  roofline_report rep;
+  rep.kernel = trace.kernel;
+  rep.n = trace.n;
+  rep.ops = trace.ops;
+  rep.peak_gops = peak_gops;
+
+  const struct {
+    const char* name;
+    std::uint64_t bytes;
+    double bw;
+  } raw[] = {
+      {"L1", hier.bytes_core_l1(), hier.l1().config().bandwidth_gbs},
+      {"L2", hier.bytes_l1_l2(), hier.l2().config().bandwidth_gbs},
+      {"LLC", hier.bytes_l2_llc(), hier.llc().config().bandwidth_gbs},
+      {"DRAM", hier.bytes_llc_dram(), hier.dram_bw_gbs()},
+  };
+  for (const auto& lv : raw) {
+    level_point p;
+    p.level = lv.name;
+    p.bytes = lv.bytes;
+    p.bandwidth_gbs = lv.bw;
+    p.intensity = lv.bytes > 0 ? static_cast<double>(trace.ops) / lv.bytes : 1e9;
+    p.attainable_gops = std::min(peak_gops, p.intensity * lv.bw);
+    p.bandwidth_bound = p.attainable_gops < peak_gops;
+    rep.levels.push_back(p);
+  }
+  return rep;
+}
+
+}  // namespace bpntt::roofline

@@ -1,0 +1,40 @@
+// Roofline computation (Fig. 1): arithmetic intensity of a kernel against
+// the bandwidth roofs of each memory level, and the classification the
+// paper draws from it (NTT kernels are L1/L2-bandwidth bound, not
+// DRAM-bandwidth bound, which motivates computing *in* the SRAM arrays).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "roofline/cache_model.h"
+#include "roofline/trace.h"
+
+namespace bpntt::roofline {
+
+struct level_point {
+  std::string level;            // "L1", "L2", "LLC", "DRAM"
+  std::uint64_t bytes = 0;      // traffic at this level
+  double intensity = 0.0;       // ops / byte at this level
+  double bandwidth_gbs = 0.0;   // roof
+  double attainable_gops = 0.0; // min(peak, intensity * bw)
+  bool bandwidth_bound = false; // attainable limited by this level's bw
+};
+
+struct roofline_report {
+  std::string kernel;
+  std::uint64_t n = 0;
+  std::uint64_t ops = 0;
+  double peak_gops = 0.0;
+  std::vector<level_point> levels;
+
+  // The innermost level whose bandwidth bounds the kernel (empty if
+  // compute bound everywhere).
+  [[nodiscard]] std::string binding_level() const;
+};
+
+// Build the report from a finished trace over `hier`.
+[[nodiscard]] roofline_report make_report(const kernel_trace_result& trace,
+                                          const hierarchy& hier, double peak_gops);
+
+}  // namespace bpntt::roofline

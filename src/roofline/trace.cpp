@@ -1,0 +1,91 @@
+#include "roofline/trace.h"
+
+namespace bpntt::roofline {
+namespace {
+
+constexpr std::uint64_t kPolyBase = 0x100000;
+constexpr std::uint64_t kZetaBase = 0x200000;
+constexpr std::uint64_t kOutBase = 0x300000;
+
+}  // namespace
+
+kernel_trace_result trace_ntt_forward(hierarchy& hier, std::uint64_t n, unsigned repeats,
+                                      unsigned elem_bytes) {
+  kernel_trace_result r{"NTT", n, 0, 0, 0};
+  for (unsigned rep = 0; rep < repeats; ++rep) {
+    std::uint64_t k = 1;
+    for (std::uint64_t len = n / 2; len >= 1; len >>= 1) {
+      for (std::uint64_t start = 0; start < n; start += 2 * len) {
+        hier.access(kZetaBase + k * elem_bytes, elem_bytes, false);  // zeta load
+        ++r.loads;
+        ++k;
+        for (std::uint64_t j = start; j < start + len; ++j) {
+          // t = zeta * a[j+len]; a[j+len] = a[j] - t; a[j] = a[j] + t
+          hier.access(kPolyBase + (j + len) * elem_bytes, elem_bytes, false);
+          hier.access(kPolyBase + j * elem_bytes, elem_bytes, false);
+          hier.access(kPolyBase + (j + len) * elem_bytes, elem_bytes, true);
+          hier.access(kPolyBase + j * elem_bytes, elem_bytes, true);
+          r.loads += 2;
+          r.stores += 2;
+          // mul + reduction, add + correction, sub + correction.
+          r.ops += 6;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+kernel_trace_result trace_ntt_inverse(hierarchy& hier, std::uint64_t n, unsigned repeats,
+                                      unsigned elem_bytes) {
+  kernel_trace_result r{"INTT", n, 0, 0, 0};
+  for (unsigned rep = 0; rep < repeats; ++rep) {
+    for (std::uint64_t len = 1; len <= n / 2; len <<= 1) {
+      for (std::uint64_t start = 0; start < n; start += 2 * len) {
+        hier.access(kZetaBase + (n + start / (2 * len)) * elem_bytes, elem_bytes, false);
+        ++r.loads;
+        for (std::uint64_t j = start; j < start + len; ++j) {
+          hier.access(kPolyBase + j * elem_bytes, elem_bytes, false);
+          hier.access(kPolyBase + (j + len) * elem_bytes, elem_bytes, false);
+          hier.access(kPolyBase + j * elem_bytes, elem_bytes, true);
+          hier.access(kPolyBase + (j + len) * elem_bytes, elem_bytes, true);
+          r.loads += 2;
+          r.stores += 2;
+          r.ops += 6;
+        }
+      }
+    }
+    // Final n^-1 scaling pass.
+    for (std::uint64_t j = 0; j < n; ++j) {
+      hier.access(kPolyBase + j * elem_bytes, elem_bytes, false);
+      hier.access(kPolyBase + j * elem_bytes, elem_bytes, true);
+      ++r.loads;
+      ++r.stores;
+      r.ops += 2;
+    }
+  }
+  return r;
+}
+
+kernel_trace_result trace_schoolbook(hierarchy& hier, std::uint64_t n, unsigned repeats,
+                                     unsigned elem_bytes) {
+  kernel_trace_result r{"Schoolbook", n, 0, 0, 0};
+  for (unsigned rep = 0; rep < repeats; ++rep) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      hier.access(kPolyBase + i * elem_bytes, elem_bytes, false);
+      ++r.loads;
+      for (std::uint64_t j = 0; j < n; ++j) {
+        hier.access(kZetaBase + j * elem_bytes, elem_bytes, false);  // b[j]
+        const std::uint64_t kidx = (i + j) % n;
+        hier.access(kOutBase + kidx * elem_bytes, elem_bytes, false);
+        hier.access(kOutBase + kidx * elem_bytes, elem_bytes, true);
+        r.loads += 2;
+        r.stores += 1;
+        r.ops += 3;  // mul + accumulate + reduction
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace bpntt::roofline

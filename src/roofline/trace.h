@@ -1,0 +1,33 @@
+// Memory-trace generators for the roofline study.
+//
+// Each generator walks the exact access pattern of a kernel (Algorithm 1
+// for NTT, its Gentleman-Sande inverse, and schoolbook polynomial
+// multiplication as a no-NTT contrast), replaying loads/stores through a
+// cache hierarchy and counting arithmetic operations.  Coefficients are
+// 16-bit (the common PQC storage width); twiddles live in a separate table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "roofline/cache_model.h"
+
+namespace bpntt::roofline {
+
+struct kernel_trace_result {
+  std::string kernel;
+  std::uint64_t n = 0;
+  std::uint64_t ops = 0;     // modular mul/add/sub operations executed
+  std::uint64_t loads = 0;   // element accesses
+  std::uint64_t stores = 0;
+};
+
+// Replays `repeats` transforms over hier; returns op/access counts.
+kernel_trace_result trace_ntt_forward(hierarchy& hier, std::uint64_t n, unsigned repeats = 1,
+                                      unsigned elem_bytes = 2);
+kernel_trace_result trace_ntt_inverse(hierarchy& hier, std::uint64_t n, unsigned repeats = 1,
+                                      unsigned elem_bytes = 2);
+kernel_trace_result trace_schoolbook(hierarchy& hier, std::uint64_t n, unsigned repeats = 1,
+                                     unsigned elem_bytes = 2);
+
+}  // namespace bpntt::roofline

@@ -1,0 +1,125 @@
+#include "sram/bitrow.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace bpntt::sram {
+
+bitrow::bitrow(unsigned width) : width_(width), limbs_((width + 63) / 64, 0) {
+  if (width == 0) throw std::invalid_argument("bitrow: zero width");
+}
+
+bool bitrow::get(unsigned i) const noexcept {
+  assert(i < width_);
+  return (limbs_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void bitrow::set(unsigned i, bool v) noexcept {
+  assert(i < width_);
+  const std::uint64_t mask = 1ULL << (i % 64);
+  if (v) {
+    limbs_[i / 64] |= mask;
+  } else {
+    limbs_[i / 64] &= ~mask;
+  }
+}
+
+void bitrow::clear() noexcept {
+  for (auto& l : limbs_) l = 0;
+}
+
+bool bitrow::any() const noexcept {
+  for (auto l : limbs_) {
+    if (l != 0) return true;
+  }
+  return false;
+}
+
+unsigned bitrow::popcount() const noexcept {
+  unsigned n = 0;
+  for (auto l : limbs_) n += static_cast<unsigned>(std::popcount(l));
+  return n;
+}
+
+void bitrow::trim() noexcept {
+  const unsigned top = width_ % 64;
+  if (top != 0) limbs_.back() &= (1ULL << top) - 1;
+}
+
+bitrow bitrow::bit_and(const bitrow& a, const bitrow& b) {
+  if (a.width_ != b.width_) throw std::invalid_argument("bitrow: width mismatch");
+  bitrow r(a.width_);
+  for (std::size_t i = 0; i < r.limbs_.size(); ++i) r.limbs_[i] = a.limbs_[i] & b.limbs_[i];
+  return r;
+}
+
+bitrow bitrow::bit_or(const bitrow& a, const bitrow& b) {
+  if (a.width_ != b.width_) throw std::invalid_argument("bitrow: width mismatch");
+  bitrow r(a.width_);
+  for (std::size_t i = 0; i < r.limbs_.size(); ++i) r.limbs_[i] = a.limbs_[i] | b.limbs_[i];
+  return r;
+}
+
+bitrow bitrow::bit_xor(const bitrow& a, const bitrow& b) {
+  if (a.width_ != b.width_) throw std::invalid_argument("bitrow: width mismatch");
+  bitrow r(a.width_);
+  for (std::size_t i = 0; i < r.limbs_.size(); ++i) r.limbs_[i] = a.limbs_[i] ^ b.limbs_[i];
+  return r;
+}
+
+bitrow bitrow::bit_nor(const bitrow& a, const bitrow& b) {
+  bitrow r = bit_or(a, b);
+  return r.inverted();
+}
+
+bitrow bitrow::inverted() const {
+  bitrow r(width_);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) r.limbs_[i] = ~limbs_[i];
+  r.trim();
+  return r;
+}
+
+bitrow bitrow::shifted_left() const {
+  bitrow r(width_);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    r.limbs_[i] = (limbs_[i] << 1) | carry;
+    carry = limbs_[i] >> 63;
+  }
+  r.trim();
+  return r;
+}
+
+bitrow bitrow::shifted_right() const {
+  bitrow r(width_);
+  std::uint64_t carry = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    r.limbs_[i] = (limbs_[i] >> 1) | (carry << 63);
+    carry = limbs_[i] & 1ULL;
+  }
+  return r;
+}
+
+std::uint64_t bitrow::extract(unsigned base, unsigned count) const noexcept {
+  assert(count <= 64 && base + count <= width_);
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    if (get(base + i)) v |= 1ULL << i;
+  }
+  return v;
+}
+
+void bitrow::deposit(unsigned base, unsigned count, std::uint64_t value) noexcept {
+  assert(count <= 64 && base + count <= width_);
+  for (unsigned i = 0; i < count; ++i) set(base + i, (value >> i) & 1ULL);
+}
+
+std::string bitrow::to_string() const {
+  std::string s;
+  s.reserve(width_);
+  for (unsigned i = width_; i-- > 0;) s += get(i) ? '1' : '0';
+  return s;
+}
+
+}  // namespace bpntt::sram

@@ -1,0 +1,54 @@
+// A single SRAM row as a dynamic-width bit vector.
+//
+// The subarray model stores every wordline as a bitrow and implements the
+// bitline operations (multi-row AND/NOR and the derived XOR/OR) on top of
+// these word-parallel primitives.  Widths are small (<= a few thousand
+// columns) so the simple limb loop is plenty fast for cycle-level runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpntt::sram {
+
+class bitrow {
+ public:
+  bitrow() = default;
+  explicit bitrow(unsigned width);
+
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+  [[nodiscard]] bool get(unsigned i) const noexcept;
+  void set(unsigned i, bool v) noexcept;
+  void clear() noexcept;
+  [[nodiscard]] bool any() const noexcept;
+  [[nodiscard]] unsigned popcount() const noexcept;
+
+  // Element-wise logic (operands must share a width).
+  [[nodiscard]] static bitrow bit_and(const bitrow& a, const bitrow& b);
+  [[nodiscard]] static bitrow bit_or(const bitrow& a, const bitrow& b);
+  [[nodiscard]] static bitrow bit_xor(const bitrow& a, const bitrow& b);
+  [[nodiscard]] static bitrow bit_nor(const bitrow& a, const bitrow& b);
+  [[nodiscard]] bitrow inverted() const;
+
+  // Whole-row logical shifts by one column.  "left" moves bits toward
+  // higher column indices (toward the MSB end of every tile).
+  [[nodiscard]] bitrow shifted_left() const;
+  [[nodiscard]] bitrow shifted_right() const;
+
+  // Word accessors used by tile packing (bit `base+i` for i in [0,count)).
+  [[nodiscard]] std::uint64_t extract(unsigned base, unsigned count) const noexcept;
+  void deposit(unsigned base, unsigned count, std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::string to_string() const;  // MSB-first, e.g. "0110"
+
+  bool operator==(const bitrow& o) const noexcept = default;
+
+ private:
+  void trim() noexcept;
+
+  unsigned width_ = 0;
+  std::vector<std::uint64_t> limbs_;
+};
+
+}  // namespace bpntt::sram

@@ -1,0 +1,199 @@
+#include "sram/subarray.h"
+
+#include <stdexcept>
+
+namespace bpntt::sram {
+
+subarray::subarray(unsigned rows, tile_geometry geom, tech_params tech)
+    : geom_(geom), tech_(std::move(tech)), pred_mask_(geom.cols) {
+  geom_.validate();
+  if (rows == 0 || rows > 4096) throw std::invalid_argument("subarray: rows out of range");
+  data_.assign(rows, bitrow(geom_.cols));
+}
+
+void subarray::set_tile_bits(unsigned tile_bits) {
+  tile_geometry g = geom_;
+  g.tile_bits = tile_bits;
+  g.validate();
+  geom_ = g;
+}
+
+void subarray::bounds(unsigned row) const {
+  if (row >= data_.size()) throw std::out_of_range("subarray: row index");
+}
+
+void subarray::host_write_row(unsigned row, const bitrow& value) {
+  bounds(row);
+  if (value.width() != geom_.cols) throw std::invalid_argument("subarray: row width mismatch");
+  data_[row] = value;
+  ++stats_.host_writes;
+  ++stats_.cycles;
+  stats_.energy_pj += energy_compute_op_pj(tech_, geom_.cols, 1, true);
+}
+
+const bitrow& subarray::host_read_row(unsigned row) {
+  bounds(row);
+  ++stats_.host_reads;
+  ++stats_.cycles;
+  stats_.energy_pj += energy_compute_op_pj(tech_, geom_.cols, 1, false);
+  return data_[row];
+}
+
+void subarray::host_write_word(unsigned tile, unsigned row, std::uint64_t value) {
+  bounds(row);
+  data_[row].deposit(geom_.tile_base(tile), geom_.tile_bits, value);
+  ++stats_.host_writes;
+  ++stats_.cycles;
+  stats_.energy_pj += energy_compute_op_pj(tech_, geom_.tile_bits, 1, true);
+}
+
+std::uint64_t subarray::host_read_word(unsigned tile, unsigned row) {
+  bounds(row);
+  ++stats_.host_reads;
+  ++stats_.cycles;
+  stats_.energy_pj += energy_compute_op_pj(tech_, geom_.tile_bits, 1, false);
+  return data_[row].extract(geom_.tile_base(tile), geom_.tile_bits);
+}
+
+const bitrow& subarray::peek(unsigned row) const {
+  bounds(row);
+  return data_[row];
+}
+
+std::uint64_t subarray::peek_word(unsigned tile, unsigned row) const {
+  bounds(row);
+  return data_[row].extract(geom_.tile_base(tile), geom_.tile_bits);
+}
+
+void subarray::store(unsigned dst, const bitrow& value, write_mask mask) {
+  bounds(dst);
+  bitrow v = value;
+  for (const auto& [col, stuck] : stuck_columns_) v.set(col, stuck);
+  switch (mask) {
+    case write_mask::none:
+      data_[dst] = v;
+      break;
+    case write_mask::pred:
+      data_[dst] = bitrow::bit_or(bitrow::bit_and(v, pred_mask_),
+                                  bitrow::bit_and(data_[dst], pred_mask_.inverted()));
+      break;
+    case write_mask::pred_inv:
+      data_[dst] = bitrow::bit_or(bitrow::bit_and(v, pred_mask_.inverted()),
+                                  bitrow::bit_and(data_[dst], pred_mask_));
+      break;
+  }
+}
+
+void subarray::inject_stuck_column(unsigned col, bool value) {
+  if (col >= geom_.cols) throw std::out_of_range("subarray: fault column");
+  stuck_columns_.emplace_back(col, value);
+}
+
+void subarray::clear_faults() noexcept { stuck_columns_.clear(); }
+
+void subarray::add_energy_compute(unsigned rows_activated, bool writes_back,
+                                  unsigned result_rows) {
+  double e = energy_compute_op_pj(tech_, geom_.cols, rows_activated, writes_back);
+  if (writes_back && result_rows > 1) {
+    // The fused pair op drives a second result row.
+    e += geom_.cols * tech_.e_write_fj_per_col * 1e-3;
+  }
+  stats_.energy_pj += e;
+}
+
+void subarray::op_binary(unsigned dst, unsigned src0, unsigned src1, logic_fn fn,
+                         write_mask mask) {
+  bounds(src0);
+  bounds(src1);
+  bitrow r(geom_.cols);
+  switch (fn) {
+    case logic_fn::op_and: r = bitrow::bit_and(data_[src0], data_[src1]); break;
+    case logic_fn::op_or: r = bitrow::bit_or(data_[src0], data_[src1]); break;
+    case logic_fn::op_xor: r = bitrow::bit_xor(data_[src0], data_[src1]); break;
+    case logic_fn::op_nor: r = bitrow::bit_nor(data_[src0], data_[src1]); break;
+  }
+  store(dst, r, mask);
+  ++stats_.binary_ops;
+  ++stats_.cycles;
+  add_energy_compute(2, true);
+}
+
+void subarray::op_pair(unsigned c_dst, unsigned s_dst, unsigned src0, unsigned src1,
+                       write_mask mask) {
+  bounds(src0);
+  bounds(src1);
+  if (c_dst == s_dst) throw std::invalid_argument("subarray: pair destinations collide");
+  // Both SA outputs of one dual-row activation; snapshot sources first so a
+  // destination aliasing a source behaves like latched hardware.
+  const bitrow a = data_[src0];
+  const bitrow b = data_[src1];
+  store(c_dst, bitrow::bit_and(a, b), mask);
+  store(s_dst, bitrow::bit_xor(a, b), mask);
+  ++stats_.pair_ops;
+  ++stats_.cycles;
+  add_energy_compute(2, true, 2);
+}
+
+void subarray::op_copy(unsigned dst, unsigned src, bool invert, write_mask mask) {
+  bounds(src);
+  store(dst, invert ? data_[src].inverted() : data_[src], mask);
+  ++stats_.copy_ops;
+  ++stats_.cycles;
+  add_energy_compute(1, true);
+}
+
+void subarray::op_shift(unsigned dst, unsigned src, shift_dir dir, bool segmented,
+                        bool expect_lossless) {
+  bounds(src);
+  const bitrow& in = data_[src];
+  bitrow out = dir == shift_dir::left ? in.shifted_left() : in.shifted_right();
+  if (segmented) {
+    // Zero the bit that crossed each tile boundary and count losses.
+    for (unsigned t = 0; t < geom_.num_tiles(); ++t) {
+      const unsigned lsb_col = geom_.tile_base(t);
+      const unsigned msb_col = lsb_col + geom_.tile_bits - 1;
+      if (dir == shift_dir::left) {
+        if (expect_lossless && in.get(msb_col)) ++stats_.lossless_shift_violations;
+        out.set(lsb_col, false);
+      } else {
+        if (expect_lossless && in.get(lsb_col)) ++stats_.lossless_shift_violations;
+        out.set(msb_col, false);
+      }
+    }
+    // Columns outside any tile keep shifting harmlessly; clear them so
+    // stale bits cannot drift back in.
+    for (unsigned c = geom_.used_cols(); c < geom_.cols; ++c) out.set(c, false);
+  } else if (expect_lossless) {
+    const unsigned edge = dir == shift_dir::left ? geom_.cols - 1 : 0;
+    if (in.get(edge)) ++stats_.lossless_shift_violations;
+  }
+  store(dst, out, write_mask::none);
+  ++stats_.shift_ops;
+  ++stats_.cycles;
+  stats_.energy_pj += energy_shift_op_pj(tech_, geom_.cols);
+}
+
+void subarray::op_check_pred(unsigned src, unsigned bit_index) {
+  bounds(src);
+  if (bit_index >= geom_.tile_bits) throw std::out_of_range("subarray: predicate bit index");
+  // Broadcast bit `bit_index` of every tile across that tile's columns.
+  for (unsigned t = 0; t < geom_.num_tiles(); ++t) {
+    const bool p = data_[src].get(geom_.column_of(t, bit_index));
+    const unsigned base = geom_.tile_base(t);
+    for (unsigned b = 0; b < geom_.tile_bits; ++b) pred_mask_.set(base + b, p);
+  }
+  ++stats_.check_ops;
+  ++stats_.cycles;
+  stats_.energy_pj += energy_check_op_pj(tech_, geom_.cols);
+}
+
+bool subarray::op_check_zero(unsigned src) {
+  bounds(src);
+  zero_flag_ = !data_[src].any();
+  ++stats_.check_ops;
+  ++stats_.cycles;
+  stats_.energy_pj += energy_check_op_pj(tech_, geom_.cols);
+  return zero_flag_;
+}
+
+}  // namespace bpntt::sram

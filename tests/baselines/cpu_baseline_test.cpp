@@ -1,0 +1,31 @@
+#include "baselines/cpu_baseline.h"
+
+#include <gtest/gtest.h>
+
+namespace bpntt::baselines {
+namespace {
+
+TEST(CpuBaseline, ProducesPositiveSaneNumbers) {
+  const math::ntt_tables tables(256, 12289, true);
+  const auto m = measure_cpu_ntt(tables, /*iterations=*/200);
+  EXPECT_GT(m.latency_us, 0.0);
+  EXPECT_LT(m.latency_us, 1000.0);  // a 256-point NTT is far below 1 ms
+  EXPECT_NEAR(m.throughput_kntt_s * m.latency_us, 1e3, 1.0);
+  EXPECT_NEAR(m.energy_nj, m.latency_us * m.assumed_power_w * 1e3, 1e-6);
+}
+
+TEST(CpuBaseline, DesignPointConversion) {
+  cpu_measurement m;
+  m.latency_us = 5.0;
+  m.throughput_kntt_s = 200.0;
+  m.energy_nj = 75000.0;
+  const auto d = cpu_design_point(m, 16);
+  EXPECT_EQ(d.technology, "x86");
+  EXPECT_EQ(d.coef_bits, 16u);
+  EXPECT_DOUBLE_EQ(d.latency_us, 5.0);
+  EXPECT_DOUBLE_EQ(d.tput_per_mj(), 1e3 / 75000.0);
+  EXPECT_DOUBLE_EQ(d.tput_per_area(), 0.0);  // area not reported for CPUs
+}
+
+}  // namespace
+}  // namespace bpntt::baselines

@@ -1,0 +1,50 @@
+#include "baselines/design_model.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/published.h"
+
+namespace bpntt::baselines {
+namespace {
+
+TEST(DesignModel, DerivedMetrics) {
+  design_point d;
+  d.throughput_kntt_s = 100.0;
+  d.area_mm2 = 0.5;
+  d.energy_nj = 50.0;
+  d.ntts_per_batch = 10;
+  EXPECT_DOUBLE_EQ(d.tput_per_area(), 200.0);
+  EXPECT_DOUBLE_EQ(d.tput_per_mj(), 200.0);  // 1e3 * 10 / 50
+}
+
+TEST(DesignModel, MissingAreaYieldsZero) {
+  design_point d;
+  d.throughput_kntt_s = 100.0;
+  d.area_mm2 = 0.0;
+  EXPECT_DOUBLE_EQ(d.tput_per_area(), 0.0);
+}
+
+TEST(DesignModel, AdvantageGuardsZeroes) {
+  EXPECT_DOUBLE_EQ(advantage(10.0, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(advantage(0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(advantage(10.0, 0.0), 0.0);
+}
+
+TEST(DesignModel, HeadlinesReproducePaperClaims) {
+  // Using the paper's own BP-NTT row and its published baselines, the
+  // headline ratios must come out as claimed: "up to 29x" TA and
+  // "10-138x" TP.
+  const auto h = compute_headlines(published_bpntt(), all_published_baselines());
+  EXPECT_NEAR(h.max_ta, 29.3, 0.5);    // vs Sapphire (4100 / 140.1)
+  EXPECT_NEAR(h.max_tp, 138.0, 2.0);   // vs RM-NTT  (230.7 / 1.67)
+  EXPECT_NEAR(h.min_tp, 10.2, 0.3);    // vs LEIA    (230.7 / 22.7)
+}
+
+TEST(DesignModel, HeadlinesEmptyBaselines) {
+  const auto h = compute_headlines(published_bpntt(), {});
+  EXPECT_DOUBLE_EQ(h.max_ta, 0.0);
+  EXPECT_DOUBLE_EQ(h.max_tp, 0.0);
+}
+
+}  // namespace
+}  // namespace bpntt::baselines

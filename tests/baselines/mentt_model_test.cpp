@@ -1,0 +1,46 @@
+#include "baselines/mentt_model.h"
+
+#include <gtest/gtest.h>
+
+namespace bpntt::baselines {
+namespace {
+
+TEST(MenttModel, CalibratedAgainstPublishedLatency) {
+  // MeNTT (Table I): 256-point, 14-bit, 218 MHz, 15.9 us -> ~3466 cycles.
+  const auto e = mentt_ntt_estimate(256, 14);
+  EXPECT_NEAR(static_cast<double>(e.cycles), 3466.0, 3466.0 * 0.05);
+  EXPECT_NEAR(e.latency_us, 15.9, 0.8);
+}
+
+TEST(MenttModel, QuadraticInBitwidth) {
+  const auto k14 = mentt_ntt_estimate(256, 14);
+  const auto k28 = mentt_ntt_estimate(256, 28);
+  const double ratio = static_cast<double>(k28.cycles) / k14.cycles;
+  EXPECT_GT(ratio, 3.0);  // dominated by the k^2 term
+  EXPECT_LT(ratio, 4.5);
+}
+
+TEST(MenttModel, LogarithmicInOrder) {
+  const auto n256 = mentt_ntt_estimate(256, 14);
+  const auto n1024 = mentt_ntt_estimate(1024, 14);
+  // Bit-serial stages run all butterflies concurrently: cycles scale with
+  // log2(n), i.e. 10/8.
+  EXPECT_NEAR(static_cast<double>(n1024.cycles) / n256.cycles, 10.0 / 8.0, 0.01);
+}
+
+TEST(MenttModel, BitParallelHalvesShiftCount) {
+  // The paper's contribution 2: "#shifts in our bit-parallel design is half
+  // of the prior bit-serial solutions."
+  for (unsigned k : {14u, 16u, 32u}) {
+    for (std::uint64_t n : {256ULL, 1024ULL}) {
+      const auto serial = mentt_ntt_estimate(n, k);
+      const auto parallel = bit_parallel_shift_count(n, k);
+      const double ratio = static_cast<double>(parallel) / serial.shift_ops;
+      EXPECT_GT(ratio, 0.3) << "n=" << n << " k=" << k;
+      EXPECT_LT(ratio, 0.6) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bpntt::baselines

@@ -1,0 +1,54 @@
+// Consistency checks of the transcribed Table I rows: the derived TA/TP
+// columns we compute must match the numbers printed in the paper, which
+// validates both the transcription and the metric definitions.
+#include "baselines/published.h"
+
+#include <gtest/gtest.h>
+
+namespace bpntt::baselines {
+namespace {
+
+TEST(Published, BpNttRowDerivedColumnsMatchTable) {
+  const auto d = published_bpntt();
+  EXPECT_NEAR(d.tput_per_area(), 4104.0, 10.0);  // table: 4.1K
+  EXPECT_NEAR(d.tput_per_mj(), 230.5, 1.0);      // table: 230.7
+  // Latency x throughput = batch size (16 parallel NTTs).
+  EXPECT_NEAR(d.latency_us * d.throughput_kntt_s / 1e3, 16.0, 0.1);
+}
+
+TEST(Published, MenttRowConsistent) {
+  const auto d = published_mentt();
+  EXPECT_NEAR(d.tput_per_area(), 363.0, 2.0);  // table: 364
+  EXPECT_NEAR(d.tput_per_mj(), 20.9, 0.1);     // table: 20.9
+  // 1 NTT per 15.9us = 62.9 KNTT/s ≈ published 62.8.
+  EXPECT_NEAR(1e3 / d.latency_us, d.throughput_kntt_s, 0.2);
+}
+
+TEST(Published, LeiaAndSapphireTpMatch) {
+  EXPECT_NEAR(published_leia().tput_per_mj(), 22.7, 0.1);
+  EXPECT_NEAR(published_sapphire().tput_per_mj(), 4.23, 0.01);
+}
+
+TEST(Published, CryptoPimBatchFactorReproducesTableTp) {
+  EXPECT_NEAR(published_cryptopim().tput_per_mj(), 14.7, 0.35);
+}
+
+TEST(Published, RmNttDerived) {
+  const auto d = published_rmntt();
+  EXPECT_NEAR(d.tput_per_area(), 7612.0, 20.0);  // table: 7.7K
+  EXPECT_NEAR(d.tput_per_mj(), 1.66, 0.02);      // table: 1.67
+}
+
+TEST(Published, AllBaselinesPresent) {
+  const auto all = all_published_baselines();
+  ASSERT_EQ(all.size(), 7u);
+  for (const auto& d : all) {
+    EXPECT_FALSE(d.name.empty());
+    EXPECT_GT(d.latency_us, 0.0);
+    EXPECT_GT(d.throughput_kntt_s, 0.0);
+    EXPECT_GT(d.energy_nj, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace bpntt::baselines

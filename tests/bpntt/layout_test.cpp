@@ -1,0 +1,85 @@
+#include "bpntt/layout.h"
+
+#include <gtest/gtest.h>
+
+#include "bpntt/config.h"
+
+namespace bpntt::core {
+namespace {
+
+TEST(Layout, RowMapIsContiguousAndDisjoint) {
+  const row_layout L{256};
+  EXPECT_EQ(L.sum(), 256);
+  EXPECT_EQ(L.carry(), 257);
+  EXPECT_EQ(L.c1(), 258);
+  EXPECT_EQ(L.s1(), 259);
+  EXPECT_EQ(L.c2(), 260);
+  EXPECT_EQ(L.t(), 261);
+  EXPECT_EQ(L.m_row(), 262);
+  EXPECT_EQ(L.mneg_row(), 263);
+  EXPECT_EQ(L.one_row(), 264);
+  EXPECT_EQ(L.u(), 265);
+  EXPECT_EQ(L.total_rows(), 266u);
+}
+
+TEST(Layout, PairDeltasStayEncodable) {
+  // Every scratch-pair combination the compiler emits must fit the
+  // 3-bit signed s_dst - c_dst field.
+  const row_layout L{256};
+  const int combos[][2] = {
+      {L.c1(), L.s1()},   {L.c2(), L.sum()}, {L.c2(), L.s1()}, {L.c1(), L.sum()},
+      {L.c1(), L.c2()},   {L.carry(), L.sum()}, {L.c1(), L.t()}, {L.s1(), L.c2()},
+  };
+  for (const auto& c : combos) {
+    const int delta = c[1] - c[0];
+    EXPECT_GE(delta, -4) << c[0] << "->" << c[1];
+    EXPECT_LE(delta, 3) << c[0] << "->" << c[1];
+    EXPECT_NE(delta, 0);
+  }
+}
+
+TEST(Layout, CoeffRowBoundsChecked) {
+  const row_layout L{128};
+  EXPECT_EQ(L.coeff_row(0, 127), 127);
+  EXPECT_EQ(L.coeff_row(64, 63), 127);
+  EXPECT_THROW((void)L.coeff_row(0, 128), std::out_of_range);
+  EXPECT_THROW((void)L.coeff_row(120, 8), std::out_of_range);
+}
+
+TEST(Layout, Fig7FootprintAccounting) {
+  // Paper: 32-bit 128-point BP-NTT = 134 rows x 32 cols = 4288 cells.
+  EXPECT_EQ(row_layout::footprint_cells_paper(128, 32), 4288u);
+  EXPECT_EQ(row_layout::footprint_cells_actual(128, 32), (128 + 9) * 32u);
+}
+
+TEST(Config, NttParamsValidation) {
+  ntt_params p;
+  p.n = 256;
+  p.q = 7681;
+  p.k = 14;
+  EXPECT_NO_THROW(p.validate());
+  p.k = 13;  // 2q = 15362 >= 2^13: headroom violated
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.k = 14;
+  p.n = 100;  // not a power of two
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.n = 256;
+  p.q = 7682;  // even
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.q = 3329;  // 512 does not divide 3328
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.q = 0;  // synthetic mode is always acceptable
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Config, EngineConfigValidation) {
+  engine_config c;
+  EXPECT_NO_THROW(c.validate());
+  c.data_rows = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.data_rows = 504;  // exceeds 9-bit addressing after scratch rows
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpntt::core

@@ -1,0 +1,77 @@
+#include "bpntt/twiddle.h"
+
+#include <gtest/gtest.h>
+
+#include "nttmath/modarith.h"
+#include "nttmath/montgomery.h"
+
+namespace bpntt::core {
+namespace {
+
+TEST(Twiddle, MontgomeryDomainPreScaling) {
+  ntt_params p;
+  p.n = 256;
+  p.q = 7681;
+  p.k = 14;
+  const math::ntt_tables t(p.n, p.q, true);
+  const auto plan = make_twiddle_plan(p, t);
+  const u64 r = math::mont_r(p.q, p.k);
+  ASSERT_EQ(plan.zetas_mont.size(), t.zetas().size());
+  for (std::size_t i = 1; i < t.zetas().size(); ++i) {
+    EXPECT_EQ(plan.zetas_mont[i], math::mul_mod(t.zetas()[i], r, p.q));
+    // The whole point: modmul_const(B, zeta*R) must equal zeta*B.
+    EXPECT_EQ(math::interleaved_montgomery(plan.zetas_mont[i], 1234 % p.q, p.q, p.k),
+              math::mul_mod(t.zetas()[i], 1234 % p.q, p.q));
+  }
+}
+
+TEST(Twiddle, ConstantsMatchModulus) {
+  ntt_params p;
+  p.n = 128;
+  p.q = 3329;
+  p.k = 13;
+  const math::ntt_tables t(p.n, p.q, true);
+  const auto plan = make_twiddle_plan(p, t);
+  EXPECT_EQ(plan.m, 3329u);
+  EXPECT_EQ(plan.mneg, (1ULL << 13) - 3329);
+  EXPECT_EQ(plan.r2, math::mont_r2(p.q, p.k));
+  // n_inv_mont drives the inverse-NTT scale pass: modmul_const(x, n_inv*R)
+  // = x * n^-1.
+  EXPECT_EQ(math::interleaved_montgomery(plan.n_inv_mont, 100, p.q, p.k),
+            math::mul_mod(t.n_inv(), 100, p.q));
+}
+
+TEST(Twiddle, SyntheticPlanIsDeterministicAndInEnvelope) {
+  ntt_params p;
+  p.n = 64;
+  p.q = 0;
+  p.k = 8;
+  const auto a = make_synthetic_plan(p, 7);
+  const auto b = make_synthetic_plan(p, 7);
+  const auto c = make_synthetic_plan(p, 8);
+  EXPECT_EQ(a.zetas_mont, b.zetas_mont);
+  EXPECT_NE(a.zetas_mont, c.zetas_mont);
+  EXPECT_EQ(a.m & 1ULL, 1u);                  // odd
+  EXPECT_LT(2 * a.m, 1ULL << p.k);            // headroom
+  EXPECT_EQ(a.mneg, (1ULL << p.k) - a.m);
+  // Twiddle bit density near 1/2 so synthetic cycle counts are realistic.
+  unsigned ones = 0;
+  for (std::size_t i = 1; i < p.n; ++i) {
+    ones += static_cast<unsigned>(__builtin_popcountll(a.zetas_mont[i]));
+  }
+  const double density = static_cast<double>(ones) / ((p.n - 1) * p.k);
+  EXPECT_GT(density, 0.35);
+  EXPECT_LT(density, 0.65);
+}
+
+TEST(Twiddle, RejectsMismatchedTables) {
+  ntt_params p;
+  p.n = 256;
+  p.q = 7681;
+  p.k = 14;
+  const math::ntt_tables wrong(128, 3329, true);
+  EXPECT_THROW((void)make_twiddle_plan(p, wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpntt::core

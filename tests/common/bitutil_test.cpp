@@ -1,0 +1,60 @@
+#include "common/bitutil.h"
+
+#include <gtest/gtest.h>
+
+namespace bpntt::common {
+namespace {
+
+TEST(BitUtil, BitLength) {
+  EXPECT_EQ(bit_length(0), 0u);
+  EXPECT_EQ(bit_length(1), 1u);
+  EXPECT_EQ(bit_length(2), 2u);
+  EXPECT_EQ(bit_length(255), 8u);
+  EXPECT_EQ(bit_length(256), 9u);
+  EXPECT_EQ(bit_length(~0ULL), 64u);
+}
+
+TEST(BitUtil, IsPowerOfTwo) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(1ULL << 63));
+  EXPECT_FALSE(is_power_of_two((1ULL << 63) + 1));
+}
+
+TEST(BitUtil, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(2), 1u);
+  EXPECT_EQ(log2_exact(1024), 10u);
+  EXPECT_EQ(log2_exact(1ULL << 40), 40u);
+}
+
+TEST(BitUtil, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(0, 8), 0u);
+  EXPECT_EQ(reverse_bits(0xFF, 8), 0xFFu);
+  // Involution over a full sweep.
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(reverse_bits(reverse_bits(v, 6), 6), v);
+  }
+}
+
+TEST(BitUtil, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(16), 0xFFFFu);
+  EXPECT_EQ(low_mask(64), ~0ULL);
+}
+
+TEST(BitUtil, ConstexprUsable) {
+  static_assert(bit_length(3329) == 12);
+  static_assert(is_power_of_two(256));
+  static_assert(reverse_bits(1, 8) == 128);
+  static_assert(low_mask(13) == 8191);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bpntt::common

@@ -1,0 +1,50 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace bpntt::common {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  text_table t({"A", "Blong"});
+  t.add_row({"xxx", "y"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("A    Blong\n"), std::string::npos);
+  EXPECT_NE(s.find("xxx  y\n"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorAndIndent) {
+  text_table t({"H"});
+  t.add_row({"v"});
+  t.add_separator();
+  t.add_row({"w"});
+  const auto s = t.to_string(2);
+  // Every line indented by two spaces; dashed lines = header rule + the
+  // explicit separator.
+  std::size_t dashes = 0;
+  for (std::size_t pos = 0; (pos = s.find("\n  -", pos)) != std::string::npos; ++pos) ++dashes;
+  EXPECT_EQ(dashes, 2u);
+  EXPECT_EQ(s.rfind("  ", 0), 0u);  // starts with the indent
+}
+
+TEST(TextTable, ShortRowsPad) {
+  text_table t({"A", "B", "C"});
+  t.add_row({"1"});
+  EXPECT_NO_THROW((void)t.to_string());
+}
+
+TEST(Format, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Format, FormatSi) {
+  EXPECT_EQ(format_si(950.0, 0), "950");
+  EXPECT_EQ(format_si(2500.0, 1), "2.5K");
+  EXPECT_EQ(format_si(3.8e9, 1), "3.8G");
+  EXPECT_EQ(format_si(1.2e6, 2), "1.20M");
+}
+
+}  // namespace
+}  // namespace bpntt::common

@@ -1,0 +1,67 @@
+#include "common/xoshiro.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bpntt::common {
+namespace {
+
+TEST(Xoshiro, DeterministicPerSeed) {
+  xoshiro256ss a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    // Different seeds diverge essentially immediately.
+    if (i == 0) EXPECT_NE(va, c());
+  }
+}
+
+TEST(Xoshiro, BelowStaysInRangeAndCoversValues) {
+  xoshiro256ss rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.below(17);
+    ASSERT_LT(v, 17u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u);
+}
+
+TEST(Xoshiro, BelowEdgeCases) {
+  xoshiro256ss rng(8);
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, CoinIsRoughlyFair) {
+  xoshiro256ss rng(9);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.coin() ? 1 : 0;
+  EXPECT_GT(heads, 4700);
+  EXPECT_LT(heads, 5300);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<xoshiro256ss>);
+  EXPECT_EQ(xoshiro256ss::min(), 0u);
+  EXPECT_EQ(xoshiro256ss::max(), ~0ULL);
+}
+
+TEST(Xoshiro, BitsLookUniform) {
+  // Cheap sanity: each of the 64 bit positions toggles in ~half of draws.
+  xoshiro256ss rng(10);
+  int counts[64] = {};
+  const int draws = 4096;
+  for (int i = 0; i < draws; ++i) {
+    const auto v = rng();
+    for (int b = 0; b < 64; ++b) counts[b] += static_cast<int>((v >> b) & 1);
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_GT(counts[b], draws / 2 - 300) << "bit " << b;
+    EXPECT_LT(counts[b], draws / 2 + 300) << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace bpntt::common

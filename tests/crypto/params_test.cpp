@@ -1,0 +1,66 @@
+#include "crypto/params.h"
+
+#include <gtest/gtest.h>
+
+#include "nttmath/primes.h"
+
+namespace bpntt::crypto {
+namespace {
+
+TEST(Params, StandardSets) {
+  EXPECT_EQ(kyber().q, 3329u);
+  EXPECT_EQ(kyber().n, 256u);
+  EXPECT_EQ(dilithium().q, 8380417u);
+  EXPECT_EQ(falcon512().q, 12289u);
+  EXPECT_EQ(falcon1024().n, 1024u);
+}
+
+TEST(Params, FullNttSupport) {
+  EXPECT_FALSE(kyber().supports_full_ntt());  // 3328 = 2^8 * 13: incomplete NTT
+  EXPECT_TRUE(kyber_compat().supports_full_ntt());
+  EXPECT_TRUE(dilithium().supports_full_ntt());
+  EXPECT_TRUE(falcon512().supports_full_ntt());
+  EXPECT_TRUE(falcon1024().supports_full_ntt());
+}
+
+TEST(Params, TileWidthGivesHeadroomBit) {
+  for (const auto& p : all_param_sets()) {
+    SCOPED_TRACE(p.name);
+    EXPECT_LT(2 * p.q, 1ULL << p.min_tile_bits);
+    // Minimal: one bit narrower must violate the envelope.
+    EXPECT_GE(2 * p.q, 1ULL << (p.min_tile_bits - 1));
+  }
+}
+
+TEST(Params, RequiredTileBitsExamples) {
+  EXPECT_EQ(required_tile_bits(3329), 13u);
+  EXPECT_EQ(required_tile_bits(7681), 14u);
+  EXPECT_EQ(required_tile_bits(12289), 15u);
+  EXPECT_EQ(required_tile_bits(8380417), 24u);
+}
+
+TEST(Params, HeLevelsAreNttFriendlyPrimes) {
+  for (unsigned bits : {16u, 21u, 29u}) {
+    const auto p = he_level(bits);
+    SCOPED_TRACE(p.name);
+    EXPECT_TRUE(math::is_prime(p.q));
+    EXPECT_EQ(p.n, 1024u);
+    EXPECT_TRUE(p.supports_full_ntt());
+    EXPECT_GE(p.q, 1ULL << (bits - 1));
+    EXPECT_LT(p.q, 1ULL << bits);
+  }
+}
+
+TEST(Params, PaperCapacityClaimCoverage) {
+  // §I: BP-NTT covers PQC (256/1024-point, 14-32 bit) and HE (1024-point,
+  // 16/21/29-bit) — every set must fit a 256x256 array's 16 tile columns
+  // at its required width and 250-row tiles via multi-tile spanning.
+  for (const auto& p : all_param_sets()) {
+    SCOPED_TRACE(p.name);
+    const unsigned tiles = 256 / p.min_tile_bits;
+    EXPECT_GE(tiles * 250ULL, p.n) << "does not fit one subarray";
+  }
+}
+
+}  // namespace
+}  // namespace bpntt::crypto

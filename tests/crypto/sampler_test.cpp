@@ -1,0 +1,72 @@
+#include "crypto/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bpntt::crypto {
+namespace {
+
+TEST(Sampler, UniformInRangeAndCoversIt) {
+  common::xoshiro256ss rng(1);
+  const auto v = sample_uniform(4096, 97, rng);
+  std::vector<unsigned> hist(97, 0);
+  for (auto x : v) {
+    ASSERT_LT(x, 97u);
+    ++hist[x];
+  }
+  for (unsigned i = 0; i < 97; ++i) EXPECT_GT(hist[i], 0u) << i;
+}
+
+TEST(Sampler, CbdSupportAndSymmetry) {
+  common::xoshiro256ss rng(2);
+  const std::uint64_t q = 3329;
+  const unsigned eta = 2;
+  const auto v = sample_cbd(100000, q, eta, rng);
+  std::int64_t sum = 0;
+  for (auto x : v) {
+    // Values are in {-eta..eta} mod q.
+    const bool small = x <= eta;
+    const bool small_neg = x >= q - eta;
+    ASSERT_TRUE(small || small_neg) << x;
+    sum += small ? static_cast<std::int64_t>(x)
+                 : static_cast<std::int64_t>(x) - static_cast<std::int64_t>(q);
+  }
+  // Mean ~ 0 with sd ~ sqrt(n * Var) = sqrt(1e5 * 1) ≈ 316.
+  EXPECT_LT(std::llabs(sum), 1600);
+}
+
+TEST(Sampler, CbdVarianceMatchesEtaOverTwo) {
+  common::xoshiro256ss rng(3);
+  const std::uint64_t q = 8380417;
+  for (unsigned eta : {2u, 3u}) {
+    const auto v = sample_cbd(50000, q, eta, rng);
+    double sq = 0;
+    for (auto x : v) {
+      const double c = x <= eta ? static_cast<double>(x)
+                                : static_cast<double>(x) - static_cast<double>(q);
+      sq += c * c;
+    }
+    const double var = sq / v.size();
+    EXPECT_NEAR(var, eta / 2.0, 0.05 * eta);  // CBD(eta) variance = eta/2
+  }
+}
+
+TEST(Sampler, MessageIsBinary) {
+  common::xoshiro256ss rng(4);
+  const auto m = sample_message(10000, rng);
+  unsigned ones = 0;
+  for (auto b : m) {
+    ASSERT_LE(b, 1u);
+    ones += static_cast<unsigned>(b);
+  }
+  EXPECT_NEAR(ones, 5000.0, 300.0);
+}
+
+TEST(Sampler, Deterministic) {
+  common::xoshiro256ss a(7), b(7);
+  EXPECT_EQ(sample_uniform(64, 97, a), sample_uniform(64, 97, b));
+}
+
+}  // namespace
+}  // namespace bpntt::crypto

@@ -1,0 +1,94 @@
+#include "isa/executor.h"
+
+#include <gtest/gtest.h>
+
+namespace bpntt::isa {
+namespace {
+
+sram::subarray make_array() {
+  return sram::subarray(16, sram::tile_geometry{64, 16}, sram::tech_45nm());
+}
+
+TEST(Executor, StraightLineProgram) {
+  auto a = make_array();
+  a.host_write_word(0, 0, 0xF0F0);
+  a.host_write_word(0, 1, 0x0FF0);
+  program_builder b;
+  b.binary(2, 0, 1, sram::logic_fn::op_and);
+  b.pair(3, 4, 0, 1);
+  b.copy(5, 2, true);
+  b.shift(6, 1, sram::shift_dir::left);
+  b.halt();
+  const auto r = executor().run(b.take(), a);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.executed_ops, 4u);
+  EXPECT_EQ(r.executed_ctrl, 1u);
+  EXPECT_EQ(a.peek_word(0, 2), 0x00F0u);
+  EXPECT_EQ(a.peek_word(0, 3), 0x00F0u);
+  EXPECT_EQ(a.peek_word(0, 4), 0xFF00u);
+  EXPECT_EQ(a.peek_word(0, 5), 0xFF0Fu);
+  EXPECT_EQ(a.peek_word(0, 6), 0x1FE0u);
+}
+
+TEST(Executor, RippleLoopTerminatesViaZeroFlag) {
+  // Resolve 0x00FF + 0x0001 with the carry-ripple do-while used by the
+  // compiler; the carry chain is 8 long, exercising several iterations.
+  auto a = make_array();
+  a.host_write_word(0, 0, 0x00FF);  // sum
+  a.host_write_word(0, 1, 0x0001);  // addend
+  program_builder b;
+  b.pair(1, 0, 0, 1);  // {carry, sum} = half-add
+  const auto loop = b.here();
+  b.shift(1, 1, sram::shift_dir::left);
+  b.pair(1, 0, 0, 1);
+  b.check_zero(1);
+  b.branch_nonzero_to(loop);
+  b.halt();
+  const auto r = executor().run(b.take(), a);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(a.peek_word(0, 0), 0x0100u);
+  EXPECT_EQ(a.peek_word(0, 1), 0u);
+}
+
+TEST(Executor, BranchZeroTaken) {
+  auto a = make_array();
+  program_builder b;
+  b.check_zero(5);  // empty row -> zero flag set
+  const auto l = b.reserve_branch_zero();
+  b.copy(1, 0);  // skipped
+  b.patch_to_here(l);
+  b.halt();
+  const auto r = executor().run(b.take(), a);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.executed_ops, 1u);  // only the check touched the array
+}
+
+TEST(Executor, FallsOffEndWithoutHalt) {
+  auto a = make_array();
+  program_builder b;
+  b.copy(1, 0);
+  const auto r = executor().run(b.take(), a);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.executed_ops, 1u);
+}
+
+TEST(Executor, RunawayLoopGuard) {
+  auto a = make_array();
+  a.host_write_word(0, 1, 1);  // nonzero forever
+  program_builder b;
+  const auto loop = b.here();
+  b.check_zero(1);
+  b.branch_nonzero_to(loop);
+  b.halt();
+  EXPECT_THROW(executor(1000).run(b.take(), a), std::runtime_error);
+}
+
+TEST(Executor, EmptyProgram) {
+  auto a = make_array();
+  const auto r = executor().run(program{}, a);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.executed_ops, 0u);
+}
+
+}  // namespace
+}  // namespace bpntt::isa

@@ -1,0 +1,107 @@
+#include "isa/microop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bpntt::isa {
+namespace {
+
+void expect_round_trip(const micro_op& op) {
+  const micro_op back = decode(encode(op));
+  EXPECT_EQ(back, op) << disassemble(op) << " vs " << disassemble(back);
+}
+
+TEST(MicroOp, RoundTripCheckVariants) {
+  expect_round_trip(make_check_pred(0, 0));
+  expect_round_trip(make_check_pred(261, 15));
+  expect_round_trip(make_check_pred(511, 255));
+  expect_round_trip(make_check_zero(0));
+  expect_round_trip(make_check_zero(300));
+}
+
+TEST(MicroOp, RoundTripCtrlVariants) {
+  expect_round_trip(make_halt());
+  expect_round_trip(make_jump(-1));
+  expect_round_trip(make_jump(511));
+  expect_round_trip(make_jump(-512));
+  expect_round_trip(make_branch_nonzero(-4));
+  expect_round_trip(make_branch_zero(3));
+}
+
+TEST(MicroOp, RoundTripUnaryVariants) {
+  for (bool invert : {false, true}) {
+    for (auto mask : {sram::write_mask::none, sram::write_mask::pred, sram::write_mask::pred_inv}) {
+      expect_round_trip(make_copy(17, 300, invert, mask));
+    }
+  }
+}
+
+TEST(MicroOp, RoundTripShiftVariants) {
+  for (auto dir : {sram::shift_dir::left, sram::shift_dir::right}) {
+    for (bool lossless : {false, true}) {
+      expect_round_trip(make_shift(5, 261, dir, lossless));
+    }
+  }
+}
+
+TEST(MicroOp, RoundTripBinaryVariants) {
+  for (auto fn : {sram::logic_fn::op_and, sram::logic_fn::op_or, sram::logic_fn::op_xor,
+                  sram::logic_fn::op_nor}) {
+    expect_round_trip(make_binary(100, 200, 300, fn));
+  }
+  for (int delta : {-4, -2, -1, 1, 2, 3}) {
+    expect_round_trip(make_pair(260, static_cast<std::uint16_t>(260 + delta), 1, 2));
+  }
+}
+
+TEST(MicroOp, RowAddressLimit) {
+  EXPECT_THROW((void)make_copy(512, 0), std::invalid_argument);
+  EXPECT_THROW((void)make_binary(0, 512, 0, sram::logic_fn::op_and), std::invalid_argument);
+  EXPECT_NO_THROW((void)make_copy(511, 511));
+}
+
+TEST(MicroOp, PairDeltaRange) {
+  EXPECT_THROW((void)make_pair(10, 10, 0, 1), std::invalid_argument);  // zero delta
+  EXPECT_THROW((void)make_pair(10, 15, 0, 1), std::invalid_argument);  // +5
+  EXPECT_THROW((void)make_pair(10, 5, 0, 1), std::invalid_argument);   // -5
+  EXPECT_NO_THROW((void)make_pair(10, 13, 0, 1));                      // +3
+  EXPECT_NO_THROW((void)make_pair(10, 6, 0, 1));                       // -4
+}
+
+TEST(MicroOp, CtrlOffsetLimit) {
+  EXPECT_THROW((void)make_jump(512), std::invalid_argument);
+  EXPECT_THROW((void)make_jump(-513), std::invalid_argument);
+}
+
+TEST(MicroOp, EncodedTypeFieldMatchesFig4d) {
+  EXPECT_EQ(encode(make_check_zero(1)) & 0x3U, 0u);   // Check
+  EXPECT_EQ(encode(make_copy(1, 2)) & 0x3U, 1u);      // Unary
+  EXPECT_EQ(encode(make_shift(1, 2, sram::shift_dir::left)) & 0x3U, 2u);  // Shift
+  EXPECT_EQ(encode(make_binary(1, 2, 3, sram::logic_fn::op_xor)) & 0x3U, 3u);  // Binary
+}
+
+TEST(MicroOp, DisassembleSmokeStrings) {
+  EXPECT_EQ(disassemble(make_halt()), "halt");
+  EXPECT_EQ(disassemble(make_copy(3, 4)), "copy r3 <- r4");
+  EXPECT_EQ(disassemble(make_copy(3, 4, true)), "copy r3 <- ~r4");
+  EXPECT_EQ(disassemble(make_binary(1, 2, 3, sram::logic_fn::op_xor)), "xor r1 <- r2, r3");
+  EXPECT_EQ(disassemble(make_pair(8, 9, 2, 3)), "pair {r8,r9} <- r2, r3");
+  EXPECT_EQ(disassemble(make_check_pred(7, 0)), "check.pred r7, bit 0");
+  EXPECT_EQ(disassemble(make_branch_nonzero(-3)), "bnz -3");
+}
+
+TEST(MicroOp, ExhaustiveFuzzRoundTrip) {
+  // Sweep a structured grid across all field combinations.
+  std::vector<micro_op> ops;
+  for (std::uint16_t r : {0, 1, 255, 256, 511}) {
+    ops.push_back(make_check_pred(r, static_cast<std::uint8_t>(r & 0xFF)));
+    ops.push_back(make_copy(r, static_cast<std::uint16_t>(511 - r)));
+    ops.push_back(make_shift(r, r, sram::shift_dir::right, true));
+    ops.push_back(make_binary(r, r, r, sram::logic_fn::op_nor));
+  }
+  for (const auto& op : ops) expect_round_trip(op);
+}
+
+}  // namespace
+}  // namespace bpntt::isa

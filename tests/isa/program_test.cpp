@@ -1,0 +1,92 @@
+#include "isa/program.h"
+
+#include <gtest/gtest.h>
+
+namespace bpntt::isa {
+namespace {
+
+TEST(Program, EncodeImageRoundTrip) {
+  program_builder b;
+  b.clear(5);
+  b.copy(1, 2);
+  b.pair(10, 11, 3, 4);
+  b.check_zero(10);
+  b.branch_nonzero_to(0);
+  b.halt();
+  const program p = b.take();
+  const auto image = p.encode_image();
+  EXPECT_EQ(image.size(), p.size());
+  const program q = program::decode_image(image);
+  ASSERT_EQ(q.ops.size(), p.ops.size());
+  for (std::size_t i = 0; i < p.ops.size(); ++i) EXPECT_EQ(q.ops[i], p.ops[i]) << i;
+}
+
+TEST(Program, BuilderBackwardBranchOffsets) {
+  program_builder b;
+  const auto start = b.here();
+  b.shift(1, 1, sram::shift_dir::left);
+  b.pair(1, 2, 2, 1);
+  b.check_zero(1);
+  b.branch_nonzero_to(start);
+  const program p = b.take();
+  // pc' = pc + 1 + offset: from index 3 back to 0 needs offset -4.
+  EXPECT_EQ(p.ops[3].offset, -4);
+}
+
+TEST(Program, BuilderForwardPatch) {
+  program_builder b;
+  b.check_zero(0);
+  const auto l = b.reserve_branch_zero();
+  b.copy(1, 2);
+  b.copy(3, 4);
+  b.patch_to_here(l);
+  b.halt();
+  const program p = b.take();
+  // Branch at index 1 skipping two copies lands at index 4: offset 2.
+  EXPECT_EQ(p.ops[1].offset, 2);
+}
+
+TEST(Program, PatchRejectsNonBranch) {
+  program_builder b;
+  b.copy(1, 2);
+  EXPECT_THROW(b.patch_to_here(0), std::logic_error);
+  EXPECT_THROW(b.patch_to_here(7), std::out_of_range);
+}
+
+TEST(Program, BranchTooFarThrows) {
+  program_builder b;
+  const auto start = b.here();
+  for (int i = 0; i < 600; ++i) b.copy(1, 2);
+  EXPECT_THROW(b.jump_to(start), std::out_of_range);
+}
+
+TEST(Program, ClearUsesSelfXor) {
+  program_builder b;
+  b.clear(9);
+  const program p = b.take();
+  ASSERT_EQ(p.ops.size(), 1u);
+  EXPECT_EQ(p.ops[0].type, op_type::binary);
+  EXPECT_EQ(p.ops[0].fn, sram::logic_fn::op_xor);
+  EXPECT_EQ(p.ops[0].dst, 9);
+  EXPECT_EQ(p.ops[0].src0, 9);
+  EXPECT_EQ(p.ops[0].src1, 9);
+}
+
+TEST(Program, DisassembleListsEveryOp) {
+  program_builder b;
+  b.copy(1, 2);
+  b.halt();
+  const auto text = b.take().disassemble();
+  EXPECT_NE(text.find("0: copy r1 <- r2"), std::string::npos);
+  EXPECT_NE(text.find("1: halt"), std::string::npos);
+}
+
+TEST(Program, TakeResetsBuilder) {
+  program_builder b;
+  b.copy(1, 2);
+  (void)b.take();
+  EXPECT_EQ(b.here(), 0u);
+}
+
+}  // namespace
+}  // namespace bpntt::isa

@@ -1,0 +1,44 @@
+#include "nttmath/barrett.h"
+
+#include <gtest/gtest.h>
+
+#include "common/xoshiro.h"
+
+namespace bpntt::math {
+namespace {
+
+TEST(Barrett, ReduceMatchesModSmall) {
+  const barrett b(3329);
+  for (u64 x = 0; x < 20000; x += 37) {
+    EXPECT_EQ(b.reduce(x), x % 3329);
+  }
+}
+
+TEST(Barrett, MulMatchesMulModRandom) {
+  common::xoshiro256ss rng(5);
+  for (u64 q : {17ULL, 3329ULL, 12289ULL, 8380417ULL, (1ULL << 31) - 1, (1ULL << 61) - 1}) {
+    const barrett b(q);
+    for (int i = 0; i < 200; ++i) {
+      const u64 x = rng.below(q);
+      const u64 y = rng.below(q);
+      EXPECT_EQ(b.mul(x, y), mul_mod(x, y, q)) << "q=" << q;
+    }
+  }
+}
+
+TEST(Barrett, FullProductRange) {
+  // reduce() is specified for a < q^2; probe the boundary.
+  const u64 q = 12289;
+  const barrett b(q);
+  const u128 max_in = static_cast<u128>(q - 1) * (q - 1);
+  EXPECT_EQ(b.reduce(max_in), static_cast<u64>(max_in % q));
+  EXPECT_EQ(b.reduce(0), 0u);
+}
+
+TEST(Barrett, RejectsBadModulus) {
+  EXPECT_THROW(barrett(0), std::invalid_argument);
+  EXPECT_THROW(barrett(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpntt::math

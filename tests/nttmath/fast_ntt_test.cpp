@@ -1,0 +1,72 @@
+#include "nttmath/fast_ntt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/xoshiro.h"
+#include "nttmath/poly.h"
+
+namespace bpntt::math {
+namespace {
+
+std::vector<u64> random_poly(u64 n, u64 q, common::xoshiro256ss& rng) {
+  std::vector<u64> v(n);
+  for (auto& x : v) x = rng.below(q);
+  return v;
+}
+
+TEST(FastNtt, ForwardMatchesGoldenTransform) {
+  for (const auto& [n, q] : {std::pair<u64, u64>{256, 12289}, {256, 8380417},
+                             {1024, 12289}, {64, 257}}) {
+    const ntt_tables t(n, q, true);
+    const fast_ntt fast(t);
+    common::xoshiro256ss rng(n + q);
+    for (int iter = 0; iter < 5; ++iter) {
+      auto a = random_poly(n, q, rng);
+      auto b = a;
+      ntt_forward(a, t);
+      fast.forward(b);
+      ASSERT_EQ(a, b) << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(FastNtt, InverseRoundTrip) {
+  const ntt_tables t(256, 12289, true);
+  const fast_ntt fast(t);
+  common::xoshiro256ss rng(3);
+  const auto orig = random_poly(256, 12289, rng);
+  auto a = orig;
+  fast.forward(a);
+  fast.inverse(a);
+  EXPECT_EQ(a, orig);
+}
+
+TEST(FastNtt, MixedPathsInteroperate) {
+  // fast forward + golden inverse (and vice versa) agree: identical
+  // transform semantics, only the reduction differs.
+  const ntt_tables t(128, 3329, true);
+  const fast_ntt fast(t);
+  common::xoshiro256ss rng(4);
+  const auto orig = random_poly(128, 3329, rng);
+  auto a = orig;
+  fast.forward(a);
+  ntt_inverse(a, t);
+  EXPECT_EQ(a, orig);
+  auto b = orig;
+  ntt_forward(b, t);
+  fast.inverse(b);
+  EXPECT_EQ(b, orig);
+}
+
+TEST(FastNtt, RejectsCyclicTablesAndBadSizes) {
+  const u64 q = 12289;  // 12288 = 2^12*3: supports cyclic n=4096, n | q-1
+  const ntt_tables cyc(256, q, false);
+  EXPECT_THROW(fast_ntt{cyc}, std::invalid_argument);
+  const ntt_tables t(256, q, true);
+  const fast_ntt fast(t);
+  std::vector<u64> wrong(128, 0);
+  EXPECT_THROW(fast.forward(wrong), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpntt::math

@@ -1,0 +1,105 @@
+#include "nttmath/incomplete_ntt.h"
+
+#include <gtest/gtest.h>
+
+#include "common/xoshiro.h"
+#include "nttmath/poly.h"
+
+namespace bpntt::math {
+namespace {
+
+std::vector<u64> random_poly(u64 n, u64 q, common::xoshiro256ss& rng) {
+  std::vector<u64> v(n);
+  for (auto& x : v) x = rng.below(q);
+  return v;
+}
+
+TEST(IncompleteNtt, KyberTablesWellFormed) {
+  const incomplete_ntt_tables t(256, 3329);
+  EXPECT_EQ(pow_mod(t.zeta(), 256, 3329), 1u);
+  EXPECT_EQ(pow_mod(t.zeta(), 128, 3329), 3328u);  // zeta^(n/2) = -1
+  // Every gamma is an odd power of zeta, and the set {±gamma_i} covers all
+  // primitive square roots used by the quadratic factors.
+  for (u64 i = 0; i < 128; ++i) {
+    EXPECT_EQ(pow_mod(t.gammas()[i], 256, 3329), 1u);
+    EXPECT_NE(pow_mod(t.gammas()[i], 128, 3329), 1u);
+  }
+}
+
+struct IncompleteCase {
+  u64 n;
+  u64 q;
+};
+
+class IncompleteNttParam : public testing::TestWithParam<IncompleteCase> {};
+
+TEST_P(IncompleteNttParam, RoundTrip) {
+  const auto [n, q] = GetParam();
+  const incomplete_ntt_tables t(n, q);
+  common::xoshiro256ss rng(n ^ q);
+  for (int iter = 0; iter < 10; ++iter) {
+    auto a = random_poly(n, q, rng);
+    const auto orig = a;
+    incomplete_ntt_forward(a, t);
+    incomplete_ntt_inverse(a, t);
+    EXPECT_EQ(a, orig);
+  }
+}
+
+TEST_P(IncompleteNttParam, ProductMatchesSchoolbook) {
+  const auto [n, q] = GetParam();
+  const incomplete_ntt_tables t(n, q);
+  common::xoshiro256ss rng(n * 3 + q);
+  for (int iter = 0; iter < 5; ++iter) {
+    const auto a = random_poly(n, q, rng);
+    const auto b = random_poly(n, q, rng);
+    EXPECT_EQ(polymul_incomplete(a, b, t), schoolbook_negacyclic(a, b, q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rings, IncompleteNttParam,
+    testing::Values(IncompleteCase{256, 3329},   // standardized Kyber
+                    IncompleteCase{8, 17}, IncompleteCase{16, 97},
+                    IncompleteCase{64, 257}, IncompleteCase{512, 12289}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_q" + std::to_string(info.param.q);
+    });
+
+TEST(IncompleteNtt, MatchesCompleteTransformProductWhereBothExist) {
+  // For rings where the full negacyclic NTT also exists, both paths give
+  // the same ring product.
+  const u64 n = 64, q = 257;
+  const incomplete_ntt_tables ti(n, q);
+  const ntt_tables tc(n, q, true);
+  common::xoshiro256ss rng(9);
+  const auto a = random_poly(n, q, rng);
+  const auto b = random_poly(n, q, rng);
+  EXPECT_EQ(polymul_incomplete(a, b, ti), polymul_ntt(a, b, tc));
+}
+
+TEST(IncompleteNtt, BasemulIsQuadraticFactorProduct) {
+  // Direct check of one base multiplication against polynomial arithmetic
+  // mod (x^2 - gamma).
+  const incomplete_ntt_tables t(8, 17);
+  common::xoshiro256ss rng(10);
+  std::vector<u64> a = random_poly(8, 17, rng);
+  std::vector<u64> b = random_poly(8, 17, rng);
+  std::vector<u64> c(8);
+  incomplete_basemul(a, b, c, t);
+  for (u64 i = 0; i < 4; ++i) {
+    const u64 g = t.gammas()[i];
+    const u64 c0 = add_mod(mul_mod(a[2 * i], b[2 * i], 17),
+                           mul_mod(mul_mod(a[2 * i + 1], b[2 * i + 1], 17), g, 17), 17);
+    EXPECT_EQ(c[2 * i], c0);
+  }
+}
+
+TEST(IncompleteNtt, RejectsUnsupportedRings) {
+  EXPECT_THROW(incomplete_ntt_tables(256, 3331), std::invalid_argument);  // 256 not | 3330
+  EXPECT_THROW(incomplete_ntt_tables(100, 3329), std::invalid_argument);  // not pow2
+  EXPECT_THROW(incomplete_ntt_tables(2, 17), std::invalid_argument);      // n >= 4
+}
+
+}  // namespace
+}  // namespace bpntt::math

@@ -1,0 +1,105 @@
+#include "nttmath/modarith.h"
+
+#include <gtest/gtest.h>
+
+#include "common/xoshiro.h"
+
+namespace bpntt::math {
+namespace {
+
+TEST(ModArith, AddModBasics) {
+  EXPECT_EQ(add_mod(3, 4, 7), 0u);
+  EXPECT_EQ(add_mod(3, 3, 7), 6u);
+  EXPECT_EQ(add_mod(6, 6, 7), 5u);
+  EXPECT_EQ(add_mod(0, 0, 7), 0u);
+}
+
+TEST(ModArith, AddModNearWordBoundary) {
+  const u64 q = (1ULL << 62) - 57;  // large odd modulus
+  EXPECT_EQ(add_mod(q - 1, q - 1, q), q - 2);
+  EXPECT_EQ(add_mod(q - 1, 1, q), 0u);
+}
+
+TEST(ModArith, SubModBasics) {
+  EXPECT_EQ(sub_mod(3, 4, 7), 6u);
+  EXPECT_EQ(sub_mod(4, 3, 7), 1u);
+  EXPECT_EQ(sub_mod(0, 1, 7), 6u);
+  EXPECT_EQ(sub_mod(5, 5, 7), 0u);
+}
+
+TEST(ModArith, NegMod) {
+  EXPECT_EQ(neg_mod(0, 7), 0u);
+  EXPECT_EQ(neg_mod(1, 7), 6u);
+  EXPECT_EQ(neg_mod(6, 7), 1u);
+}
+
+TEST(ModArith, MulModMatchesSmallCases) {
+  EXPECT_EQ(mul_mod(3, 4, 7), 5u);
+  EXPECT_EQ(mul_mod(0, 12345, 97), 0u);
+  EXPECT_EQ(mul_mod(96, 96, 97), 1u);  // (-1)^2
+}
+
+TEST(ModArith, MulModLargeOperands) {
+  const u64 q = (1ULL << 61) - 1;  // Mersenne prime
+  // Fermat: a^(q-1) = 1 via pow_mod exercising mul_mod deeply.
+  EXPECT_EQ(pow_mod(1234567891011ULL, q - 1, q), 1u);
+}
+
+TEST(ModArith, PowModEdges) {
+  EXPECT_EQ(pow_mod(5, 0, 7), 1u);
+  EXPECT_EQ(pow_mod(0, 5, 7), 0u);
+  EXPECT_EQ(pow_mod(5, 1, 7), 5u);
+  EXPECT_EQ(pow_mod(2, 10, 1025), 1024u);
+}
+
+TEST(ModArith, InvModAgainstFermat) {
+  common::xoshiro256ss rng(1);
+  const u64 q = 8380417;  // Dilithium prime
+  for (int i = 0; i < 200; ++i) {
+    const u64 a = 1 + rng.below(q - 1);
+    const u64 inv = inv_mod(a, q);
+    EXPECT_EQ(mul_mod(a, inv, q), 1u) << "a=" << a;
+    EXPECT_EQ(inv, pow_mod(a, q - 2, q));
+  }
+}
+
+TEST(ModArith, InvModNonInvertible) {
+  EXPECT_EQ(inv_mod(6, 12), 0u);
+  EXPECT_EQ(inv_mod(0, 7), 0u);
+}
+
+TEST(ModArith, AddSubRoundTripRandom) {
+  common::xoshiro256ss rng(2);
+  for (u64 q : {17ULL, 3329ULL, 12289ULL, 8380417ULL}) {
+    for (int i = 0; i < 100; ++i) {
+      const u64 a = rng.below(q);
+      const u64 b = rng.below(q);
+      EXPECT_EQ(sub_mod(add_mod(a, b, q), b, q), a);
+      EXPECT_EQ(add_mod(sub_mod(a, b, q), b, q), a);
+    }
+  }
+}
+
+TEST(ModArith, MulModAgainstNaiveDoubleAndAdd) {
+  common::xoshiro256ss rng(3);
+  const u64 q = 0xFFFFFFFFFFFFFFC5ULL;  // largest 64-bit prime... not needed; use < 2^62
+  const u64 m = (1ULL << 62) - 57;
+  (void)q;
+  for (int i = 0; i < 50; ++i) {
+    const u64 a = rng.below(m);
+    const u64 b = rng.below(m);
+    // double-and-add reference
+    u64 acc = 0;
+    u64 base = a;
+    u64 e = b;
+    while (e != 0) {
+      if (e & 1ULL) acc = add_mod(acc, base, m);
+      base = add_mod(base, base, m);
+      e >>= 1;
+    }
+    EXPECT_EQ(mul_mod(a, b, m), acc);
+  }
+}
+
+}  // namespace
+}  // namespace bpntt::math

@@ -1,0 +1,82 @@
+#include "nttmath/montgomery.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+#include "common/xoshiro.h"
+
+namespace bpntt::math {
+namespace {
+
+TEST(Montgomery64, RoundTrip) {
+  const montgomery64 mont(3329);
+  common::xoshiro256ss rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const u64 a = rng.below(3329);
+    EXPECT_EQ(mont.from_mont(mont.to_mont(a)), a);
+  }
+}
+
+TEST(Montgomery64, MulMatchesMulMod) {
+  common::xoshiro256ss rng(2);
+  for (u64 q : {3329ULL, 12289ULL, 8380417ULL, (1ULL << 61) - 1}) {
+    const montgomery64 mont(q);
+    for (int i = 0; i < 100; ++i) {
+      const u64 a = rng.below(q);
+      const u64 b = rng.below(q);
+      EXPECT_EQ(mont.mul_plain(a, b), mul_mod(a, b, q)) << "q=" << q;
+    }
+  }
+}
+
+TEST(Montgomery64, RejectsEvenModulus) {
+  EXPECT_THROW(montgomery64(4096), std::invalid_argument);
+  EXPECT_THROW(montgomery64(0), std::invalid_argument);
+}
+
+TEST(InterleavedMontgomery, MatchesDefinition) {
+  common::xoshiro256ss rng(3);
+  struct Case {
+    u64 q;
+    unsigned k;
+  };
+  for (const auto& c : {Case{3329, 13}, Case{3329, 16}, Case{12289, 15}, Case{12289, 16},
+                        Case{8380417, 24}, Case{7, 3}, Case{5, 4}}) {
+    const u64 r_inv = inv_mod(mont_r(c.q, c.k), c.q);
+    for (int i = 0; i < 200; ++i) {
+      const u64 a = rng.below(c.q);
+      const u64 b = rng.below(c.q);
+      const u64 expect = mul_mod(mul_mod(a, b, c.q), r_inv, c.q);
+      EXPECT_EQ(interleaved_montgomery(a, b, c.q, c.k), expect)
+          << "q=" << c.q << " k=" << c.k << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(InterleavedMontgomery, PaperExampleFig6) {
+  // A=4, B=3, M=7, R=8: since 8 ≡ 1 (mod 7), ABR^-1 = 12 mod 7 = 5.
+  EXPECT_EQ(interleaved_montgomery(4, 3, 7, 3), 5u);
+}
+
+TEST(InterleavedMontgomery, TwiddlePreScalingCancelsR) {
+  // The engine's trick: modmul_const(B, A*R) = A*B (§IV-D).
+  const u64 q = 3329;
+  const unsigned k = 16;
+  const u64 r = mont_r(q, k);
+  common::xoshiro256ss rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const u64 a = rng.below(q);
+    const u64 b = rng.below(q);
+    const u64 a_mont = mul_mod(a, r, q);
+    EXPECT_EQ(interleaved_montgomery(a_mont, b, q, k), mul_mod(a, b, q));
+  }
+}
+
+TEST(MontR, Values) {
+  EXPECT_EQ(mont_r(7, 3), 1u);           // 8 mod 7
+  EXPECT_EQ(mont_r(3329, 16), 65536 % 3329);
+  EXPECT_EQ(mont_r2(7, 3), 1u);
+}
+
+}  // namespace
+}  // namespace bpntt::math

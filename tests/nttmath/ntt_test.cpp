@@ -1,0 +1,156 @@
+#include "nttmath/ntt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/xoshiro.h"
+#include "nttmath/poly.h"
+#include "nttmath/primes.h"
+
+namespace bpntt::math {
+namespace {
+
+std::vector<u64> random_poly(u64 n, u64 q, common::xoshiro256ss& rng) {
+  std::vector<u64> v(n);
+  for (auto& x : v) x = rng.below(q);
+  return v;
+}
+
+struct NttCase {
+  u64 n;
+  u64 q;
+};
+
+class NttRoundTrip : public testing::TestWithParam<NttCase> {};
+
+TEST_P(NttRoundTrip, NegacyclicInverseRestores) {
+  const auto [n, q] = GetParam();
+  const ntt_tables t(n, q, true);
+  common::xoshiro256ss rng(n ^ q);
+  for (int iter = 0; iter < 10; ++iter) {
+    auto a = random_poly(n, q, rng);
+    auto original = a;
+    ntt_forward(a, t);
+    ntt_inverse(a, t);
+    EXPECT_EQ(a, original);
+  }
+}
+
+TEST_P(NttRoundTrip, ConvolutionTheoremMatchesSchoolbook) {
+  const auto [n, q] = GetParam();
+  const ntt_tables t(n, q, true);
+  common::xoshiro256ss rng(n * 31 + q);
+  for (int iter = 0; iter < 5; ++iter) {
+    const auto a = random_poly(n, q, rng);
+    const auto b = random_poly(n, q, rng);
+    EXPECT_EQ(polymul_ntt(a, b, t), schoolbook_negacyclic(a, b, q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PqcAndHeSizes, NttRoundTrip,
+    // Note: Kyber's 3329 only supports n <= 128 negacyclic (3328 = 2^8 * 13);
+    // 256-point cases use Falcon/round-1-Kyber/Dilithium moduli.
+    testing::Values(NttCase{4, 97}, NttCase{8, 97}, NttCase{16, 97}, NttCase{32, 193},
+                    NttCase{64, 257}, NttCase{128, 3329}, NttCase{256, 12289},
+                    NttCase{256, 7681}, NttCase{256, 8380417}, NttCase{512, 12289},
+                    NttCase{1024, 12289}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_q" + std::to_string(info.param.q);
+    });
+
+TEST(Ntt, ForwardIsLinear) {
+  const u64 n = 64, q = 257;
+  const ntt_tables t(n, q, true);
+  common::xoshiro256ss rng(9);
+  const auto a = random_poly(n, q, rng);
+  const auto b = random_poly(n, q, rng);
+  auto sum = poly_add(a, b, q);
+  auto fa = a, fb = b;
+  ntt_forward(fa, t);
+  ntt_forward(fb, t);
+  ntt_forward(sum, t);
+  EXPECT_EQ(sum, poly_add(fa, fb, q));
+}
+
+TEST(Ntt, DeltaTransformsToConstant) {
+  // NTT of delta at x^0 is the all-ones vector in every evaluation basis.
+  const u64 n = 128, q = 3329;
+  const ntt_tables t(n, q, true);
+  std::vector<u64> delta(n, 0);
+  delta[0] = 1;
+  ntt_forward(delta, t);
+  for (u64 i = 0; i < n; ++i) EXPECT_EQ(delta[i], 1u);
+}
+
+TEST(Ntt, MultiplicationByXRotatesNegacyclically) {
+  const u64 n = 32, q = 193;
+  const ntt_tables t(n, q, true);
+  common::xoshiro256ss rng(10);
+  const auto a = random_poly(n, q, rng);
+  std::vector<u64> x(n, 0);
+  x[1] = 1;
+  const auto prod = polymul_ntt(a, x, t);
+  // (a * x) mod (x^n + 1): coefficients rotate with sign flip wrap.
+  for (u64 i = 1; i < n; ++i) EXPECT_EQ(prod[i], a[i - 1]);
+  EXPECT_EQ(prod[0], neg_mod(a[n - 1], q));
+}
+
+TEST(CyclicNtt, RoundTripAndConvolution) {
+  for (u64 n : {8ULL, 64ULL, 256ULL}) {
+    const u64 q = ntt_friendly_prime(14, n, /*negacyclic=*/false);
+    const ntt_tables t(n, q, false);
+    common::xoshiro256ss rng(n);
+    auto a = random_poly(n, q, rng);
+    const auto b = random_poly(n, q, rng);
+    const auto orig = a;
+    cyclic_ntt_forward(a, t);
+    cyclic_ntt_inverse(a, t);
+    EXPECT_EQ(a, orig);
+    EXPECT_EQ(polymul_ntt(orig, b, t), schoolbook_cyclic(orig, b, q));
+  }
+}
+
+TEST(Ntt, BitrevPermuteIsInvolution) {
+  common::xoshiro256ss rng(11);
+  std::vector<u64> v(256);
+  for (auto& x : v) x = rng();
+  auto w = v;
+  bitrev_permute(w);
+  EXPECT_NE(w, v);
+  bitrev_permute(w);
+  EXPECT_EQ(w, v);
+}
+
+TEST(Ntt, TablesRejectBadParameters) {
+  EXPECT_THROW(ntt_tables(100, 3329, true), std::invalid_argument);   // not power of two
+  EXPECT_THROW(ntt_tables(256, 3331, true), std::invalid_argument);   // 512 ∤ q-1
+  EXPECT_THROW(ntt_tables(1024, 3329, true), std::invalid_argument);  // too large for q
+}
+
+TEST(Ntt, ForwardOutputIsBitReversedEvaluation) {
+  // Spot-check the evaluation semantics: output[brv(i)] = a(psi^(2i+1)).
+  const u64 n = 16, q = 97;
+  const ntt_tables t(n, q, true);
+  common::xoshiro256ss rng(12);
+  auto a = random_poly(n, q, rng);
+  const auto coeffs = a;
+  ntt_forward(a, t);
+  // Evaluate the polynomial directly at odd psi powers.
+  std::vector<u64> evals;
+  for (u64 i = 0; i < n; ++i) {
+    const u64 point = pow_mod(t.psi(), 2 * i + 1, q);
+    u64 acc = 0;
+    for (u64 j = n; j-- > 0;) acc = add_mod(mul_mod(acc, point, q), coeffs[j], q);
+    evals.push_back(acc);
+  }
+  // The transform output is some fixed permutation of those evaluations.
+  std::vector<u64> sorted_out = a, sorted_ev = evals;
+  std::sort(sorted_out.begin(), sorted_out.end());
+  std::sort(sorted_ev.begin(), sorted_ev.end());
+  EXPECT_EQ(sorted_out, sorted_ev);
+}
+
+}  // namespace
+}  // namespace bpntt::math

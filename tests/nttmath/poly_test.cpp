@@ -1,0 +1,82 @@
+#include "nttmath/poly.h"
+
+#include <gtest/gtest.h>
+
+#include "common/xoshiro.h"
+
+namespace bpntt::math {
+namespace {
+
+std::vector<u64> random_poly(u64 n, u64 q, common::xoshiro256ss& rng) {
+  std::vector<u64> v(n);
+  for (auto& x : v) x = rng.below(q);
+  return v;
+}
+
+TEST(Poly, SchoolbookNegacyclicWrapSign) {
+  // (x^(n-1)) * (x) = x^n = -1 in Z_q[x]/(x^n+1).
+  const u64 n = 8, q = 97;
+  std::vector<u64> a(n, 0), b(n, 0);
+  a[n - 1] = 1;
+  b[1] = 1;
+  const auto c = schoolbook_negacyclic(a, b, q);
+  EXPECT_EQ(c[0], q - 1);
+  for (u64 i = 1; i < n; ++i) EXPECT_EQ(c[i], 0u);
+}
+
+TEST(Poly, SchoolbookCyclicWrapNoSign) {
+  const u64 n = 8, q = 97;
+  std::vector<u64> a(n, 0), b(n, 0);
+  a[n - 1] = 1;
+  b[1] = 1;
+  const auto c = schoolbook_cyclic(a, b, q);
+  EXPECT_EQ(c[0], 1u);
+}
+
+TEST(Poly, MultiplicationIsCommutative) {
+  common::xoshiro256ss rng(20);
+  const u64 n = 32, q = 3329;
+  const auto a = random_poly(n, q, rng);
+  const auto b = random_poly(n, q, rng);
+  EXPECT_EQ(schoolbook_negacyclic(a, b, q), schoolbook_negacyclic(b, a, q));
+  EXPECT_EQ(schoolbook_cyclic(a, b, q), schoolbook_cyclic(b, a, q));
+}
+
+TEST(Poly, MultiplicationDistributesOverAddition) {
+  common::xoshiro256ss rng(21);
+  const u64 n = 16, q = 257;
+  const auto a = random_poly(n, q, rng);
+  const auto b = random_poly(n, q, rng);
+  const auto c = random_poly(n, q, rng);
+  const auto lhs = schoolbook_negacyclic(a, poly_add(b, c, q), q);
+  const auto rhs = poly_add(schoolbook_negacyclic(a, b, q), schoolbook_negacyclic(a, c, q), q);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Poly, IdentityElement) {
+  common::xoshiro256ss rng(22);
+  const u64 n = 16, q = 257;
+  const auto a = random_poly(n, q, rng);
+  std::vector<u64> one(n, 0);
+  one[0] = 1;
+  EXPECT_EQ(schoolbook_negacyclic(a, one, q), a);
+  EXPECT_EQ(schoolbook_cyclic(a, one, q), a);
+}
+
+TEST(Poly, AddSubInverse) {
+  common::xoshiro256ss rng(23);
+  const u64 n = 64, q = 12289;
+  const auto a = random_poly(n, q, rng);
+  const auto b = random_poly(n, q, rng);
+  EXPECT_EQ(poly_add(poly_sub(a, b, q), b, q), a);
+}
+
+TEST(Poly, SizeMismatchThrows) {
+  std::vector<u64> a(8, 1), b(4, 1);
+  EXPECT_THROW(schoolbook_negacyclic(a, b, 97), std::invalid_argument);
+  EXPECT_THROW(poly_add(a, b, 97), std::invalid_argument);
+  EXPECT_THROW(poly_sub(a, b, 97), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpntt::math

@@ -1,0 +1,124 @@
+#include "nttmath/wide_uint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/xoshiro.h"
+#include "nttmath/modarith.h"
+
+namespace bpntt::math {
+namespace {
+
+wide_uint from_u64(unsigned bits, u64 v) { return wide_uint(bits, v); }
+
+TEST(WideUint, ConstructionAndLow64) {
+  const wide_uint w(128, 0xDEADBEEF);
+  EXPECT_EQ(w.bits(), 128u);
+  EXPECT_EQ(w.low64(), 0xDEADBEEFu);
+  EXPECT_FALSE(w.is_zero());
+  EXPECT_TRUE(wide_uint(256).is_zero());
+}
+
+TEST(WideUint, WidthTrimming) {
+  // Value wider than the declared width is truncated mod 2^bits.
+  const wide_uint w(8, 0x1FF);
+  EXPECT_EQ(w.low64(), 0xFFu);
+}
+
+TEST(WideUint, BitAccess) {
+  wide_uint w(100);
+  w.set_bit(0, true);
+  w.set_bit(63, true);
+  w.set_bit(64, true);
+  w.set_bit(99, true);
+  EXPECT_TRUE(w.bit(0));
+  EXPECT_TRUE(w.bit(63));
+  EXPECT_TRUE(w.bit(64));
+  EXPECT_TRUE(w.bit(99));
+  EXPECT_FALSE(w.bit(50));
+  w.set_bit(63, false);
+  EXPECT_FALSE(w.bit(63));
+}
+
+TEST(WideUint, ShiftsCrossLimbBoundaries) {
+  wide_uint w(128);
+  w.set_bit(63, true);
+  const auto l = w.shl1();
+  EXPECT_TRUE(l.bit(64));
+  EXPECT_FALSE(l.bit(63));
+  const auto r = l.shr1();
+  EXPECT_TRUE(r.bit(63));
+}
+
+TEST(WideUint, ShiftDropsAtWidth) {
+  wide_uint w(100);
+  w.set_bit(99, true);
+  EXPECT_TRUE(w.shl1().is_zero());
+  wide_uint v(100, 1);
+  EXPECT_TRUE(v.shr1().is_zero());
+}
+
+TEST(WideUint, AddSubMatchU64At64Bits) {
+  common::xoshiro256ss rng(30);
+  for (int i = 0; i < 200; ++i) {
+    const u64 a = rng(), b = rng();
+    EXPECT_EQ(from_u64(64, a).add(from_u64(64, b)).low64(), a + b);
+    EXPECT_EQ(from_u64(64, a).sub(from_u64(64, b)).low64(), a - b);
+  }
+}
+
+TEST(WideUint, AddCarriesAcrossLimbs) {
+  wide_uint a(128, ~0ULL);
+  const auto s = a.add(wide_uint(128, 1));
+  EXPECT_EQ(s.low64(), 0u);
+  EXPECT_TRUE(s.bit(64));
+}
+
+TEST(WideUint, CompareOrdering) {
+  EXPECT_LT(wide_uint(128, 5).compare(wide_uint(128, 9)), 0);
+  EXPECT_GT(wide_uint(128, 9).compare(wide_uint(128, 5)), 0);
+  EXPECT_EQ(wide_uint(128, 5).compare(wide_uint(128, 5)), 0);
+  wide_uint big(128);
+  big.set_bit(100, true);
+  EXPECT_GT(big.compare(wide_uint(128, ~0ULL)), 0);
+}
+
+TEST(WideUint, MulModMatchesU64Oracle) {
+  common::xoshiro256ss rng(31);
+  const u64 q = 0xFFFFFFFFFFFFFFC5ULL >> 2;  // 62-bit odd modulus
+  for (int i = 0; i < 100; ++i) {
+    const u64 a = rng.below(q), b = rng.below(q);
+    const auto prod =
+        wide_uint::mul_mod(wide_uint(80, a), wide_uint(80, b), wide_uint(80, q));
+    EXPECT_EQ(prod.low64(), mul_mod(a, b, q));
+  }
+}
+
+TEST(WideUint, Pow2Mod) {
+  // 2^10 mod 1000 = 24
+  EXPECT_EQ(wide_uint::pow2_mod(10, wide_uint(64, 1000)).low64(), 24u);
+  // 2^k mod small odd modulus matches scalar oracle at 256 bits wide.
+  const wide_uint m(256, 12289);
+  EXPECT_EQ(wide_uint::pow2_mod(255, m).low64(), pow_mod(2, 255, 12289));
+}
+
+TEST(WideUint, HexFormatting) {
+  EXPECT_EQ(wide_uint(64, 0).to_hex(), "0");
+  EXPECT_EQ(wide_uint(64, 0xAB12).to_hex(), "ab12");
+}
+
+TEST(WideUint, BitwiseOps) {
+  const wide_uint a(72, 0b1100);
+  const wide_uint b(72, 0b1010);
+  EXPECT_EQ((a & b).low64(), 0b1000u);
+  EXPECT_EQ((a | b).low64(), 0b1110u);
+  EXPECT_EQ((a ^ b).low64(), 0b0110u);
+  EXPECT_THROW((void)(a & wide_uint(64, 1)), std::invalid_argument);
+}
+
+TEST(WideUint, RejectsBadWidths) {
+  EXPECT_THROW(wide_uint(0), std::invalid_argument);
+  EXPECT_THROW(wide_uint(5000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpntt::math

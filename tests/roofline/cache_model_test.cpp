@@ -1,0 +1,93 @@
+#include "roofline/cache_model.h"
+
+#include <gtest/gtest.h>
+
+namespace bpntt::roofline {
+namespace {
+
+cache_config tiny_cache() {
+  // 4 sets x 2 ways x 64B lines = 512 B.
+  return cache_config{"T", 512, 2, 64, 100.0};
+}
+
+TEST(CacheLevel, ColdMissThenHit) {
+  cache_level c(tiny_cache());
+  EXPECT_FALSE(c.access(0x1000, false));
+  EXPECT_TRUE(c.access(0x1000, false));
+  EXPECT_TRUE(c.access(0x103F, false));   // same line
+  EXPECT_FALSE(c.access(0x1040, false));  // next line
+  EXPECT_EQ(c.counters().accesses, 4u);
+  EXPECT_EQ(c.counters().misses, 2u);
+  EXPECT_EQ(c.counters().hits, 2u);
+}
+
+TEST(CacheLevel, LruEvictionOrder) {
+  cache_level c(tiny_cache());
+  // Three lines mapping to the same set (stride = sets * line = 256B).
+  EXPECT_FALSE(c.access(0x0000, false));
+  EXPECT_FALSE(c.access(0x0100, false));
+  EXPECT_TRUE(c.access(0x0000, false));   // touch A -> B is LRU
+  EXPECT_FALSE(c.access(0x0200, false));  // evicts B
+  EXPECT_TRUE(c.access(0x0000, false));   // A still resident
+  EXPECT_FALSE(c.access(0x0100, false));  // B was evicted
+}
+
+TEST(CacheLevel, DirtyEvictionWritesBack) {
+  cache_level c(tiny_cache());
+  bool dirty = false;
+  c.access(0x0000, true, &dirty);   // write-allocate
+  c.access(0x0100, false, &dirty);  // fill second way
+  c.access(0x0200, false, &dirty);  // evicts dirty 0x0000
+  EXPECT_TRUE(dirty);
+  EXPECT_EQ(c.counters().writebacks, 1u);
+  // Clean eviction reports no writeback.
+  c.access(0x0300, false, &dirty);
+  EXPECT_FALSE(dirty);
+}
+
+TEST(CacheLevel, RejectsBadGeometry) {
+  EXPECT_THROW(cache_level(cache_config{"X", 512, 3, 64, 0.0}), std::invalid_argument);
+  EXPECT_THROW(cache_level(cache_config{"X", 512, 2, 48, 0.0}), std::invalid_argument);
+  EXPECT_THROW(cache_level(cache_config{"X", 0, 2, 64, 0.0}), std::invalid_argument);
+}
+
+TEST(Hierarchy, MissesCascadeThroughLevels) {
+  auto h = make_default_hierarchy();
+  h.access(0x100000, 8, false);
+  EXPECT_EQ(h.l1().counters().misses, 1u);
+  EXPECT_EQ(h.l2().counters().misses, 1u);
+  EXPECT_EQ(h.llc().counters().misses, 1u);
+  h.access(0x100000, 8, false);  // L1 hit, nothing propagates
+  EXPECT_EQ(h.l1().counters().hits, 1u);
+  EXPECT_EQ(h.l2().counters().accesses, 1u);
+}
+
+TEST(Hierarchy, WorkingSetLargerThanL1HitsL2) {
+  auto h = make_default_hierarchy();
+  // 64 KiB working set: 2x the 32 KiB L1, well within the 256 KiB L2.
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 64) h.access(0x200000 + a, 8, false);
+  }
+  // After the cold pass, L1 keeps missing but L2 serves nearly everything:
+  // its misses stay at the 1024 compulsory fills out of ~4096 accesses.
+  EXPECT_GT(h.l1().counters().miss_rate(), 0.5);
+  EXPECT_LE(h.l2().counters().miss_rate(), 0.30);
+  EXPECT_EQ(h.bytes_llc_dram(), 64 * 1024u);  // one compulsory sweep
+}
+
+TEST(Hierarchy, StraddlingAccessTouchesBothLines) {
+  auto h = make_default_hierarchy();
+  h.access(0x1000 + 60, 8, false);  // crosses a 64B boundary
+  EXPECT_EQ(h.l1().counters().accesses, 2u);
+  EXPECT_EQ(h.bytes_core_l1(), 8u);
+}
+
+TEST(Hierarchy, ByteAccountingUsesLineGranularity) {
+  auto h = make_default_hierarchy();
+  h.access(0x5000, 2, false);
+  EXPECT_EQ(h.bytes_core_l1(), 2u);
+  EXPECT_EQ(h.bytes_l1_l2(), 64u);  // one line fill
+}
+
+}  // namespace
+}  // namespace bpntt::roofline

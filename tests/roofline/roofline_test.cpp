@@ -1,0 +1,59 @@
+#include "roofline/roofline.h"
+
+#include <gtest/gtest.h>
+
+namespace bpntt::roofline {
+namespace {
+
+TEST(Roofline, ReportLevelsAndIntensities) {
+  auto h = make_default_hierarchy();
+  const auto trace = trace_ntt_forward(h, 256, 20);
+  const auto rep = make_report(trace, h, 48.0);
+  ASSERT_EQ(rep.levels.size(), 4u);
+  EXPECT_EQ(rep.levels[0].level, "L1");
+  EXPECT_EQ(rep.levels[3].level, "DRAM");
+  // Traffic is non-increasing down the hierarchy for a cache-resident
+  // kernel (inner levels may tie at the compulsory-fill floor), so
+  // intensity is non-decreasing; the L1-vs-DRAM contrast is strict.
+  EXPECT_GT(rep.levels[0].bytes, rep.levels[1].bytes);
+  EXPECT_GE(rep.levels[1].bytes, rep.levels[3].bytes);
+  EXPECT_LT(rep.levels[0].intensity, rep.levels[3].intensity);
+}
+
+TEST(Roofline, NttKernelIsL1BoundNotDramBound) {
+  // The paper's Fig. 1 observation, reproduced from first principles.
+  auto h = make_default_hierarchy();
+  const auto trace = trace_ntt_forward(h, 256, 50);
+  const auto rep = make_report(trace, h, 48.0);
+  EXPECT_EQ(rep.binding_level(), "L1");
+  // DRAM roof does NOT bind: attainable at the DRAM level is the full peak.
+  EXPECT_FALSE(rep.levels[3].bandwidth_bound);
+}
+
+TEST(Roofline, InttKernelSameClassification) {
+  auto h = make_default_hierarchy();
+  const auto trace = trace_ntt_inverse(h, 256, 50);
+  const auto rep = make_report(trace, h, 48.0);
+  EXPECT_EQ(rep.binding_level(), "L1");
+}
+
+TEST(Roofline, AttainableNeverExceedsPeak) {
+  auto h = make_default_hierarchy();
+  const auto trace = trace_schoolbook(h, 128);
+  const auto rep = make_report(trace, h, 7.5);
+  for (const auto& lv : rep.levels) {
+    EXPECT_LE(lv.attainable_gops, 7.5 + 1e-12);
+    EXPECT_GE(lv.attainable_gops, 0.0);
+  }
+}
+
+TEST(Roofline, ComputeBoundWhenBandwidthAmple) {
+  auto h = make_default_hierarchy();
+  const auto trace = trace_ntt_forward(h, 256, 10);
+  // With a tiny peak, every level's bandwidth exceeds demand.
+  const auto rep = make_report(trace, h, 0.001);
+  EXPECT_TRUE(rep.binding_level().empty());
+}
+
+}  // namespace
+}  // namespace bpntt::roofline

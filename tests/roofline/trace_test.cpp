@@ -1,0 +1,54 @@
+#include "roofline/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace bpntt::roofline {
+namespace {
+
+TEST(Trace, NttOpAndAccessCountsMatchAlgorithmOne) {
+  auto h = make_default_hierarchy();
+  const std::uint64_t n = 256;
+  const auto r = trace_ntt_forward(h, n);
+  const std::uint64_t butterflies = (n / 2) * 8;  // (n/2) log2 n
+  EXPECT_EQ(r.ops, butterflies * 6);
+  // Per butterfly: 2 coefficient loads; per block: 1 zeta load (n-1 blocks).
+  EXPECT_EQ(r.loads, butterflies * 2 + (n - 1));
+  EXPECT_EQ(r.stores, butterflies * 2);
+}
+
+TEST(Trace, InverseAddsScalingPass) {
+  auto h = make_default_hierarchy();
+  const std::uint64_t n = 64;
+  const auto r = trace_ntt_inverse(h, n);
+  const std::uint64_t butterflies = (n / 2) * 6;
+  EXPECT_EQ(r.ops, butterflies * 6 + n * 2);
+  EXPECT_EQ(r.stores, butterflies * 2 + n);
+}
+
+TEST(Trace, SchoolbookIsQuadratic) {
+  auto h = make_default_hierarchy();
+  const auto r = trace_schoolbook(h, 64);
+  EXPECT_EQ(r.ops, 64u * 64u * 3u);
+}
+
+TEST(Trace, RepeatsScaleCounts) {
+  auto h1 = make_default_hierarchy();
+  auto h3 = make_default_hierarchy();
+  const auto r1 = trace_ntt_forward(h1, 128, 1);
+  const auto r3 = trace_ntt_forward(h3, 128, 3);
+  EXPECT_EQ(r3.ops, 3 * r1.ops);
+  EXPECT_EQ(r3.loads, 3 * r1.loads);
+}
+
+TEST(Trace, NttWorkingSetStaysInCache) {
+  // A 256-point, 16-bit polynomial (512 B) fits L1: after the cold pass,
+  // repeated transforms generate no DRAM traffic.
+  auto h = make_default_hierarchy();
+  (void)trace_ntt_forward(h, 256, 1);
+  const auto dram_after_cold = h.bytes_llc_dram();
+  (void)trace_ntt_forward(h, 256, 10);
+  EXPECT_EQ(h.bytes_llc_dram(), dram_after_cold);
+}
+
+}  // namespace
+}  // namespace bpntt::roofline

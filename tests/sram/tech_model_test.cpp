@@ -1,0 +1,63 @@
+#include "sram/tech_model.h"
+
+#include <gtest/gtest.h>
+
+namespace bpntt::sram {
+namespace {
+
+TEST(TechModel, AreaReproducesPaperAnchor) {
+  // Table I: a 256x256 subarray (+ intermediate rows) at 45 nm is 0.063 mm^2.
+  const tech_params t = tech_45nm();
+  const double area = subarray_area_mm2(t, 265, 256);
+  EXPECT_NEAR(area, 0.063, 0.004);
+}
+
+TEST(TechModel, FrequencyAnchor) {
+  EXPECT_DOUBLE_EQ(tech_45nm().freq_ghz, 3.8);  // Table I "Max f"
+}
+
+TEST(TechModel, AreaScalesWithCellCount) {
+  const tech_params t = tech_45nm();
+  const double one = subarray_area_mm2(t, 256, 256);
+  EXPECT_NEAR(subarray_area_mm2(t, 512, 256), 2 * one, 1e-12);
+  EXPECT_NEAR(subarray_area_mm2(t, 256, 512), 2 * one, 1e-12);
+}
+
+TEST(TechModel, ComputeOverheadIsSmall) {
+  // The paper claims < 2% array overhead for the compute-enabled SAs.
+  EXPECT_LT(tech_45nm().compute_overhead, 0.02);
+}
+
+TEST(TechModel, EnergyMonotonicInColumns) {
+  const tech_params t = tech_45nm();
+  EXPECT_LT(energy_compute_op_pj(t, 64, 2, true), energy_compute_op_pj(t, 256, 2, true));
+  EXPECT_LT(energy_compute_op_pj(t, 256, 1, true), energy_compute_op_pj(t, 256, 2, true));
+  EXPECT_LT(energy_compute_op_pj(t, 256, 2, false), energy_compute_op_pj(t, 256, 2, true));
+}
+
+TEST(TechModel, ProjectionScalesDelayAndEnergy) {
+  const tech_params base = tech_45nm();
+  const tech_params t65 = project_to_node(base, 65.0);
+  EXPECT_NEAR(t65.cell_area_um2 / base.cell_area_um2, (65.0 / 45.0) * (65.0 / 45.0), 1e-9);
+  EXPECT_LT(t65.freq_ghz, base.freq_ghz);
+  EXPECT_GT(t65.e_bitline_fj_per_col, base.e_bitline_fj_per_col);
+  // Round trip back to 45 nm restores the anchor frequency.
+  const tech_params back = project_to_node(t65, 45.0);
+  EXPECT_NEAR(back.freq_ghz, base.freq_ghz, 1e-9);
+}
+
+TEST(TechModel, ProjectionRejectsBadNode) {
+  EXPECT_THROW(project_to_node(tech_45nm(), 0.0), std::invalid_argument);
+}
+
+TEST(TechModel, PerOpEnergyInCalibratedRange) {
+  // The Table I anchor (~69 nJ over ~2.4e5 ops) implies ~0.25-0.35 pJ/op on
+  // 256 columns; guard the calibration from silent drift.
+  const tech_params t = tech_45nm();
+  const double e = energy_compute_op_pj(t, 256, 2, true);
+  EXPECT_GT(e, 0.15);
+  EXPECT_LT(e, 0.45);
+}
+
+}  // namespace
+}  // namespace bpntt::sram
