@@ -3,7 +3,13 @@
 // polynomial.  Prints the full table, the paper's anchor row for BP-NTT,
 // and the headline TA/TP ratios ("up to 29x throughput-per-area, 10-138x
 // throughput-per-power").
+//
+// Both measured rows — the in-SRAM design and the Montgomery software
+// baseline — run through bpntt::runtime with identical forward-NTT job
+// batches, so the comparison the table makes is apples-to-apples by
+// construction: same job model, same scheduler, different backend.
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "baselines/cpu_baseline.h"
@@ -11,30 +17,74 @@
 #include "baselines/published.h"
 #include "bpntt/perf_model.h"
 #include "common/table.h"
+#include "common/xoshiro.h"
+#include "runtime/context.h"
 
 namespace {
 
 using bpntt::common::format_double;
 using bpntt::common::format_si;
 
+// Submit one wave-filling batch of random forward NTTs to the context.
+std::vector<bpntt::runtime::job_result> run_forward_batch(bpntt::runtime::context& ctx,
+                                                          unsigned jobs, std::uint64_t seed) {
+  const auto& p = ctx.options().params;
+  bpntt::common::xoshiro256ss rng(seed);
+  for (unsigned i = 0; i < jobs; ++i) {
+    std::vector<bpntt::core::u64> poly(p.n);
+    for (auto& c : poly) c = rng.below(p.q);
+    (void)ctx.submit(bpntt::runtime::ntt_job{.coeffs = std::move(poly)});
+  }
+  return ctx.wait_all();
+}
+
 bpntt::baselines::design_point measure_bpntt_row(unsigned coef_bits, std::uint64_t q) {
-  bpntt::core::engine_config cfg;  // 256x256 @ 45 nm (paper's headline array)
-  bpntt::core::ntt_params p;
-  p.n = 256;
-  p.q = q;
-  p.k = coef_bits;
-  const auto m = bpntt::core::measure_forward(cfg, p);
-  bpntt::baselines::design_point d;
+  using namespace bpntt;
+  // One compute subarray (plus CTRL/CMD): the paper's single-array
+  // measurement, whose area model metrics_from_run anchors to.
+  const auto opts = runtime::runtime_options()
+                        .with_ring(256, q, coef_bits)
+                        .with_backend(runtime::backend_kind::sram)
+                        .with_subarrays(2);
+  runtime::context ctx(opts);
+  const auto results = run_forward_batch(ctx, ctx.wave_width(), /*seed=*/42);
+  const auto& batch = results.front();
+  if (batch.op_stats.lossless_shift_violations != 0) {
+    throw std::runtime_error("BP-NTT run violated the lossless-shift envelope");
+  }
+  const auto m = core::metrics_from_run(opts.array, opts.params.n, coef_bits, ctx.wave_width(),
+                                        batch.wall_cycles, batch.op_stats.energy_pj * 1e-3);
+  baselines::design_point d;
   d.name = "BP-NTT (ours, k=" + std::to_string(coef_bits) + ")";
   d.technology = "In-SRAM";
   d.coef_bits = coef_bits;
-  d.max_f_mhz = cfg.tech.freq_ghz * 1e3;
+  d.max_f_mhz = opts.array.tech.freq_ghz * 1e3;
   d.latency_us = m.latency_us;
   d.throughput_kntt_s = m.throughput_kntt_s;
   d.energy_nj = m.energy_nj;
   d.ntts_per_batch = m.lanes;
   d.area_mm2 = m.area_mm2;
   return d;
+}
+
+// The Montgomery software baseline through the same runtime interface.
+bpntt::baselines::design_point measure_cpu_row(unsigned iterations) {
+  using namespace bpntt;
+  const auto opts = runtime::runtime_options()
+                        .with_ring(256, 12289, 16)
+                        .with_backend(runtime::backend_kind::cpu);
+  runtime::context ctx(opts);
+  const auto results = run_forward_batch(ctx, iterations, /*seed=*/43);
+  const auto& batch = results.front();
+  const double seconds = batch.wall_cycles / (opts.cpu_freq_ghz * 1e9);
+  baselines::cpu_measurement m;
+  m.latency_us = seconds * 1e6 / iterations;
+  m.throughput_kntt_s = iterations / seconds / 1e3;
+  m.energy_nj = batch.op_stats.energy_pj * 1e-3 / iterations;
+  m.assumed_power_w = opts.cpu_power_w;
+  auto row = baselines::cpu_design_point(m, 16);
+  row.name = "CPU (measured, Montgomery)";
+  return row;
 }
 
 std::vector<std::string> row_cells(const bpntt::baselines::design_point& d) {
@@ -73,14 +123,13 @@ int main() {
   for (const auto& d : baselines) table.add_row(row_cells(d));
 
   // Measured CPU baselines on this host (methodology note printed below):
-  // the portable 128-bit-division NTT and the Montgomery-reduction one.
+  // the portable 128-bit-division NTT and, through the same runtime job
+  // interface as the BP-NTT rows, the Montgomery-reduction one.
   const bpntt::math::ntt_tables tables(256, 12289, true);
   const auto cpu = bpntt::baselines::measure_cpu_ntt(tables);
   auto cpu_row = bpntt::baselines::cpu_design_point(cpu, 16);
   cpu_row.name = "CPU (measured, portable)";
-  const auto cpu_fast = bpntt::baselines::measure_cpu_ntt_fast(tables);
-  auto cpu_fast_row = bpntt::baselines::cpu_design_point(cpu_fast, 16);
-  cpu_fast_row.name = "CPU (measured, Montgomery)";
+  const auto cpu_fast_row = measure_cpu_row(/*iterations=*/2000);
   table.add_separator();
   table.add_row(row_cells(cpu_row));
   table.add_row(row_cells(cpu_fast_row));
@@ -106,8 +155,8 @@ int main() {
   std::printf("  TP       %.1f -> %.1f KNTT/mJ\n", paper.tput_per_mj(), bp16.tput_per_mj());
 
   std::printf("\nNotes: baseline rows are the paper's published 45nm-projected numbers\n"
-              "(Table I footnote *); the measured CPU row uses this host and an assumed\n"
-              "%.0f W core power, so only its order of magnitude is meaningful.\n",
+              "(Table I footnote *); the measured CPU rows use this host and an assumed\n"
+              "%.0f W core power, so only their order of magnitude is meaningful.\n",
               cpu.assumed_power_w);
   return 0;
 }

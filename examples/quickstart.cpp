@@ -1,64 +1,74 @@
-// Quickstart: run 16 parallel 256-point NTTs on one simulated 256x256
-// in-SRAM compute array, check the result against the golden transform, and
-// print the cycle/energy report — the library's whole API in ~60 lines.
+// Quickstart: submit a batch of 256-point NTT jobs to the bpntt runtime,
+// let the in-SRAM backend schedule them across its lanes, cross-check every
+// output against the golden reference backend, and print the cycle/energy
+// report — the library's whole public API in ~60 lines.
 #include <cstdio>
 #include <vector>
 
-#include "bpntt/engine.h"
 #include "bpntt/perf_model.h"
 #include "common/xoshiro.h"
-#include "nttmath/ntt.h"
+#include "runtime/context.h"
 
 int main() {
   using namespace bpntt;
 
-  // 1. Pick parameters: a 256-point negacyclic NTT over the Falcon prime,
-  //    on 16-bit tiles (the paper's headline configuration).
-  core::engine_config cfg;  // 256x256 subarray, 45 nm technology model
-  core::ntt_params params;
-  params.n = 256;
-  params.q = 12289;
-  params.k = 16;
+  // 1. Pick parameters: a 256-point negacyclic NTT over the Falcon prime on
+  //    16-bit tiles (the paper's headline configuration), served by one
+  //    256x256 compute subarray (plus its CTRL/CMD subarray) so the derived
+  //    metrics match the paper's single-array anchor row.
+  const auto opts = runtime::runtime_options()
+                        .with_ring(256, 12289, 16)
+                        .with_backend(runtime::backend_kind::sram)
+                        .with_subarrays(2);
 
-  // 2. Build the engine.  It derives twiddle tables, pre-scales them into
-  //    the Montgomery domain, and compiles the command stream.
-  core::bp_ntt_engine engine(cfg, params);
-  std::printf("BP-NTT engine: %u lanes of %u-bit tiles, %u wordlines\n", engine.lanes(),
-              params.k, engine.layout().total_rows());
+  // 2. Build the runtime context.  It owns the banks, derives and pre-scales
+  //    the twiddle tables, and compiles the command streams.
+  runtime::context ctx(opts);
+  std::printf("bpntt runtime: backend '%s', wave width %u jobs, %u wordlines per subarray\n",
+              ctx.active_backend().name().data(), ctx.wave_width(),
+              core::row_layout{opts.array.data_rows}.total_rows());
 
-  // 3. Load one polynomial per lane (SIMD batch).
+  // 3. Submit one forward-NTT job per lane (one SIMD wave).
   common::xoshiro256ss rng(42);
-  std::vector<std::vector<core::u64>> inputs(engine.lanes());
-  for (unsigned lane = 0; lane < engine.lanes(); ++lane) {
-    inputs[lane].resize(params.n);
-    for (auto& c : inputs[lane]) c = rng.below(params.q);
-    engine.load_polynomial(lane, inputs[lane]);
+  std::vector<runtime::job_id> ids;
+  std::vector<std::vector<core::u64>> inputs(ctx.wave_width());
+  for (auto& poly : inputs) {
+    poly.resize(opts.params.n);
+    for (auto& c : poly) c = rng.below(opts.params.q);
+    ids.push_back(ctx.submit(runtime::ntt_job{.coeffs = poly}));
   }
 
-  // 4. Run the forward NTT entirely in-array.
-  const auto stats = engine.run_forward();
-  std::printf("forward NTT batch: %llu cycles, %.1f nJ, %llu array ops "
-              "(%llu lossless-shift violations)\n",
-              static_cast<unsigned long long>(stats.cycles), stats.energy_pj * 1e-3,
-              static_cast<unsigned long long>(stats.total_array_ops()),
-              static_cast<unsigned long long>(stats.lossless_shift_violations));
+  // 4. wait() flushes the queue: the whole batch runs in-array as one wave.
+  std::vector<runtime::job_result> results;
+  for (const auto id : ids) results.push_back(ctx.wait(id));
+  const auto& batch = results.front();
+  std::printf("forward NTT batch: %llu cycles, %.1f nJ, %llu array ops\n",
+              static_cast<unsigned long long>(batch.wall_cycles),
+              batch.op_stats.energy_pj * 1e-3,
+              static_cast<unsigned long long>(batch.op_stats.total_array_ops()));
 
-  // 5. Verify every lane against the golden CPU transform.
+  // 5. Verify every output against the golden backend — same jobs, same
+  //    API, reference implementation underneath.
+  runtime::context golden(runtime::runtime_options(opts).with_backend(
+      runtime::backend_kind::reference));
+  for (const auto& poly : inputs) {
+    (void)golden.submit(runtime::ntt_job{.coeffs = poly});
+  }
+  const auto expected = golden.wait_all();
   unsigned mismatches = 0;
-  for (unsigned lane = 0; lane < engine.lanes(); ++lane) {
-    auto expected = inputs[lane];
-    math::ntt_forward(expected, *engine.tables());
-    if (engine.peek_polynomial(lane, params.n) != expected) ++mismatches;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].outputs[0] != expected[i].outputs[0]) ++mismatches;
   }
-  std::printf("verification: %u/%u lanes match the golden NTT\n", engine.lanes() - mismatches,
-              engine.lanes());
+  std::printf("verification: %zu/%zu jobs match the reference backend\n",
+              results.size() - mismatches, results.size());
 
   // 6. Derived metrics (Table I quantities).
-  const auto m = core::metrics_from_run(cfg, params.n, params.k, engine.lanes(), stats.cycles,
-                                        stats.energy_pj * 1e-3);
+  const auto m = core::metrics_from_run(opts.array, opts.params.n, opts.params.k,
+                                        ctx.wave_width(), batch.wall_cycles,
+                                        batch.op_stats.energy_pj * 1e-3);
   std::printf("metrics @ %.1f GHz: latency %.1f us | throughput %.1f KNTT/s | "
               "area %.3f mm^2 | %.1f KNTT/s/mm^2 | %.1f KNTT/mJ\n",
-              cfg.tech.freq_ghz, m.latency_us, m.throughput_kntt_s, m.area_mm2,
+              opts.array.tech.freq_ghz, m.latency_us, m.throughput_kntt_s, m.area_mm2,
               m.tput_per_area, m.tput_per_mj);
 
   return mismatches == 0 ? 0 : 1;

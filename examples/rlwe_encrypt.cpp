@@ -3,94 +3,84 @@
 // (lattice-based crypto on resource-constrained edge devices, with
 // plaintext never leaving the chip).
 //
-// The polynomial product runs the full in-array pipeline: NTT(a) and NTT(b)
-// at two row bases, in-array pointwise multiply, inverse NTT.  The scheme's
-// correctness is checked by decrypting and comparing to the message, and
-// the engine's products are cross-checked against the golden NTT.
+// The runtime executes each rlwe_encrypt_job entirely through its backend:
+// keygen, encrypt and a decrypt round-trip, with every polynomial product
+// running the full in-array pipeline (NTT(a) and NTT(b) at two row regions,
+// in-array pointwise multiply, inverse NTT).  Determinism from the job seed
+// lets the same jobs re-run on the reference backend for a bit-exactness
+// cross-check.
 #include <cstdio>
 #include <vector>
 
-#include "bpntt/engine.h"
-#include "crypto/rlwe.h"
-#include "nttmath/poly.h"
+#include "common/xoshiro.h"
+#include "crypto/sampler.h"
+#include "runtime/context.h"
 
 int main() {
   using namespace bpntt;
 
   // Falcon-512's ring (n=512) exceeds one 256-row array, so this demo uses
   // a 128-point ring over the Kyber prime — the paper's Fig. 7 workload
-  // size — with 13-bit tiles: 9 lanes on a 128x128 subarray region.
-  crypto::param_set ring;
-  ring.name = "demo-128";
-  ring.n = 128;
-  ring.q = 3329;
-  ring.min_tile_bits = 13;
+  // size — with 13-bit tiles: a[0..128) and b[128..256) row regions.
+  const auto opts = runtime::runtime_options()
+                        .with_ring(128, 3329, 13)
+                        .with_backend(runtime::backend_kind::sram);
+  runtime::context ctx(opts);
 
-  core::engine_config cfg;
-  cfg.data_rows = 256;  // a[0..n) and b[n..2n) row regions
-  cfg.cols = 256;
-  core::ntt_params params;
-  params.n = ring.n;
-  params.q = ring.q;
-  params.k = 13;
-  auto engine = std::make_shared<core::bp_ntt_engine>(cfg, params);
+  std::printf("=== R-LWE encrypt/decrypt on the BP-NTT runtime (n=%llu, q=%llu) ===\n\n",
+              static_cast<unsigned long long>(opts.params.n),
+              static_cast<unsigned long long>(opts.params.q));
 
-  sram::op_stats accel_stats;
-  unsigned products = 0;
-
-  // Ring multiplication routed through the accelerator (lane 0; the other
-  // lanes would carry independent sessions in a real deployment).
-  crypto::polymul_fn in_sram_mul = [&](std::span<const std::uint64_t> a,
-                                       std::span<const std::uint64_t> b) {
-    engine->load_polynomial(0, a, 0);
-    engine->load_polynomial(0, b, static_cast<unsigned>(ring.n));
-    accel_stats += engine->run_forward(0);
-    accel_stats += engine->run_forward(static_cast<unsigned>(ring.n));
-    accel_stats += engine->run_pointwise(0, static_cast<unsigned>(ring.n), 0, ring.n,
-                                         /*scale_b=*/true);
-    accel_stats += engine->run_inverse(0);
-    ++products;
-    return engine->peek_polynomial(0, ring.n, 0);
-  };
-
-  crypto::rlwe_scheme scheme(ring, /*eta=*/2, in_sram_mul);
   common::xoshiro256ss rng(2024);
-
-  std::printf("=== R-LWE encrypt/decrypt on the BP-NTT engine (n=%llu, q=%llu) ===\n\n",
-              static_cast<unsigned long long>(ring.n),
-              static_cast<unsigned long long>(ring.q));
-
-  const auto keys = scheme.keygen(rng);
-  std::printf("keygen done (pk = (a, b = a*s + e))\n");
-
-  unsigned ok = 0, total = 0;
+  std::vector<runtime::job_id> ids;
+  std::vector<std::vector<core::u64>> messages;
   for (int trial = 0; trial < 4; ++trial) {
-    const auto message = crypto::sample_message(ring.n, rng);
-    const auto ct = scheme.encrypt(keys.pk, message, rng);
-    const auto decrypted = scheme.decrypt(keys.sk, ct);
-    const bool match = decrypted == message;
+    messages.push_back(crypto::sample_message(opts.params.n, rng));
+    ids.push_back(ctx.submit(runtime::rlwe_encrypt_job{
+        .message = messages.back(), .eta = 2, .seed = 9000 + static_cast<core::u64>(trial)}));
+  }
+
+  // Each job's outputs are {ciphertext u, ciphertext v, decrypted message}:
+  // keygen, two encryption products and the decryption product all ran
+  // in-array.
+  unsigned ok = 0;
+  sram::op_stats accel_stats;
+  for (std::size_t trial = 0; trial < ids.size(); ++trial) {
+    const auto r = ctx.wait(ids[trial]);
+    const bool match = r.outputs[2] == messages[trial];
     ok += match;
-    ++total;
-    std::printf("trial %d: %llu message bits -> %s\n", trial,
-                static_cast<unsigned long long>(ring.n),
+    accel_stats += r.op_stats;
+    std::printf("trial %zu: %llu message bits -> %s\n", trial,
+                static_cast<unsigned long long>(opts.params.n),
                 match ? "decrypted exactly" : "DECRYPTION FAILED");
   }
 
-  // Cross-check one in-SRAM product against the golden NTT product.
-  const auto a = crypto::sample_uniform(ring.n, ring.q, rng);
-  const auto b = crypto::sample_uniform(ring.n, ring.q, rng);
-  const math::ntt_tables tables(ring.n, ring.q, true);
-  const bool product_ok = in_sram_mul(a, b) == math::polymul_ntt(a, b, tables);
-  std::printf("\nin-SRAM ring product vs golden NTT product: %s\n",
-              product_ok ? "bit-exact" : "MISMATCH");
+  // Cross-check: the same seeded jobs on the golden backend must produce
+  // bit-identical ciphertexts — the in-SRAM products are exact.
+  runtime::context golden(
+      runtime::runtime_options(opts).with_backend(runtime::backend_kind::reference));
+  bool bit_exact = true;
+  for (std::size_t trial = 0; trial < messages.size(); ++trial) {
+    const auto id = golden.submit(runtime::rlwe_encrypt_job{
+        .message = messages[trial], .eta = 2, .seed = 9000 + static_cast<core::u64>(trial)});
+    const auto want = golden.wait(id);
+    const auto again = ctx.submit(runtime::rlwe_encrypt_job{
+        .message = messages[trial], .eta = 2, .seed = 9000 + static_cast<core::u64>(trial)});
+    const auto got = ctx.wait(again);
+    bit_exact = bit_exact && got.outputs[0] == want.outputs[0] && got.outputs[1] == want.outputs[1];
+  }
+  std::printf("\nin-SRAM ciphertexts vs reference backend: %s\n",
+              bit_exact ? "bit-exact" : "MISMATCH");
 
-  std::printf("\naccelerator totals over %u ring products: %llu cycles, %.1f nJ "
+  // Four ring products per job: keygen's a*s, the two encryption products
+  // and the decryption product.
+  const double freq_ghz = opts.array.tech.freq_ghz;
+  std::printf("\naccelerator totals over %zu ring products: %llu cycles, %.1f nJ "
               "(%.1f us at %.1f GHz)\n",
-              products, static_cast<unsigned long long>(accel_stats.cycles),
-              accel_stats.energy_pj * 1e-3,
-              accel_stats.cycles / (cfg.tech.freq_ghz * 1e3), cfg.tech.freq_ghz);
+              4 * ids.size(), static_cast<unsigned long long>(accel_stats.cycles),
+              accel_stats.energy_pj * 1e-3, accel_stats.cycles / (freq_ghz * 1e3), freq_ghz);
   std::printf("plaintext polynomials never left the subarray in plain form — the trusted\n"
               "computing base stays on-chip (§I).\n");
 
-  return (ok == total && product_ok) ? 0 : 1;
+  return (ok == ids.size() && bit_exact) ? 0 : 1;
 }

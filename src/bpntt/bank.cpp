@@ -7,7 +7,9 @@ namespace bpntt::core {
 
 void bank_config::validate() const {
   if (subarrays < 2 || subarrays > 64) {
-    throw std::invalid_argument("bank_config: need 2..64 subarrays (one is CTRL/CMD)");
+    throw std::invalid_argument(
+        "bank_config: subarrays must be in [2, 64] — one subarray is always repurposed as the "
+        "CTRL/CMD store, so at least one more is needed for compute");
   }
   array.validate();
 }
@@ -35,13 +37,19 @@ double bp_ntt_bank::area_mm2() const {
          sram::subarray_area_mm2(cfg_.array.tech, layout.total_rows(), cfg_.array.cols);
 }
 
-bank_run_result bp_ntt_bank::run_forward_batch(const std::vector<std::vector<u64>>& jobs) {
+template <typename LoadFn, typename RunFn, typename ReadFn>
+bank_run_result bp_ntt_bank::schedule(std::size_t njobs, LoadFn&& load, RunFn&& run,
+                                      ReadFn&& read) {
   bank_run_result result;
-  result.outputs.resize(jobs.size());
-  const unsigned per_engine = engines_.front()->lanes();
+  result.outputs.resize(njobs);
+  const unsigned per_engine = engines_.empty() ? 0u : engines_.front()->lanes();
+  if (per_engine == 0) {
+    if (njobs != 0) throw std::logic_error("bp_ntt_bank: no compute subarrays to schedule on");
+    return result;
+  }
 
   std::size_t next = 0;
-  while (next < jobs.size()) {
+  while (next < njobs) {
     // Fill one wave: engine e, lane l <- job next++.
     struct placement {
       std::size_t job;
@@ -49,12 +57,9 @@ bank_run_result bp_ntt_bank::run_forward_batch(const std::vector<std::vector<u64
       unsigned lane;
     };
     std::vector<placement> wave;
-    for (unsigned e = 0; e < engines_.size() && next < jobs.size(); ++e) {
-      for (unsigned lane = 0; lane < per_engine && next < jobs.size(); ++lane, ++next) {
-        if (jobs[next].size() != params_.n) {
-          throw std::invalid_argument("bp_ntt_bank: job size mismatch");
-        }
-        engines_[e]->load_polynomial(lane, jobs[next]);
+    for (unsigned e = 0; e < engines_.size() && next < njobs; ++e) {
+      for (unsigned lane = 0; lane < per_engine && next < njobs; ++lane, ++next) {
+        load(*engines_[e], lane, next);
         wave.push_back({next, e, lane});
       }
     }
@@ -65,17 +70,75 @@ bank_run_result bp_ntt_bank::run_forward_batch(const std::vector<std::vector<u64
     for (const auto& p : wave) ran[p.engine] = true;
     for (unsigned e = 0; e < engines_.size(); ++e) {
       if (!ran[e]) continue;
-      const auto stats = engines_[e]->run_forward();
+      const sram::op_stats stats = run(*engines_[e]);
       wave_cycles = std::max(wave_cycles, stats.cycles);
       result.energy_nj += stats.energy_pj * 1e-3;
+      result.stats += stats;
     }
     for (const auto& p : wave) {
-      result.outputs[p.job] = engines_[p.engine]->peek_polynomial(p.lane, params_.n);
+      result.outputs[p.job] = read(*engines_[p.engine], p.lane, p.job);
     }
     result.cycles += wave_cycles;
     ++result.waves;
   }
+  // The per-wave max is the bank's wall clock; surface it on the summed
+  // stats too so callers get one coherent op_stats.
+  result.stats.cycles = result.cycles;
   return result;
+}
+
+bank_run_result bp_ntt_bank::run_forward_batch(const std::vector<std::vector<u64>>& jobs) {
+  return run_ntt_batch(jobs, transform_dir::forward);
+}
+
+bank_run_result bp_ntt_bank::run_ntt_batch(const std::vector<std::vector<u64>>& jobs,
+                                           transform_dir dir) {
+  for (const auto& j : jobs) {
+    if (j.size() != params_.n) throw std::invalid_argument("bp_ntt_bank: job size mismatch");
+  }
+  return schedule(
+      jobs.size(),
+      [&](bp_ntt_engine& eng, unsigned lane, std::size_t job) {
+        eng.load_polynomial(lane, jobs[job]);
+      },
+      [&](bp_ntt_engine& eng) {
+        return dir == transform_dir::forward ? eng.run_forward() : eng.run_inverse();
+      },
+      [&](bp_ntt_engine& eng, unsigned lane, std::size_t) {
+        return eng.peek_polynomial(lane, params_.n);
+      });
+}
+
+bank_run_result bp_ntt_bank::run_polymul_batch(const std::vector<polymul_pair>& jobs) {
+  if (!supports_polymul()) {
+    throw std::invalid_argument(
+        "bp_ntt_bank: polymul needs two n-row regions per lane (2n <= data_rows)");
+  }
+  for (const auto& j : jobs) {
+    if (j.a.size() != params_.n || j.b.size() != params_.n) {
+      throw std::invalid_argument("bp_ntt_bank: job size mismatch");
+    }
+  }
+  const unsigned n = static_cast<unsigned>(params_.n);
+  return schedule(
+      jobs.size(),
+      [&](bp_ntt_engine& eng, unsigned lane, std::size_t job) {
+        eng.load_polynomial(lane, jobs[job].a, eng.poly_region(0));
+        eng.load_polynomial(lane, jobs[job].b, eng.poly_region(n));
+      },
+      [&](bp_ntt_engine& eng) {
+        const auto ra = eng.poly_region(0);
+        const auto rb = eng.poly_region(n);
+        sram::op_stats stats = eng.run_forward(ra);
+        stats += eng.run_forward(rb);
+        stats += params_.incomplete ? eng.run_basemul(ra, rb, /*scale_b=*/true)
+                                    : eng.run_pointwise(ra, rb, ra, /*scale_b=*/true);
+        stats += eng.run_inverse(ra);
+        return stats;
+      },
+      [&](bp_ntt_engine& eng, unsigned lane, std::size_t) {
+        return eng.peek_polynomial(lane, eng.poly_region(0));
+      });
 }
 
 }  // namespace bpntt::core

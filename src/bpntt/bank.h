@@ -23,6 +23,9 @@
 
 namespace bpntt::core {
 
+// Direction of a batched transform.
+enum class transform_dir { forward, inverse };
+
 struct bank_config {
   unsigned subarrays = 4;  // including the CTRL/CMD subarray
   engine_config array;
@@ -34,18 +37,30 @@ struct bank_run_result {
   std::uint64_t waves = 0;
   std::uint64_t cycles = 0;      // sum over waves of the slowest subarray
   double energy_nj = 0.0;        // all compute subarrays
+  sram::op_stats stats;          // summed over all touched subarrays
   std::vector<std::vector<u64>> outputs;  // one per input polynomial
+};
+
+// One negacyclic ring product a * b mod (x^n + 1, q).
+struct polymul_pair {
+  std::vector<u64> a;
+  std::vector<u64> b;
 };
 
 class bp_ntt_bank {
  public:
   bp_ntt_bank(const bank_config& cfg, const ntt_params& params);
 
+  [[nodiscard]] const ntt_params& params() const noexcept { return params_; }
   [[nodiscard]] unsigned compute_subarrays() const noexcept {
     return static_cast<unsigned>(engines_.size());
   }
   [[nodiscard]] unsigned lanes_per_wave() const noexcept {
-    return compute_subarrays() * engines_.front()->lanes();
+    return engines_.empty() ? 0u : compute_subarrays() * engines_.front()->lanes();
+  }
+  // Whether the polymul pipeline fits: two n-row operand regions per lane.
+  [[nodiscard]] bool supports_polymul() const noexcept {
+    return 2 * params_.n <= cfg_.array.data_rows;
   }
   // Rows of the CTRL/CMD subarray occupied by twiddles + constants.
   [[nodiscard]] unsigned ctrl_rows_used() const noexcept;
@@ -55,8 +70,22 @@ class bp_ntt_bank {
   // Forward-NTT every polynomial in `jobs` (each of size n, canonical).
   [[nodiscard]] bank_run_result run_forward_batch(
       const std::vector<std::vector<u64>>& jobs);
+  // Transform every polynomial in `jobs` in the given direction.  Inverse
+  // consumes bit-reversed transformed coefficients, as run_inverse does.
+  [[nodiscard]] bank_run_result run_ntt_batch(const std::vector<std::vector<u64>>& jobs,
+                                              transform_dir dir);
+  // Full in-array negacyclic products: NTT(a), NTT(b), pointwise (or Kyber
+  // basemul in incomplete mode), INTT — one pair per lane per wave.  Needs
+  // supports_polymul().
+  [[nodiscard]] bank_run_result run_polymul_batch(const std::vector<polymul_pair>& jobs);
 
  private:
+  // Wave scheduler shared by the batch runners: fills every lane of every
+  // compute subarray, executes touched subarrays concurrently (wave latency
+  // = slowest), repeats until the batch drains.
+  template <typename LoadFn, typename RunFn, typename ReadFn>
+  bank_run_result schedule(std::size_t njobs, LoadFn&& load, RunFn&& run, ReadFn&& read);
+
   bank_config cfg_;
   ntt_params params_;
   std::vector<std::unique_ptr<bp_ntt_engine>> engines_;

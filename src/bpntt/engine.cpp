@@ -57,35 +57,49 @@ void bp_ntt_engine::write_constants() {
   array_->host_write_row(layout_.one_row(), one);
 }
 
-void bp_ntt_engine::load_polynomial(unsigned lane, std::span<const u64> coeffs,
-                                    unsigned row_base) {
-  if (lane >= lanes()) throw std::out_of_range("bp_ntt_engine: lane");
-  if (row_base + coeffs.size() > layout_.data_rows) {
+void bp_ntt_engine::load_polynomial(unsigned lane, std::span<const u64> coeffs) {
+  if (coeffs.size() > layout_.data_rows) {
     throw std::out_of_range("bp_ntt_engine: coefficients exceed data rows");
+  }
+  load_polynomial(lane, coeffs, layout_.make_region(0, coeffs.size()));
+}
+
+void bp_ntt_engine::load_polynomial(unsigned lane, std::span<const u64> coeffs,
+                                    const region& dst) {
+  if (lane >= lanes()) throw std::out_of_range("bp_ntt_engine: lane");
+  if (coeffs.size() != dst.rows()) {
+    throw std::invalid_argument("bp_ntt_engine: coefficient count does not match region");
   }
   for (std::size_t i = 0; i < coeffs.size(); ++i) {
     if (!params_.synthetic() && coeffs[i] >= params_.q) {
       throw std::invalid_argument("bp_ntt_engine: coefficient not canonical");
     }
-    array_->host_write_word(lane, row_base + static_cast<unsigned>(i), coeffs[i]);
+    array_->host_write_word(lane, dst.base() + static_cast<unsigned>(i), coeffs[i]);
   }
 }
 
-std::vector<u64> bp_ntt_engine::read_polynomial(unsigned lane, u64 count, unsigned row_base) {
+std::vector<u64> bp_ntt_engine::read_polynomial(unsigned lane, u64 count) {
+  return read_polynomial(lane, layout_.make_region(0, count));
+}
+
+std::vector<u64> bp_ntt_engine::read_polynomial(unsigned lane, const region& src) {
   if (lane >= lanes()) throw std::out_of_range("bp_ntt_engine: lane");
-  std::vector<u64> out(count);
-  for (u64 i = 0; i < count; ++i) {
-    out[i] = array_->host_read_word(lane, row_base + static_cast<unsigned>(i));
+  std::vector<u64> out(src.rows());
+  for (u64 i = 0; i < src.rows(); ++i) {
+    out[i] = array_->host_read_word(lane, src.base() + static_cast<unsigned>(i));
   }
   return out;
 }
 
-std::vector<u64> bp_ntt_engine::peek_polynomial(unsigned lane, u64 count,
-                                                unsigned row_base) const {
+std::vector<u64> bp_ntt_engine::peek_polynomial(unsigned lane, u64 count) const {
+  return peek_polynomial(lane, layout_.make_region(0, count));
+}
+
+std::vector<u64> bp_ntt_engine::peek_polynomial(unsigned lane, const region& src) const {
   if (lane >= lanes()) throw std::out_of_range("bp_ntt_engine: lane");
-  std::vector<u64> out(count);
-  for (u64 i = 0; i < count; ++i) {
-    out[i] = array_->peek_word(lane, row_base + static_cast<unsigned>(i));
+  std::vector<u64> out(src.rows());
+  for (u64 i = 0; i < src.rows(); ++i) {
+    out[i] = array_->peek_word(lane, src.base() + static_cast<unsigned>(i));
   }
   return out;
 }
@@ -109,35 +123,53 @@ sram::op_stats bp_ntt_engine::execute(const isa::program& p) {
   return delta;
 }
 
-sram::op_stats bp_ntt_engine::run_forward(unsigned row_base) {
-  auto key = std::make_pair(static_cast<int>(k_forward), row_base);
+void bp_ntt_engine::require_poly_region(const region& r) const {
+  if (r.rows() != params_.n) {
+    throw std::invalid_argument("bp_ntt_engine: transform kernels need an n-row region");
+  }
+}
+
+sram::op_stats bp_ntt_engine::run_forward(const region& r) {
+  require_poly_region(r);
+  auto key = std::make_pair(static_cast<int>(k_forward), r.base());
   auto it = cache_.find(key);
   if (it == cache_.end()) {
-    it = cache_.emplace(key, compiler_.compile_forward(plan_, row_base)).first;
+    it = cache_.emplace(key, compiler_.compile_forward(plan_, r.base())).first;
   }
   return execute(it->second);
 }
 
-sram::op_stats bp_ntt_engine::run_inverse(unsigned row_base) {
-  auto key = std::make_pair(static_cast<int>(k_inverse), row_base);
+sram::op_stats bp_ntt_engine::run_inverse(const region& r) {
+  require_poly_region(r);
+  auto key = std::make_pair(static_cast<int>(k_inverse), r.base());
   auto it = cache_.find(key);
   if (it == cache_.end()) {
-    it = cache_.emplace(key, compiler_.compile_inverse(plan_, row_base)).first;
+    it = cache_.emplace(key, compiler_.compile_inverse(plan_, r.base())).first;
   }
   return execute(it->second);
 }
 
-sram::op_stats bp_ntt_engine::run_pointwise(unsigned a_base, unsigned b_base, unsigned dst_base,
-                                            u64 count, bool scale_b) {
-  return execute(compiler_.compile_pointwise(plan_, a_base, b_base, dst_base, count, scale_b));
+sram::op_stats bp_ntt_engine::run_pointwise(const region& a, const region& b, const region& dst,
+                                            bool scale_b) {
+  if (a.rows() != b.rows() || a.rows() != dst.rows()) {
+    throw std::invalid_argument("bp_ntt_engine: pointwise regions must be equal-sized");
+  }
+  return execute(
+      compiler_.compile_pointwise(plan_, a.base(), b.base(), dst.base(), a.rows(), scale_b));
 }
 
-sram::op_stats bp_ntt_engine::run_basemul(unsigned a_base, unsigned b_base, bool scale_b) {
-  return execute(compiler_.compile_basemul(plan_, a_base, b_base, scale_b));
+sram::op_stats bp_ntt_engine::run_basemul(const region& a, const region& b, bool scale_b) {
+  require_poly_region(a);
+  require_poly_region(b);
+  return execute(compiler_.compile_basemul(plan_, a.base(), b.base(), scale_b));
 }
 
-sram::op_stats bp_ntt_engine::run_modmul_rows(unsigned a_row, unsigned b_row, unsigned dst_row) {
-  return execute(compiler_.compile_modmul_data(a_row, b_row, dst_row));
+sram::op_stats bp_ntt_engine::run_modmul_rows(const region& a, const region& b,
+                                              const region& dst) {
+  if (a.rows() != 1 || b.rows() != 1 || dst.rows() != 1) {
+    throw std::invalid_argument("bp_ntt_engine: run_modmul_rows needs single-row regions");
+  }
+  return execute(compiler_.compile_modmul_data(a.base(), b.base(), dst.base()));
 }
 
 }  // namespace bpntt::core

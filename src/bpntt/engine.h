@@ -11,9 +11,13 @@
 //   auto stats = eng.run_forward();          // cycles + energy of the batch
 //   auto out   = eng.peek_polynomial(lane);  // bit-reversed NTT(coeffs)
 //
-// For full negacyclic polynomial products entirely in-array, place the two
-// operands at different row bases (n <= data_rows/2) and chain
-// run_forward_at / run_pointwise / run_inverse_at.
+// For full negacyclic polynomial products entirely in-array, allocate two
+// regions from the row layout (n <= data_rows/2) and chain
+// run_forward / run_pointwise / run_inverse on them:
+//   auto ra = eng.poly_region(0), rb = eng.poly_region(n);
+//   eng.run_forward(ra); eng.run_forward(rb);
+//   eng.run_pointwise(ra, rb, ra, /*scale_b=*/true);
+//   eng.run_inverse(ra);
 #pragma once
 
 #include <map>
@@ -51,24 +55,39 @@ class bp_ntt_engine {
     return itables_.get();
   }
 
-  // Host data movement.  Coefficients must be canonical (< q).
-  void load_polynomial(unsigned lane, std::span<const u64> coeffs, unsigned row_base = 0);
+  // Region handles over this engine's data rows.  poly_region(base) is the
+  // n-row window a transform kernel operates on; arbitrary windows come from
+  // layout().make_region(base, rows).
+  [[nodiscard]] region poly_region(unsigned base = 0) const {
+    return layout_.make_region(base, params_.n);
+  }
+
+  // Host data movement.  Coefficients must be canonical (< q).  The
+  // region-less overloads address rows [0, len) — the common single-residency
+  // case.
+  void load_polynomial(unsigned lane, std::span<const u64> coeffs);
+  void load_polynomial(unsigned lane, std::span<const u64> coeffs, const region& dst);
   // Counted host readout.
-  [[nodiscard]] std::vector<u64> read_polynomial(unsigned lane, u64 count,
-                                                 unsigned row_base = 0);
+  [[nodiscard]] std::vector<u64> read_polynomial(unsigned lane, u64 count);
+  [[nodiscard]] std::vector<u64> read_polynomial(unsigned lane, const region& src);
   // Free debug readout (no cycles/energy).
-  [[nodiscard]] std::vector<u64> peek_polynomial(unsigned lane, u64 count,
-                                                 unsigned row_base = 0) const;
+  [[nodiscard]] std::vector<u64> peek_polynomial(unsigned lane, u64 count) const;
+  [[nodiscard]] std::vector<u64> peek_polynomial(unsigned lane, const region& src) const;
 
   // Kernels; each returns the stats delta for the run (batch of all lanes).
-  sram::op_stats run_forward(unsigned row_base = 0);
-  sram::op_stats run_inverse(unsigned row_base = 0);
-  sram::op_stats run_pointwise(unsigned a_base, unsigned b_base, unsigned dst_base, u64 count,
+  // Transform kernels require an n-row region (poly_region); run_pointwise
+  // multiplies equal-sized windows element-by-element; run_modmul_rows takes
+  // three single-row windows.
+  sram::op_stats run_forward() { return run_forward(poly_region()); }
+  sram::op_stats run_forward(const region& r);
+  sram::op_stats run_inverse() { return run_inverse(poly_region()); }
+  sram::op_stats run_inverse(const region& r);
+  sram::op_stats run_pointwise(const region& a, const region& b, const region& dst,
                                bool scale_b);
   // Incomplete-mode base multiplications (results land in the a region).
-  sram::op_stats run_basemul(unsigned a_base, unsigned b_base, bool scale_b);
+  sram::op_stats run_basemul(const region& a, const region& b, bool scale_b);
   // Single modular product: dst = a * b mod q with per-lane operands.
-  sram::op_stats run_modmul_rows(unsigned a_row, unsigned b_row, unsigned dst_row);
+  sram::op_stats run_modmul_rows(const region& a, const region& b, const region& dst);
 
   [[nodiscard]] const sram::op_stats& cumulative_stats() const noexcept {
     return array_->stats();
@@ -77,6 +96,7 @@ class bp_ntt_engine {
  private:
   sram::op_stats execute(const isa::program& p);
   void write_constants();
+  void require_poly_region(const region& r) const;
 
   ntt_params params_;
   row_layout layout_;

@@ -16,6 +16,31 @@
 
 namespace bpntt::core {
 
+struct row_layout;
+
+// A validated window of coefficient rows [base, base+rows).  Regions are the
+// only way to address data rows through the engine's kernel surface: they can
+// be obtained solely from a row_layout (or the engine conveniences built on
+// it), so a region in hand is proof the window fits the subarray — no bare
+// row arithmetic at call sites, no per-kernel bounds rechecks.
+class region {
+ public:
+  region() = default;
+
+  [[nodiscard]] unsigned base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t rows() const noexcept { return rows_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0; }
+
+  friend bool operator==(const region&, const region&) = default;
+
+ private:
+  friend struct row_layout;
+  region(unsigned base, std::uint64_t rows) : base_(base), rows_(rows) {}
+
+  unsigned base_ = 0;
+  std::uint64_t rows_ = 0;
+};
+
 struct row_layout {
   unsigned data_rows = 256;
 
@@ -47,6 +72,17 @@ struct row_layout {
   [[nodiscard]] std::uint16_t coeff_row(std::uint64_t base, std::uint64_t i) const {
     if (base + i >= data_rows) throw std::out_of_range("row_layout: coefficient row");
     return u16(base + i);
+  }
+
+  // Allocate a region handle over data rows [base, base+rows); the only
+  // constructor of `region`, so every handle is bounds-checked at birth.
+  [[nodiscard]] region make_region(unsigned base, std::uint64_t rows) const {
+    if (rows == 0) throw std::invalid_argument("row_layout: empty region");
+    // Overflow-safe form of base + rows > data_rows.
+    if (rows > data_rows || base > data_rows - rows) {
+      throw std::out_of_range("row_layout: region exceeds data rows");
+    }
+    return region(base, rows);
   }
 
   // SRAM cells one n-point, k-bit polynomial occupies — the paper's Fig. 7

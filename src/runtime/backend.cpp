@@ -1,0 +1,23 @@
+#include "runtime/backend.h"
+
+#include <stdexcept>
+
+#include "runtime/cpu_backend.h"
+#include "runtime/reference_backend.h"
+#include "runtime/sram_backend.h"
+
+namespace bpntt::runtime {
+
+std::unique_ptr<backend> make_backend(const runtime_options& opts) {
+  switch (opts.backend) {
+    case backend_kind::sram:
+      return std::make_unique<sram_backend>(opts);
+    case backend_kind::cpu:
+      return std::make_unique<cpu_backend>(opts);
+    case backend_kind::reference:
+      return std::make_unique<reference_backend>(opts);
+  }
+  throw std::logic_error("make_backend: unknown backend kind");
+}
+
+}  // namespace bpntt::runtime

@@ -1,0 +1,54 @@
+// Backend interface of the bpntt runtime: the uniform dispatch layer the
+// context schedules onto.
+//
+// A backend executes *typed batches* — the context has already grouped
+// compatible jobs — and reports results in the same op_stats / wall-cycle
+// currency regardless of what is underneath: the cycle-level in-SRAM model,
+// the measured Montgomery software path, or the golden transform.  This is
+// the comparison surface the paper's Table I needs (BP-NTT vs CPU under one
+// methodology), with the golden backend as the correctness oracle.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "runtime/job.h"
+
+namespace bpntt::runtime {
+
+struct runtime_options;
+
+// Result of one scheduled batch.  wall_cycles is the batch's wall-clock in
+// the backend's own cycle domain (array cycles for sram, core cycles for
+// cpu, 0 for the free reference oracle); stats aggregates whatever the
+// backend meters.
+struct batch_result {
+  std::vector<std::vector<u64>> outputs;
+  sram::op_stats stats;
+  u64 wall_cycles = 0;
+  u64 waves = 0;  // scheduling waves executed (sram); 1 per non-empty batch otherwise
+};
+
+class backend {
+ public:
+  virtual ~backend() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  // Jobs one scheduling round absorbs at full utilisation (sram: lanes per
+  // wave summed over banks); 0 = unbounded.
+  [[nodiscard]] virtual unsigned wave_width() const noexcept = 0;
+  // Whether run_polymul can execute at the configured parameters (the sram
+  // pipeline needs two n-row operand regions per lane).
+  [[nodiscard]] virtual bool supports_polymul() const noexcept = 0;
+
+  // Transform every polynomial; outputs in input order.
+  virtual batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir dir) = 0;
+  // Negacyclic ring product per pair; outputs in input order.
+  virtual batch_result run_polymul(const std::vector<core::polymul_pair>& pairs) = 0;
+};
+
+// Instantiate the backend selected by opts (opts must be validated).
+[[nodiscard]] std::unique_ptr<backend> make_backend(const runtime_options& opts);
+
+}  // namespace bpntt::runtime

@@ -1,0 +1,200 @@
+#include "runtime/context.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/xoshiro.h"
+#include "crypto/rlwe.h"
+
+namespace bpntt::runtime {
+
+context::context(runtime_options opts) : opts_(std::move(opts)) {
+  opts_.validate();
+  backend_ = make_backend(opts_);
+}
+
+namespace {
+
+void require_ring_poly(const std::vector<u64>& coeffs, const core::ntt_params& p,
+                       const char* what) {
+  if (coeffs.size() != p.n) {
+    throw std::invalid_argument(std::string("runtime: ") + what + " must have exactly n = " +
+                                std::to_string(p.n) + " coefficients");
+  }
+  for (const u64 c : coeffs) {
+    if (c >= p.q) {
+      throw std::invalid_argument(std::string("runtime: ") + what +
+                                  " coefficients must be canonical (< q)");
+    }
+  }
+}
+
+}  // namespace
+
+job_id context::enqueue(job j) {
+  const job_id id = next_id_++;
+  queue_.emplace_back(id, std::move(j));
+  ++stats_.jobs_submitted;
+  return id;
+}
+
+job_id context::submit(ntt_job j) {
+  require_ring_poly(j.coeffs, opts_.params, "ntt_job");
+  return enqueue(std::move(j));
+}
+
+job_id context::submit(polymul_job j) {
+  require_ring_poly(j.a, opts_.params, "polymul_job.a");
+  require_ring_poly(j.b, opts_.params, "polymul_job.b");
+  if (!backend_->supports_polymul()) {
+    throw std::invalid_argument(
+        "runtime: this backend cannot run ring products at these parameters (the in-SRAM "
+        "pipeline needs two n-row operand regions per lane: 2n <= data_rows)");
+  }
+  return enqueue(std::move(j));
+}
+
+job_id context::submit(rlwe_encrypt_job j) {
+  const auto& p = opts_.params;
+  if (j.message.size() != p.n) {
+    throw std::invalid_argument("runtime: rlwe message must have exactly n bits");
+  }
+  if (!p.negacyclic || p.incomplete || (p.q - 1) % (2 * p.n) != 0) {
+    throw std::invalid_argument(
+        "runtime: rlwe_encrypt_job needs a ring with a full negacyclic NTT (2n | q-1)");
+  }
+  if (!backend_->supports_polymul()) {
+    throw std::invalid_argument(
+        "runtime: rlwe_encrypt_job needs in-array ring products (2n <= data_rows)");
+  }
+  return enqueue(std::move(j));
+}
+
+void context::account(const batch_result& r) {
+  ++stats_.batches;
+  stats_.waves += r.waves;
+  stats_.wall_cycles += r.wall_cycles;
+  stats_.energy_nj += r.stats.energy_pj * 1e-3;
+}
+
+void context::distribute(const std::vector<job_id>& ids, batch_result&& r) {
+  account(r);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    job_result res;
+    res.outputs.push_back(std::move(r.outputs[i]));
+    res.op_stats = r.stats;
+    res.wall_cycles = r.wall_cycles;
+    res.jobs_in_batch = ids.size();
+    done_.emplace(ids[i], std::move(res));
+  }
+  stats_.jobs_completed += ids.size();
+}
+
+void context::dispatch_ntt_group(const std::vector<job_id>& ids, std::vector<ntt_job>&& jobs,
+                                 transform_dir dir) {
+  std::vector<std::vector<u64>> polys;
+  polys.reserve(jobs.size());
+  for (auto& j : jobs) polys.push_back(std::move(j.coeffs));
+  distribute(ids, backend_->run_ntt(polys, dir));
+}
+
+void context::dispatch_polymul_group(const std::vector<job_id>& ids,
+                                     std::vector<polymul_job>&& jobs) {
+  std::vector<core::polymul_pair> pairs;
+  pairs.reserve(jobs.size());
+  for (auto& j : jobs) pairs.push_back({std::move(j.a), std::move(j.b)});
+  distribute(ids, backend_->run_polymul(pairs));
+}
+
+void context::run_rlwe(job_id id, const rlwe_encrypt_job& j) {
+  crypto::param_set ring;
+  ring.name = "runtime";
+  ring.n = opts_.params.n;
+  ring.q = opts_.params.q;
+  ring.min_tile_bits = opts_.params.k;
+
+  sram::op_stats stats;
+  u64 cycles = 0;
+  crypto::polymul_fn mul = [&](std::span<const std::uint64_t> a,
+                               std::span<const std::uint64_t> b) {
+    std::vector<core::polymul_pair> one(1);
+    one[0].a.assign(a.begin(), a.end());
+    one[0].b.assign(b.begin(), b.end());
+    batch_result r = backend_->run_polymul(one);
+    account(r);
+    stats += r.stats;
+    cycles += r.wall_cycles;
+    return std::move(r.outputs[0]);
+  };
+
+  crypto::rlwe_scheme scheme(ring, j.eta, mul);
+  common::xoshiro256ss rng(j.seed);
+  const auto keys = scheme.keygen(rng);
+  const auto ct = scheme.encrypt(keys.pk, j.message, rng);
+  const auto decrypted = scheme.decrypt(keys.sk, ct);
+
+  job_result res;
+  res.outputs = {ct.u, ct.v, decrypted};
+  res.op_stats = stats;
+  res.op_stats.cycles = cycles;  // the four ring products run back-to-back
+  res.wall_cycles = cycles;
+  done_.emplace(id, std::move(res));
+  ++stats_.jobs_completed;
+}
+
+void context::flush() {
+  if (queue_.empty()) return;
+  // Jobs are independent, so the whole pending set is partitioned by kind
+  // (and direction) into one backend dispatch each — the widest batches the
+  // backend can shard over banks, lanes and waves.  Results are keyed by
+  // job_id, so regrouping never misroutes an output.
+  std::vector<job_id> fwd_ids, inv_ids, mul_ids;
+  std::vector<ntt_job> fwd, inv;
+  std::vector<polymul_job> muls;
+  std::vector<std::pair<job_id, rlwe_encrypt_job>> rlwes;
+  for (auto& [id, j] : queue_) {
+    if (auto* ntt = std::get_if<ntt_job>(&j)) {
+      auto& ids = ntt->dir == transform_dir::forward ? fwd_ids : inv_ids;
+      auto& group = ntt->dir == transform_dir::forward ? fwd : inv;
+      ids.push_back(id);
+      group.push_back(std::move(*ntt));
+    } else if (auto* mul = std::get_if<polymul_job>(&j)) {
+      mul_ids.push_back(id);
+      muls.push_back(std::move(*mul));
+    } else {
+      rlwes.emplace_back(id, std::move(std::get<rlwe_encrypt_job>(j)));
+    }
+  }
+  queue_.clear();
+
+  if (!fwd.empty()) dispatch_ntt_group(fwd_ids, std::move(fwd), transform_dir::forward);
+  if (!inv.empty()) dispatch_ntt_group(inv_ids, std::move(inv), transform_dir::inverse);
+  if (!muls.empty()) dispatch_polymul_group(mul_ids, std::move(muls));
+  for (const auto& [id, j] : rlwes) run_rlwe(id, j);
+}
+
+job_result context::wait(job_id id) {
+  if (id == 0 || id >= next_id_) throw std::out_of_range("runtime: unknown job id");
+  auto it = done_.find(id);
+  if (it == done_.end()) {
+    flush();
+    it = done_.find(id);
+  }
+  if (it == done_.end()) {
+    throw std::out_of_range("runtime: job result already claimed");
+  }
+  job_result res = std::move(it->second);
+  done_.erase(it);
+  return res;
+}
+
+std::vector<job_result> context::wait_all() {
+  flush();
+  std::vector<job_result> all;
+  all.reserve(done_.size());
+  for (auto& [id, res] : done_) all.push_back(std::move(res));
+  done_.clear();
+  return all;
+}
+
+}  // namespace bpntt::runtime

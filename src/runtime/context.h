@@ -1,0 +1,92 @@
+// bpntt::runtime::context — the library's public job-submission API.
+//
+//   runtime::context ctx(runtime_options()
+//                            .with_ring(256, 7681, 14)
+//                            .with_backend(backend_kind::sram)
+//                            .with_banks(2));
+//   std::vector<runtime::job_id> ids;
+//   for (auto& poly : batch) ids.push_back(ctx.submit(runtime::ntt_job{.coeffs = poly}));
+//   for (auto id : ids) auto r = ctx.wait(id);   // r.outputs[0] = NTT(poly)
+//
+// submit() validates and enqueues; nothing executes until a wait (or an
+// explicit flush).  The deferral is the batching opportunity: at flush time
+// the pending set is partitioned by job kind — forward transforms with
+// forward transforms, ring products with ring products — and each partition
+// goes to the backend as one batch, so the in-SRAM scheduler can shard it
+// across banks and lanes and fill whole waves.  Jobs are independent and
+// results are keyed by job_id, so the regrouping is unobservable except in
+// the scheduler counters.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "runtime/backend.h"
+#include "runtime/job.h"
+#include "runtime/options.h"
+
+namespace bpntt::runtime {
+
+using job = std::variant<ntt_job, polymul_job, rlwe_encrypt_job>;
+
+// Cumulative scheduling counters across the context's lifetime.
+struct scheduler_stats {
+  u64 jobs_submitted = 0;
+  u64 jobs_completed = 0;
+  u64 batches = 0;      // backend dispatches
+  u64 waves = 0;        // scheduling waves executed by the backend
+  u64 wall_cycles = 0;  // sum of batch wall-clocks (batches run back-to-back)
+  double energy_nj = 0.0;
+};
+
+class context {
+ public:
+  explicit context(runtime_options opts);
+
+  context(const context&) = delete;
+  context& operator=(const context&) = delete;
+
+  [[nodiscard]] const runtime_options& options() const noexcept { return opts_; }
+  [[nodiscard]] backend& active_backend() noexcept { return *backend_; }
+  // Jobs one scheduling round absorbs at full utilisation (0 = unbounded).
+  [[nodiscard]] unsigned wave_width() const noexcept { return backend_->wave_width(); }
+  [[nodiscard]] const scheduler_stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  // Validate and enqueue; throws std::invalid_argument on jobs the
+  // configured ring or backend cannot execute.
+  job_id submit(ntt_job j);
+  job_id submit(polymul_job j);
+  job_id submit(rlwe_encrypt_job j);
+
+  // Execute everything pending: the queue is partitioned by job kind (and
+  // transform direction) into one backend dispatch each.  Jobs are
+  // independent, so the regrouping is unobservable outside stats().
+  void flush();
+
+  // Result retrieval (flushes first if the job is still queued).  wait()
+  // consumes the result; waiting twice on the same id throws.
+  [[nodiscard]] job_result wait(job_id id);
+  // All unclaimed results in submission order.
+  [[nodiscard]] std::vector<job_result> wait_all();
+
+ private:
+  job_id enqueue(job j);
+  void distribute(const std::vector<job_id>& ids, batch_result&& r);
+  void dispatch_ntt_group(const std::vector<job_id>& ids, std::vector<ntt_job>&& jobs,
+                          transform_dir dir);
+  void dispatch_polymul_group(const std::vector<job_id>& ids, std::vector<polymul_job>&& jobs);
+  void run_rlwe(job_id id, const rlwe_encrypt_job& j);
+  void account(const batch_result& r);
+
+  runtime_options opts_;
+  std::unique_ptr<backend> backend_;
+  std::vector<std::pair<job_id, job>> queue_;
+  std::map<job_id, job_result> done_;
+  job_id next_id_ = 1;
+  scheduler_stats stats_;
+};
+
+}  // namespace bpntt::runtime

@@ -1,0 +1,84 @@
+#include "runtime/cpu_backend.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "nttmath/poly.h"
+
+namespace bpntt::runtime {
+
+cpu_backend::cpu_backend(const runtime_options& opts)
+    : params_(opts.params), freq_ghz_(opts.cpu_freq_ghz), power_w_(opts.cpu_power_w) {
+  if (params_.incomplete) {
+    itables_ = std::make_unique<math::incomplete_ntt_tables>(params_.n, params_.q);
+  } else {
+    tables_ = std::make_unique<math::ntt_tables>(params_.n, params_.q, params_.negacyclic);
+    // The Montgomery fast path implements the negacyclic CT/GS pair; cyclic
+    // rings use the exact table-driven transform instead.
+    if (params_.negacyclic) fast_ = std::make_unique<math::fast_ntt>(*tables_);
+  }
+}
+
+void cpu_backend::transform(std::vector<u64>& a, transform_dir dir) const {
+  if (itables_) {
+    dir == transform_dir::forward ? math::incomplete_ntt_forward(a, *itables_)
+                                  : math::incomplete_ntt_inverse(a, *itables_);
+  } else if (fast_) {
+    dir == transform_dir::forward ? fast_->forward(a) : fast_->inverse(a);
+  } else {
+    dir == transform_dir::forward ? math::cyclic_ntt_forward(a, *tables_)
+                                  : math::cyclic_ntt_inverse(a, *tables_);
+  }
+}
+
+batch_result cpu_backend::finish(std::vector<std::vector<u64>> outputs, double seconds) const {
+  batch_result out;
+  out.waves = outputs.empty() ? 0 : 1;
+  out.outputs = std::move(outputs);
+  out.wall_cycles = static_cast<u64>(std::llround(seconds * freq_ghz_ * 1e9));
+  out.stats.cycles = out.wall_cycles;
+  out.stats.energy_pj = seconds * power_w_ * 1e12;
+  return out;
+}
+
+batch_result cpu_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
+                                  transform_dir dir) {
+  std::vector<std::vector<u64>> outputs = polys;
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& a : outputs) transform(a, dir);
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return finish(std::move(outputs), elapsed.count());
+}
+
+batch_result cpu_backend::run_polymul(const std::vector<core::polymul_pair>& pairs) {
+  std::vector<std::vector<u64>> outputs(pairs.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (itables_) {
+      std::vector<u64> a = pairs[i].a;
+      std::vector<u64> b = pairs[i].b;
+      math::incomplete_ntt_forward(a, *itables_);
+      math::incomplete_ntt_forward(b, *itables_);
+      std::vector<u64> c(a.size());
+      math::incomplete_basemul(a, b, c, *itables_);
+      math::incomplete_ntt_inverse(c, *itables_);
+      outputs[i] = std::move(c);
+    } else if (fast_) {
+      std::vector<u64> a = pairs[i].a;
+      std::vector<u64> b = pairs[i].b;
+      fast_->forward(a);
+      fast_->forward(b);
+      std::vector<u64> c(a.size());
+      math::ntt_pointwise(a, b, c, params_.q);
+      fast_->inverse(c);
+      outputs[i] = std::move(c);
+    } else {
+      outputs[i] = math::polymul_ntt(pairs[i].a, pairs[i].b, *tables_);
+    }
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  return finish(std::move(outputs), elapsed.count());
+}
+
+}  // namespace bpntt::runtime

@@ -1,0 +1,45 @@
+// Software backend: the measured CPU baseline of Table I behind the uniform
+// interface.
+//
+// Math runs on the Montgomery-reduction fast_ntt (the competitive software
+// path, not the 128-bit-division golden model); incomplete and cyclic
+// parameter sets fall back to the exact table-driven transforms.  Wall time
+// is measured with a monotonic clock and converted into the unified cycle /
+// energy accounting via the configured core frequency and power — the same
+// methodology baselines::measure_cpu_ntt uses for the Table I row.
+#pragma once
+
+#include <memory>
+
+#include "nttmath/fast_ntt.h"
+#include "nttmath/incomplete_ntt.h"
+#include "runtime/backend.h"
+#include "runtime/options.h"
+
+namespace bpntt::runtime {
+
+class cpu_backend final : public backend {
+ public:
+  explicit cpu_backend(const runtime_options& opts);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "cpu"; }
+  [[nodiscard]] unsigned wave_width() const noexcept override { return 0; }
+  [[nodiscard]] bool supports_polymul() const noexcept override { return true; }
+
+  batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir dir) override;
+  batch_result run_polymul(const std::vector<core::polymul_pair>& pairs) override;
+
+ private:
+  void transform(std::vector<u64>& a, transform_dir dir) const;
+  [[nodiscard]] batch_result finish(std::vector<std::vector<u64>> outputs,
+                                    double seconds) const;
+
+  core::ntt_params params_;
+  double freq_ghz_ = 0.0;
+  double power_w_ = 0.0;
+  std::unique_ptr<math::ntt_tables> tables_;
+  std::unique_ptr<math::incomplete_ntt_tables> itables_;
+  std::unique_ptr<math::fast_ntt> fast_;
+};
+
+}  // namespace bpntt::runtime

@@ -1,0 +1,63 @@
+// Typed job model of the bpntt runtime — the unit of work a client submits
+// to a runtime::context.
+//
+// Three job kinds cover the workloads the paper measures: raw transforms
+// (the Table I microkernel), full negacyclic ring products (the polynomial
+// multiplication every lattice scheme spends its time in), and end-to-end
+// R-LWE encryption (the edge-device motivation of §I).  Each submit()
+// returns a job_id; wait() returns the matching job_result regardless of
+// which backend executed it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bpntt/bank.h"
+#include "sram/stats.h"
+
+namespace bpntt::runtime {
+
+using u64 = core::u64;
+using core::transform_dir;
+
+// One n-point transform of `coeffs` (canonical residues).  Forward consumes
+// standard order and produces bit-reversed order; inverse is the converse —
+// the same ordering contract as the golden transform.
+struct ntt_job {
+  transform_dir dir = transform_dir::forward;
+  std::vector<u64> coeffs;
+};
+
+// One negacyclic ring product a * b mod (x^n + 1, q).  In incomplete
+// (standardized-Kyber) parameter sets the product is finished with degree-1
+// base multiplications, exactly as the in-array pipeline does.
+struct polymul_job {
+  std::vector<u64> a;
+  std::vector<u64> b;
+};
+
+// End-to-end R-LWE public-key encryption of a {0,1} message polynomial.
+// Key generation, encryption and a decryption round-trip all run with ring
+// products routed through the executing backend.  Randomness is derived
+// deterministically from `seed`, so two backends given the same job produce
+// bit-identical ciphertexts — the property the differential tests pin down.
+struct rlwe_encrypt_job {
+  std::vector<u64> message;
+  unsigned eta = 2;
+  u64 seed = 1;
+};
+
+using job_id = std::uint64_t;
+
+// Unified result: `outputs` holds the job's polynomials (one for ntt_job and
+// polymul_job; ciphertext u, v and the decrypted round-trip for
+// rlwe_encrypt_job).  op_stats and wall_cycles describe the scheduled batch
+// the job rode in — divide by jobs_in_batch for an amortized per-job view.
+struct job_result {
+  std::vector<std::vector<u64>> outputs;
+  sram::op_stats op_stats;
+  u64 wall_cycles = 0;
+  std::size_t jobs_in_batch = 1;
+};
+
+}  // namespace bpntt::runtime

@@ -1,0 +1,59 @@
+#include "runtime/options.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace bpntt::runtime {
+
+const char* to_string(backend_kind k) noexcept {
+  switch (k) {
+    case backend_kind::sram:
+      return "sram";
+    case backend_kind::cpu:
+      return "cpu";
+    case backend_kind::reference:
+      return "reference";
+  }
+  return "?";
+}
+
+runtime_options runtime_options::for_param_set(const crypto::param_set& set) {
+  runtime_options opts;
+  opts.params.n = set.n;
+  opts.params.q = set.q;
+  opts.params.k = std::max(set.min_tile_bits, crypto::required_tile_bits(set.q));
+  opts.params.negacyclic = set.negacyclic;
+  opts.params.incomplete = set.negacyclic && !set.supports_full_ntt();
+  return opts;
+}
+
+void runtime_options::validate() const {
+  params.validate();
+  if (params.synthetic()) {
+    throw std::invalid_argument(
+        "runtime_options: synthetic params (q == 0) have no job semantics; use the perf_model "
+        "sweeps for performance-only runs");
+  }
+  switch (backend) {
+    case backend_kind::sram:
+      if (banks < 1 || banks > 64) {
+        throw std::invalid_argument("runtime_options: banks must be in [1, 64]");
+      }
+      bank().validate();
+      if (params.n > array.data_rows) {
+        throw std::invalid_argument(
+            "runtime_options: polynomial order n = " + std::to_string(params.n) +
+            " exceeds the subarray's " + std::to_string(array.data_rows) + " data rows");
+      }
+      break;
+    case backend_kind::cpu:
+      if (cpu_freq_ghz <= 0 || cpu_power_w <= 0) {
+        throw std::invalid_argument("runtime_options: cpu model needs positive freq and power");
+      }
+      break;
+    case backend_kind::reference:
+      break;
+  }
+}
+
+}  // namespace bpntt::runtime

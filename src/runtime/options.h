@@ -1,0 +1,101 @@
+// One knob surface for the whole runtime: backend choice plus every engine,
+// bank and microcode option, collapsed into a single builder with a
+// validate() that fails fast with a precise message.
+//
+//   auto opts = runtime_options()
+//                   .with_ring(256, 7681, 14)
+//                   .with_backend(backend_kind::sram)
+//                   .with_banks(2)
+//                   .with_subarrays(4);
+//   context ctx(opts);
+#pragma once
+
+#include "bpntt/bank.h"
+#include "crypto/params.h"
+
+namespace bpntt::runtime {
+
+using u64 = core::u64;
+
+enum class backend_kind {
+  sram,       // cycle-level in-SRAM model (bp_ntt_bank / bp_ntt_engine)
+  cpu,        // measured software baseline (Montgomery fast_ntt)
+  reference,  // golden transform, used for cross-checking
+};
+
+[[nodiscard]] const char* to_string(backend_kind k) noexcept;
+
+struct runtime_options {
+  backend_kind backend = backend_kind::sram;
+  core::ntt_params params;
+
+  // sram backend: independent banks sharing the batch, subarrays per bank
+  // (one of which is the CTRL/CMD store), and the subarray itself.
+  unsigned banks = 1;
+  unsigned subarrays = 4;
+  core::engine_config array;
+
+  // cpu backend: constants that convert measured wall time into the cycle /
+  // energy accounting the unified job_result reports.
+  double cpu_freq_ghz = 3.0;
+  double cpu_power_w = 15.0;
+
+  runtime_options& with_backend(backend_kind k) {
+    backend = k;
+    return *this;
+  }
+  runtime_options& with_params(const core::ntt_params& p) {
+    params = p;
+    return *this;
+  }
+  runtime_options& with_ring(u64 n, u64 q, unsigned k, bool incomplete = false) {
+    params.n = n;
+    params.q = q;
+    params.k = k;
+    params.incomplete = incomplete;
+    return *this;
+  }
+  runtime_options& with_banks(unsigned b) {
+    banks = b;
+    return *this;
+  }
+  runtime_options& with_subarrays(unsigned s) {
+    subarrays = s;
+    return *this;
+  }
+  runtime_options& with_array(unsigned data_rows, unsigned cols) {
+    array.data_rows = data_rows;
+    array.cols = cols;
+    return *this;
+  }
+  runtime_options& with_tech(const sram::tech_params& t) {
+    array.tech = t;
+    return *this;
+  }
+  runtime_options& with_microcode(const core::compile_options& m) {
+    array.microcode = m;
+    return *this;
+  }
+  runtime_options& with_cpu_model(double freq_ghz, double power_w) {
+    cpu_freq_ghz = freq_ghz;
+    cpu_power_w = power_w;
+    return *this;
+  }
+
+  // Ring selection from a named lattice parameter set: picks the minimal
+  // tile width and falls back to the incomplete transform when the set has
+  // no full negacyclic NTT (standardized Kyber).
+  [[nodiscard]] static runtime_options for_param_set(const crypto::param_set& set);
+
+  // The sram backend's per-bank configuration, derived.
+  [[nodiscard]] core::bank_config bank() const {
+    core::bank_config cfg;
+    cfg.subarrays = subarrays;
+    cfg.array = array;
+    return cfg;
+  }
+
+  void validate() const;
+};
+
+}  // namespace bpntt::runtime

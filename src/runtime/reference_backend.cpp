@@ -1,0 +1,46 @@
+#include "runtime/reference_backend.h"
+
+#include "nttmath/poly.h"
+
+namespace bpntt::runtime {
+
+reference_backend::reference_backend(const runtime_options& opts) : params_(opts.params) {
+  if (params_.incomplete) {
+    itables_ = std::make_unique<math::incomplete_ntt_tables>(params_.n, params_.q);
+  } else {
+    tables_ = std::make_unique<math::ntt_tables>(params_.n, params_.q, params_.negacyclic);
+  }
+}
+
+batch_result reference_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
+                                        transform_dir dir) {
+  batch_result out;
+  out.outputs = polys;
+  out.waves = polys.empty() ? 0 : 1;
+  for (auto& a : out.outputs) {
+    if (itables_) {
+      dir == transform_dir::forward ? math::incomplete_ntt_forward(a, *itables_)
+                                    : math::incomplete_ntt_inverse(a, *itables_);
+    } else if (params_.negacyclic) {
+      dir == transform_dir::forward ? math::ntt_forward(a, *tables_)
+                                    : math::ntt_inverse(a, *tables_);
+    } else {
+      dir == transform_dir::forward ? math::cyclic_ntt_forward(a, *tables_)
+                                    : math::cyclic_ntt_inverse(a, *tables_);
+    }
+  }
+  return out;
+}
+
+batch_result reference_backend::run_polymul(const std::vector<core::polymul_pair>& pairs) {
+  batch_result out;
+  out.outputs.resize(pairs.size());
+  out.waves = pairs.empty() ? 0 : 1;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    out.outputs[i] = itables_ ? math::polymul_incomplete(pairs[i].a, pairs[i].b, *itables_)
+                              : math::polymul_ntt(pairs[i].a, pairs[i].b, *tables_);
+  }
+  return out;
+}
+
+}  // namespace bpntt::runtime

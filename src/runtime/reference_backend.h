@@ -1,0 +1,34 @@
+// Golden backend: the exact table-driven transforms with no performance
+// model attached.  wall_cycles and op_stats are zero by construction — this
+// backend exists as the correctness oracle the other backends are
+// differentially tested against, and as a drop-in for callers that only
+// need answers.
+#pragma once
+
+#include <memory>
+
+#include "nttmath/incomplete_ntt.h"
+#include "nttmath/ntt.h"
+#include "runtime/backend.h"
+#include "runtime/options.h"
+
+namespace bpntt::runtime {
+
+class reference_backend final : public backend {
+ public:
+  explicit reference_backend(const runtime_options& opts);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "reference"; }
+  [[nodiscard]] unsigned wave_width() const noexcept override { return 0; }
+  [[nodiscard]] bool supports_polymul() const noexcept override { return true; }
+
+  batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir dir) override;
+  batch_result run_polymul(const std::vector<core::polymul_pair>& pairs) override;
+
+ private:
+  core::ntt_params params_;
+  std::unique_ptr<math::ntt_tables> tables_;
+  std::unique_ptr<math::incomplete_ntt_tables> itables_;
+};
+
+}  // namespace bpntt::runtime

@@ -1,0 +1,78 @@
+#include "runtime/sram_backend.h"
+
+#include <algorithm>
+
+namespace bpntt::runtime {
+
+sram_backend::sram_backend(const runtime_options& opts) {
+  banks_.reserve(opts.banks);
+  for (unsigned b = 0; b < opts.banks; ++b) {
+    banks_.emplace_back(opts.bank(), opts.params);
+  }
+}
+
+unsigned sram_backend::wave_width() const noexcept {
+  unsigned w = 0;
+  for (const auto& b : banks_) w += b.lanes_per_wave();
+  return w;
+}
+
+bool sram_backend::supports_polymul() const noexcept {
+  return !banks_.empty() && banks_.front().supports_polymul();
+}
+
+template <typename RunSlice>
+batch_result sram_backend::shard(std::size_t njobs, RunSlice&& run_slice) {
+  batch_result out;
+  out.outputs.resize(njobs);
+  if (njobs == 0 || banks_.empty()) return out;
+
+  // Wave-width blocks round-robin over banks: block b -> bank b mod N.
+  const unsigned block_width = std::max(1u, banks_.front().lanes_per_wave());
+  std::vector<std::vector<std::size_t>> assigned(banks_.size());
+  std::size_t block = 0;
+  for (std::size_t i = 0; i < njobs; i += block_width, ++block) {
+    auto& dst = assigned[block % banks_.size()];
+    for (std::size_t j = i; j < std::min<std::size_t>(njobs, i + block_width); ++j) {
+      dst.push_back(j);
+    }
+  }
+
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    if (assigned[b].empty()) continue;
+    core::bank_run_result r = run_slice(banks_[b], assigned[b]);
+    for (std::size_t k = 0; k < assigned[b].size(); ++k) {
+      out.outputs[assigned[b][k]] = std::move(r.outputs[k]);
+    }
+    // Banks run concurrently (broadcast command stream, §IV-A): wall clock
+    // is the slowest bank; waves, energy and op counts accumulate.
+    out.wall_cycles = std::max(out.wall_cycles, r.cycles);
+    out.waves += r.waves;
+    out.stats += r.stats;
+  }
+  out.stats.cycles = out.wall_cycles;
+  return out;
+}
+
+batch_result sram_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
+                                   transform_dir dir) {
+  return shard(polys.size(),
+               [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
+                 std::vector<std::vector<u64>> slice;
+                 slice.reserve(idx.size());
+                 for (const auto i : idx) slice.push_back(polys[i]);
+                 return bank.run_ntt_batch(slice, dir);
+               });
+}
+
+batch_result sram_backend::run_polymul(const std::vector<core::polymul_pair>& pairs) {
+  return shard(pairs.size(),
+               [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
+                 std::vector<core::polymul_pair> slice;
+                 slice.reserve(idx.size());
+                 for (const auto i : idx) slice.push_back(pairs[i]);
+                 return bank.run_polymul_batch(slice);
+               });
+}
+
+}  // namespace bpntt::runtime

@@ -1,0 +1,42 @@
+// In-SRAM backend: N cache banks of BP-NTT compute subarrays behind the
+// uniform backend interface.
+//
+// A batch is sharded across banks in wave-width blocks (block b goes to
+// bank b mod N), so small batches fill whole waves on one bank before
+// touching the next and large batches load-balance evenly.  Banks execute
+// concurrently: batch wall-clock is the slowest bank's, energy and op
+// counts sum.
+#pragma once
+
+#include <vector>
+
+#include "runtime/backend.h"
+#include "runtime/options.h"
+
+namespace bpntt::runtime {
+
+class sram_backend final : public backend {
+ public:
+  explicit sram_backend(const runtime_options& opts);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "sram"; }
+  [[nodiscard]] unsigned wave_width() const noexcept override;
+  [[nodiscard]] bool supports_polymul() const noexcept override;
+
+  batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir dir) override;
+  batch_result run_polymul(const std::vector<core::polymul_pair>& pairs) override;
+
+  [[nodiscard]] unsigned banks() const noexcept { return static_cast<unsigned>(banks_.size()); }
+  [[nodiscard]] const core::bp_ntt_bank& bank(unsigned i) const { return banks_.at(i); }
+
+ private:
+  // Shard `njobs` into wave-width blocks round-robin over banks;
+  // `run_slice(bank, job_indices)` executes one bank's slice and the
+  // per-job outputs are stitched back into submission order.
+  template <typename RunSlice>
+  batch_result shard(std::size_t njobs, RunSlice&& run_slice);
+
+  std::vector<core::bp_ntt_bank> banks_;
+};
+
+}  // namespace bpntt::runtime

@@ -4,6 +4,7 @@
 
 #include "common/xoshiro.h"
 #include "nttmath/ntt.h"
+#include "nttmath/poly.h"
 
 namespace bpntt::core {
 namespace {
@@ -88,10 +89,67 @@ TEST(Bank, RejectsBadConfigAndJobs) {
   bank_config cfg = small_bank();
   cfg.subarrays = 1;
   EXPECT_THROW(bp_ntt_bank(cfg, small_params()), std::invalid_argument);
+  // The rejection must say why a lone subarray is unusable.
+  try {
+    cfg.validate();
+    FAIL() << "validate() accepted subarrays = 1";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("CTRL/CMD"), std::string::npos);
+  }
 
   bp_ntt_bank bank(small_bank(), small_params());
   std::vector<std::vector<u64>> bad(1, std::vector<u64>(7, 0));
   EXPECT_THROW((void)bank.run_forward_batch(bad), std::invalid_argument);
+}
+
+TEST(Bank, InverseBatchUndoesForwardBatch) {
+  bp_ntt_bank bank(small_bank(), small_params());
+  const auto p = small_params();
+  common::xoshiro256ss rng(7);
+  std::vector<std::vector<u64>> jobs(15);
+  for (auto& j : jobs) {
+    j.resize(p.n);
+    for (auto& x : j) x = rng.below(p.q);
+  }
+  const auto fwd = bank.run_ntt_batch(jobs, transform_dir::forward);
+  const auto back = bank.run_ntt_batch(fwd.outputs, transform_dir::inverse);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(back.outputs[i], jobs[i]) << "job " << i;
+  }
+}
+
+TEST(Bank, PolymulBatchMatchesSchoolbook) {
+  // 32 data rows hold only one 32-point operand; double the rows so the
+  // a/b region pair fits, then multiply across a full wave + ragged tail.
+  bank_config cfg = small_bank();
+  cfg.array.data_rows = 64;
+  const auto p = small_params();
+  bp_ntt_bank bank(cfg, p);
+  ASSERT_TRUE(bank.supports_polymul());
+  common::xoshiro256ss rng(8);
+  std::vector<polymul_pair> jobs(bank.lanes_per_wave() + 2);
+  for (auto& j : jobs) {
+    j.a.resize(p.n);
+    j.b.resize(p.n);
+    for (auto& x : j.a) x = rng.below(p.q);
+    for (auto& x : j.b) x = rng.below(p.q);
+  }
+  const auto r = bank.run_polymul_batch(jobs);
+  EXPECT_EQ(r.waves, 2u);
+  EXPECT_EQ(r.stats.lossless_shift_violations, 0u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(r.outputs[i], math::schoolbook_negacyclic(jobs[i].a, jobs[i].b, p.q))
+        << "job " << i;
+  }
+}
+
+TEST(Bank, PolymulRejectedWhenOperandRegionsDoNotFit) {
+  bp_ntt_bank bank(small_bank(), small_params());  // 32 rows, n = 32
+  EXPECT_FALSE(bank.supports_polymul());
+  std::vector<polymul_pair> one(1);
+  one[0].a.assign(32, 0);
+  one[0].b.assign(32, 0);
+  EXPECT_THROW((void)bank.run_polymul_batch(one), std::invalid_argument);
 }
 
 }  // namespace

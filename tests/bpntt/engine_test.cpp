@@ -95,12 +95,32 @@ TEST(Engine, ProgramCacheReusesCompiledKernels) {
   EXPECT_GT(s2.cycles, 0u);
 }
 
+TEST(Engine, RegionHandlesAreValidatedAtAllocation) {
+  bp_ntt_engine eng(small_config(), small_params());
+  const auto& layout = eng.layout();
+  EXPECT_THROW((void)layout.make_region(20, 16), std::out_of_range);  // 20+16 > 32 data rows
+  EXPECT_THROW((void)layout.make_region(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)eng.poly_region(17), std::out_of_range);
+  // Kernel-side shape checks: transforms need n rows, pointwise needs
+  // equal-sized windows, modmul needs single rows.
+  EXPECT_THROW((void)eng.run_forward(layout.make_region(0, 8)), std::invalid_argument);
+  EXPECT_THROW((void)eng.run_pointwise(layout.make_region(0, 8), layout.make_region(8, 8),
+                                       layout.make_region(16, 4), true),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)eng.run_modmul_rows(layout.make_region(0, 2), layout.make_region(2, 1),
+                                layout.make_region(3, 1)),
+      std::invalid_argument);
+}
+
 TEST(Engine, ModmulRowsApi) {
   bp_ntt_engine eng(small_config(), small_params());
   eng.load_polynomial(0, std::vector<u64>{50, 60});
   // a at row 0, b at row 1: dst = a*b*R^-1... run_modmul_rows gives plain
   // Montgomery-domain product semantics via the data path.
-  const auto stats = eng.run_modmul_rows(0, 1, 2);
+  const auto& layout = eng.layout();
+  const auto stats = eng.run_modmul_rows(layout.make_region(0, 1), layout.make_region(1, 1),
+                                         layout.make_region(2, 1));
   EXPECT_GT(stats.cycles, 0u);
   const u64 got = eng.array().peek_word(0, 2);
   EXPECT_EQ(got, math::interleaved_montgomery(50, 60, 97, 8));

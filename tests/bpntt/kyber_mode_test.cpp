@@ -74,14 +74,14 @@ TEST(KyberMode, FullPolymulInArray) {
   for (unsigned lane = 0; lane < eng.lanes(); ++lane) {
     a[lane] = random_poly(128, 3329, rng);
     b[lane] = random_poly(128, 3329, rng);
-    eng.load_polynomial(lane, a[lane], 0);
-    eng.load_polynomial(lane, b[lane], 128);
+    eng.load_polynomial(lane, a[lane], eng.poly_region(0));
+    eng.load_polynomial(lane, b[lane], eng.poly_region(128));
   }
-  eng.run_forward(0);
-  eng.run_forward(128);
-  const auto stats = eng.run_basemul(0, 128, /*scale_b=*/true);
+  eng.run_forward(eng.poly_region(0));
+  eng.run_forward(eng.poly_region(128));
+  const auto stats = eng.run_basemul(eng.poly_region(0), eng.poly_region(128), /*scale_b=*/true);
   EXPECT_EQ(stats.lossless_shift_violations, 0u);
-  eng.run_inverse(0);
+  eng.run_inverse(eng.poly_region(0));
   for (unsigned lane = 0; lane < eng.lanes(); ++lane) {
     ASSERT_EQ(eng.peek_polynomial(lane, 128),
               math::schoolbook_negacyclic(a[lane], b[lane], 3329))
@@ -104,10 +104,10 @@ TEST(KyberMode, BasemulAloneMatchesGolden) {
   for (unsigned lane = 0; lane < eng.lanes(); ++lane) {
     a[lane] = random_poly(16, 97, rng);
     b[lane] = random_poly(16, 97, rng);
-    eng.load_polynomial(lane, a[lane], 0);
-    eng.load_polynomial(lane, b[lane], 16);
+    eng.load_polynomial(lane, a[lane], eng.poly_region(0));
+    eng.load_polynomial(lane, b[lane], eng.poly_region(16));
   }
-  eng.run_basemul(0, 16, true);
+  eng.run_basemul(eng.poly_region(0), eng.poly_region(16), true);
   for (unsigned lane = 0; lane < eng.lanes(); ++lane) {
     std::vector<u64> expect(16);
     math::incomplete_basemul(a[lane], b[lane], expect, *eng.incomplete_tables());
@@ -124,7 +124,8 @@ TEST(KyberMode, CompleteModeRejectsBasemul) {
   cfg.data_rows = 32;
   cfg.cols = 64;
   bp_ntt_engine eng(cfg, p);
-  EXPECT_THROW((void)eng.run_basemul(0, 16, true), std::logic_error);
+  EXPECT_THROW((void)eng.run_basemul(eng.poly_region(0), eng.poly_region(16), true),
+               std::logic_error);
 }
 
 TEST(KyberMode, ParamValidation) {

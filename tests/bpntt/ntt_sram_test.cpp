@@ -117,15 +117,17 @@ TEST(SramNtt, PointwiseProductMatchesGolden) {
   for (unsigned lane = 0; lane < eng.lanes(); ++lane) {
     a[lane] = random_poly(n, q, rng);
     b[lane] = random_poly(n, q, rng);
-    eng.load_polynomial(lane, a[lane], 0);
-    eng.load_polynomial(lane, b[lane], static_cast<unsigned>(n));
+    eng.load_polynomial(lane, a[lane], eng.poly_region(0));
+    eng.load_polynomial(lane, b[lane], eng.poly_region(static_cast<unsigned>(n)));
   }
-  const auto stats = eng.run_pointwise(0, static_cast<unsigned>(n), 0, n, /*scale_b=*/true);
+  const auto stats = eng.run_pointwise(eng.poly_region(0),
+                                       eng.poly_region(static_cast<unsigned>(n)),
+                                       eng.poly_region(0), /*scale_b=*/true);
   EXPECT_EQ(stats.lossless_shift_violations, 0u);
   for (unsigned lane = 0; lane < eng.lanes(); ++lane) {
     std::vector<u64> expected(n);
     for (u64 i = 0; i < n; ++i) expected[i] = math::mul_mod(a[lane][i], b[lane][i], q);
-    EXPECT_EQ(eng.peek_polynomial(lane, n, 0), expected) << "lane " << lane;
+    EXPECT_EQ(eng.peek_polynomial(lane, eng.poly_region(0)), expected) << "lane " << lane;
   }
 }
 
@@ -147,15 +149,17 @@ TEST(SramNtt, FullNegacyclicPolymulInArray) {
   for (unsigned lane = 0; lane < eng.lanes(); ++lane) {
     a[lane] = random_poly(n, q, rng);
     b[lane] = random_poly(n, q, rng);
-    eng.load_polynomial(lane, a[lane], 0);
-    eng.load_polynomial(lane, b[lane], static_cast<unsigned>(n));
+    eng.load_polynomial(lane, a[lane], eng.poly_region(0));
+    eng.load_polynomial(lane, b[lane], eng.poly_region(static_cast<unsigned>(n)));
   }
-  eng.run_forward(0);
-  eng.run_forward(static_cast<unsigned>(n));
-  eng.run_pointwise(0, static_cast<unsigned>(n), 0, n, /*scale_b=*/true);
-  eng.run_inverse(0);
+  const auto ra = eng.poly_region(0);
+  const auto rb = eng.poly_region(static_cast<unsigned>(n));
+  eng.run_forward(ra);
+  eng.run_forward(rb);
+  eng.run_pointwise(ra, rb, ra, /*scale_b=*/true);
+  eng.run_inverse(ra);
   for (unsigned lane = 0; lane < eng.lanes(); ++lane) {
-    EXPECT_EQ(eng.peek_polynomial(lane, n, 0),
+    EXPECT_EQ(eng.peek_polynomial(lane, ra),
               math::schoolbook_negacyclic(a[lane], b[lane], q))
         << "lane " << lane;
   }

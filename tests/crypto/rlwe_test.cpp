@@ -86,13 +86,15 @@ TEST(Rlwe, PluggableMultiplierOnBpNttEngine) {
   auto engine = std::make_shared<core::bp_ntt_engine>(cfg, params);
   polymul_fn mul = [&, engine](std::span<const std::uint64_t> a,
                                std::span<const std::uint64_t> b) {
-    engine->load_polynomial(0, a, 0);
-    engine->load_polynomial(0, b, static_cast<unsigned>(ring.n));
-    engine->run_forward(0);
-    engine->run_forward(static_cast<unsigned>(ring.n));
-    engine->run_pointwise(0, static_cast<unsigned>(ring.n), 0, ring.n, true);
-    engine->run_inverse(0);
-    return engine->peek_polynomial(0, ring.n, 0);
+    const auto ra = engine->poly_region(0);
+    const auto rb = engine->poly_region(static_cast<unsigned>(ring.n));
+    engine->load_polynomial(0, a, ra);
+    engine->load_polynomial(0, b, rb);
+    engine->run_forward(ra);
+    engine->run_forward(rb);
+    engine->run_pointwise(ra, rb, ra, true);
+    engine->run_inverse(ra);
+    return engine->peek_polynomial(0, ra);
   };
   rlwe_scheme scheme(ring, 2, mul);
   common::xoshiro256ss rng(6);

@@ -1,0 +1,194 @@
+#include "runtime/context.h"
+
+#include <gtest/gtest.h>
+
+#include "common/xoshiro.h"
+#include "nttmath/ntt.h"
+#include "nttmath/poly.h"
+
+namespace bpntt::runtime {
+namespace {
+
+// Small ring on a small array so every scheduling path stays fast: 4 lanes
+// per subarray, 3 compute subarrays per bank.
+runtime_options small_sram() {
+  return runtime_options()
+      .with_ring(32, 193, 9)
+      .with_backend(backend_kind::sram)
+      .with_array(64, 36)
+      .with_subarrays(4);
+}
+
+std::vector<u64> random_poly(u64 n, u64 q, common::xoshiro256ss& rng) {
+  std::vector<u64> p(n);
+  for (auto& c : p) c = rng.below(q);
+  return p;
+}
+
+TEST(RuntimeContext, SubmitWaitRoundTripsEveryJob) {
+  context ctx(small_sram());
+  const auto& p = ctx.options().params;
+  const math::ntt_tables tables(p.n, p.q, true);
+  common::xoshiro256ss rng(1);
+
+  std::vector<job_id> ids;
+  std::vector<std::vector<u64>> inputs;
+  for (unsigned i = 0; i < 2 * ctx.wave_width() + 5; ++i) {  // 2 full waves + ragged tail
+    inputs.push_back(random_poly(p.n, p.q, rng));
+    ids.push_back(ctx.submit(ntt_job{.coeffs = inputs.back()}));
+  }
+  EXPECT_EQ(ctx.pending(), ids.size());
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto r = ctx.wait(ids[i]);
+    auto expect = inputs[i];
+    math::ntt_forward(expect, tables);
+    ASSERT_EQ(r.outputs.size(), 1u);
+    ASSERT_EQ(r.outputs[0], expect) << "job " << i;
+    EXPECT_EQ(r.jobs_in_batch, ids.size());
+    EXPECT_GT(r.wall_cycles, 0u);
+  }
+  EXPECT_EQ(ctx.pending(), 0u);
+  EXPECT_EQ(ctx.stats().jobs_completed, ids.size());
+  EXPECT_EQ(ctx.stats().batches, 1u);  // one flush, one kind: one dispatch
+}
+
+TEST(RuntimeContext, WaitConsumesAndRejectsUnknownIds) {
+  context ctx(small_sram());
+  common::xoshiro256ss rng(2);
+  const auto id = ctx.submit(ntt_job{.coeffs = random_poly(32, 193, rng)});
+  EXPECT_THROW((void)ctx.wait(id + 1), std::out_of_range);  // never submitted
+  (void)ctx.wait(id);
+  EXPECT_THROW((void)ctx.wait(id), std::out_of_range);  // already claimed
+}
+
+TEST(RuntimeContext, FlushPartitionsByKindAndDirection) {
+  context ctx(small_sram());
+  const auto& p = ctx.options().params;
+  common::xoshiro256ss rng(3);
+  // Interleave forward transforms, inverse transforms and ring products:
+  // one flush must produce exactly three dispatches.
+  for (int i = 0; i < 3; ++i) {
+    (void)ctx.submit(ntt_job{.coeffs = random_poly(p.n, p.q, rng)});
+    (void)ctx.submit(
+        ntt_job{.dir = transform_dir::inverse, .coeffs = random_poly(p.n, p.q, rng)});
+    (void)ctx.submit(polymul_job{.a = random_poly(p.n, p.q, rng),
+                                 .b = random_poly(p.n, p.q, rng)});
+  }
+  ctx.flush();
+  EXPECT_EQ(ctx.pending(), 0u);
+  EXPECT_EQ(ctx.stats().batches, 3u);
+  EXPECT_EQ(ctx.stats().jobs_completed, 9u);
+}
+
+TEST(RuntimeContext, ForwardThenInverseRestoresInput) {
+  context ctx(small_sram());
+  const auto& p = ctx.options().params;
+  common::xoshiro256ss rng(4);
+  const auto input = random_poly(p.n, p.q, rng);
+  const auto fwd = ctx.wait(ctx.submit(ntt_job{.coeffs = input}));
+  const auto back = ctx.wait(
+      ctx.submit(ntt_job{.dir = transform_dir::inverse, .coeffs = fwd.outputs[0]}));
+  EXPECT_EQ(back.outputs[0], input);
+}
+
+TEST(RuntimeContext, PolymulMatchesSchoolbook) {
+  context ctx(small_sram());
+  const auto& p = ctx.options().params;
+  common::xoshiro256ss rng(5);
+  const auto a = random_poly(p.n, p.q, rng);
+  const auto b = random_poly(p.n, p.q, rng);
+  const auto r = ctx.wait(ctx.submit(polymul_job{.a = a, .b = b}));
+  EXPECT_EQ(r.outputs[0], math::schoolbook_negacyclic(a, b, p.q));
+}
+
+TEST(RuntimeContext, RlweJobDecryptsAndIsSeedDeterministic) {
+  context ctx(small_sram());
+  const auto& p = ctx.options().params;
+  common::xoshiro256ss rng(6);
+  std::vector<u64> message(p.n);
+  for (auto& m : message) m = rng.below(2);
+
+  const auto r1 = ctx.wait(ctx.submit(rlwe_encrypt_job{.message = message, .seed = 77}));
+  ASSERT_EQ(r1.outputs.size(), 3u);
+  EXPECT_EQ(r1.outputs[2], message);  // decrypt round-trip
+  EXPECT_GT(r1.wall_cycles, 0u);
+
+  // Same seed, same backend: bit-identical ciphertext.  Different seed:
+  // fresh randomness.
+  const auto r2 = ctx.wait(ctx.submit(rlwe_encrypt_job{.message = message, .seed = 77}));
+  EXPECT_EQ(r1.outputs[0], r2.outputs[0]);
+  EXPECT_EQ(r1.outputs[1], r2.outputs[1]);
+  const auto r3 = ctx.wait(ctx.submit(rlwe_encrypt_job{.message = message, .seed = 78}));
+  EXPECT_NE(r1.outputs[0], r3.outputs[0]);
+}
+
+TEST(RuntimeContext, SubmitValidatesJobsAgainstRingAndBackend) {
+  context ctx(small_sram());
+  common::xoshiro256ss rng(7);
+  // Wrong length and non-canonical coefficients.
+  EXPECT_THROW((void)ctx.submit(ntt_job{.coeffs = std::vector<u64>(16, 0)}),
+               std::invalid_argument);
+  EXPECT_THROW((void)ctx.submit(ntt_job{.coeffs = std::vector<u64>(32, 193)}),
+               std::invalid_argument);
+  // Polymul needs 2n <= data_rows: shrink the array so it no longer fits.
+  context tight(runtime_options(small_sram()).with_array(32, 36));
+  EXPECT_THROW((void)tight.submit(polymul_job{.a = random_poly(32, 193, rng),
+                                              .b = random_poly(32, 193, rng)}),
+               std::invalid_argument);
+  // R-LWE needs a full negacyclic NTT ring.
+  context kyber(runtime_options()
+                    .with_ring(256, 3329, 13, /*incomplete=*/true)
+                    .with_backend(backend_kind::reference));
+  EXPECT_THROW((void)kyber.submit(rlwe_encrypt_job{.message = std::vector<u64>(256, 0)}),
+               std::invalid_argument);
+}
+
+TEST(RuntimeContext, MultiBankShardingKeepsJobOrder) {
+  auto opts = small_sram().with_banks(3);
+  context ctx(opts);
+  const auto& p = ctx.options().params;
+  const math::ntt_tables tables(p.n, p.q, true);
+  common::xoshiro256ss rng(8);
+  // 3 banks x 12 lanes = 36-wide waves; 40 jobs exercises the round-robin
+  // block assignment plus a ragged tail on bank 0.
+  EXPECT_EQ(ctx.wave_width(), 36u);
+  std::vector<std::vector<u64>> inputs;
+  for (unsigned i = 0; i < 40; ++i) {
+    inputs.push_back(random_poly(p.n, p.q, rng));
+    (void)ctx.submit(ntt_job{.coeffs = inputs.back()});
+  }
+  const auto results = ctx.wait_all();
+  ASSERT_EQ(results.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    auto expect = inputs[i];
+    math::ntt_forward(expect, tables);
+    ASSERT_EQ(results[i].outputs[0], expect) << "job " << i;
+  }
+  EXPECT_EQ(ctx.stats().batches, 1u);
+  EXPECT_EQ(ctx.stats().waves, 4u);  // blocks of 12: banks get 2+1+1 waves
+}
+
+TEST(RuntimeContext, BackendsReportTheirIdentity) {
+  context sram(small_sram());
+  EXPECT_EQ(sram.active_backend().name(), "sram");
+  EXPECT_GT(sram.wave_width(), 0u);
+
+  context cpu(runtime_options(small_sram()).with_backend(backend_kind::cpu));
+  EXPECT_EQ(cpu.active_backend().name(), "cpu");
+  EXPECT_EQ(cpu.wave_width(), 0u);  // unbounded batches
+
+  context ref(runtime_options(small_sram()).with_backend(backend_kind::reference));
+  EXPECT_EQ(ref.active_backend().name(), "reference");
+}
+
+TEST(RuntimeContext, ReferenceBackendIsFree) {
+  context ctx(runtime_options(small_sram()).with_backend(backend_kind::reference));
+  common::xoshiro256ss rng(9);
+  const auto r = ctx.wait(ctx.submit(ntt_job{.coeffs = random_poly(32, 193, rng)}));
+  EXPECT_EQ(r.wall_cycles, 0u);
+  EXPECT_EQ(r.op_stats.energy_pj, 0.0);
+}
+
+}  // namespace
+}  // namespace bpntt::runtime
