@@ -68,11 +68,15 @@ bpntt::baselines::design_point measure_bpntt_row(unsigned coef_bits, std::uint64
 }
 
 // The Montgomery software baseline through the same runtime interface.
+// A single executor worker keeps the row single-core, matching the
+// methodology of the published per-core CPU baselines (the runtime's
+// multi-thread chunking would otherwise fold host parallelism into it).
 bpntt::baselines::design_point measure_cpu_row(unsigned iterations) {
   using namespace bpntt;
   const auto opts = runtime::runtime_options()
                         .with_ring(256, 12289, 16)
-                        .with_backend(runtime::backend_kind::cpu);
+                        .with_backend(runtime::backend_kind::cpu)
+                        .with_threads(1);
   runtime::context ctx(opts);
   const auto results = run_forward_batch(ctx, iterations, /*seed=*/43);
   const auto& batch = results.front();

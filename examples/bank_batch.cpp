@@ -5,6 +5,8 @@
 // CTRL/CMD per bank) in waves, demonstrating the hierarchy level of the
 // paper's Fig. 4 and the CTRL/CMD sharing claim.
 #include <cstdio>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/xoshiro.h"
@@ -17,25 +19,40 @@ int main() {
                         .with_ring(256, 12289, 16)
                         .with_backend(runtime::backend_kind::sram)
                         .with_banks(2)
-                        .with_subarrays(4);  // 2 banks x (3 compute + 1 CTRL/CMD)
+                        .with_subarrays(4)   // 2 banks x (3 compute + 1 CTRL/CMD)
+                        .with_threads(4);    // executor pool: one task per bank slice
   runtime::context ctx(opts);
 
   std::printf("=== Bank-level batch NTT service ===\n\n");
-  std::printf("runtime: %u banks of %u subarrays; wave width %u NTTs\n", opts.banks,
-              opts.subarrays, ctx.wave_width());
+  std::printf("runtime: %u banks of %u subarrays; wave width %u NTTs; %u pool threads\n",
+              opts.banks, opts.subarrays, ctx.wave_width(), ctx.executor_threads());
 
   // 100 client polynomials (e.g. one per handshake).
   common::xoshiro256ss rng(777);
+  std::vector<runtime::job_id> ids;
   std::vector<std::vector<core::u64>> jobs(100);
   for (auto& j : jobs) {
     j.resize(opts.params.n);
     for (auto& c : j) c = rng.below(opts.params.q);
-    (void)ctx.submit(runtime::ntt_job{.coeffs = j});
+    ids.push_back(ctx.submit(runtime::ntt_job{.coeffs = j}));
   }
 
-  // One wait_all = one flush = one sharded batch across both banks.
-  const auto results = ctx.wait_all();
-  const auto& s = ctx.stats();
+  // flush() is asynchronous: one sharded batch is handed to the executor
+  // (banks run as parallel pool tasks) and the server thread is free to
+  // keep accepting clients.  try_wait() probes without blocking.
+  ctx.flush();
+  std::printf("flushed: %llu jobs in flight while the caller keeps working\n",
+              static_cast<unsigned long long>(ctx.stats().jobs_in_flight));
+  unsigned polls = 0;
+  std::optional<runtime::job_result> first;
+  while (!(first = ctx.try_wait(ids.front()))) ++polls;  // overlap point
+  std::printf("first result after %u polls (status %s)\n", polls,
+              first->status == runtime::job_status::ok ? "ok" : "failed");
+
+  // wait_all() drains the rest in submission order.
+  auto results = ctx.wait_all();
+  results.insert(results.begin(), std::move(*first));
+  const auto s = ctx.stats();
 
   // Verify the whole batch against the reference backend, same API.
   runtime::context golden(

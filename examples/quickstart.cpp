@@ -22,11 +22,13 @@ int main() {
                         .with_subarrays(2);
 
   // 2. Build the runtime context.  It owns the banks, derives and pre-scales
-  //    the twiddle tables, and compiles the command streams.
+  //    the twiddle tables, compiles the command streams, and spins up the
+  //    executor pool that flush() hands batches to.
   runtime::context ctx(opts);
-  std::printf("bpntt runtime: backend '%s', wave width %u jobs, %u wordlines per subarray\n",
+  std::printf("bpntt runtime: backend '%s', wave width %u jobs, %u wordlines per subarray, "
+              "%u executor threads\n",
               ctx.active_backend().name().data(), ctx.wave_width(),
-              core::row_layout{opts.array.data_rows}.total_rows());
+              core::row_layout{opts.array.data_rows}.total_rows(), ctx.executor_threads());
 
   // 3. Submit one forward-NTT job per lane (one SIMD wave).
   common::xoshiro256ss rng(42);

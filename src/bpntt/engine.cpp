@@ -6,7 +6,13 @@
 
 namespace bpntt::core {
 namespace {
-enum kernel_kind : int { k_forward = 0, k_inverse = 1 };
+enum kernel_kind : int {
+  k_forward = 0,
+  k_inverse = 1,
+  k_pointwise = 2,
+  k_basemul = 3,
+  k_modmul_rows = 4,
+};
 }
 
 bp_ntt_engine::bp_ntt_engine(const engine_config& cfg, const ntt_params& params,
@@ -131,22 +137,14 @@ void bp_ntt_engine::require_poly_region(const region& r) const {
 
 sram::op_stats bp_ntt_engine::run_forward(const region& r) {
   require_poly_region(r);
-  auto key = std::make_pair(static_cast<int>(k_forward), r.base());
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    it = cache_.emplace(key, compiler_.compile_forward(plan_, r.base())).first;
-  }
-  return execute(it->second);
+  return execute(cached({.kind = k_forward, .a = r.base()},
+                        [&] { return compiler_.compile_forward(plan_, r.base()); }));
 }
 
 sram::op_stats bp_ntt_engine::run_inverse(const region& r) {
   require_poly_region(r);
-  auto key = std::make_pair(static_cast<int>(k_inverse), r.base());
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    it = cache_.emplace(key, compiler_.compile_inverse(plan_, r.base())).first;
-  }
-  return execute(it->second);
+  return execute(cached({.kind = k_inverse, .a = r.base()},
+                        [&] { return compiler_.compile_inverse(plan_, r.base()); }));
 }
 
 sram::op_stats bp_ntt_engine::run_pointwise(const region& a, const region& b, const region& dst,
@@ -154,14 +152,24 @@ sram::op_stats bp_ntt_engine::run_pointwise(const region& a, const region& b, co
   if (a.rows() != b.rows() || a.rows() != dst.rows()) {
     throw std::invalid_argument("bp_ntt_engine: pointwise regions must be equal-sized");
   }
-  return execute(
-      compiler_.compile_pointwise(plan_, a.base(), b.base(), dst.base(), a.rows(), scale_b));
+  return execute(cached({.kind = k_pointwise,
+                         .a = a.base(),
+                         .b = b.base(),
+                         .dst = dst.base(),
+                         .rows = a.rows(),
+                         .scale_b = scale_b},
+                        [&] {
+                          return compiler_.compile_pointwise(plan_, a.base(), b.base(),
+                                                             dst.base(), a.rows(), scale_b);
+                        }));
 }
 
 sram::op_stats bp_ntt_engine::run_basemul(const region& a, const region& b, bool scale_b) {
   require_poly_region(a);
   require_poly_region(b);
-  return execute(compiler_.compile_basemul(plan_, a.base(), b.base(), scale_b));
+  return execute(
+      cached({.kind = k_basemul, .a = a.base(), .b = b.base(), .scale_b = scale_b},
+             [&] { return compiler_.compile_basemul(plan_, a.base(), b.base(), scale_b); }));
 }
 
 sram::op_stats bp_ntt_engine::run_modmul_rows(const region& a, const region& b,
@@ -169,7 +177,9 @@ sram::op_stats bp_ntt_engine::run_modmul_rows(const region& a, const region& b,
   if (a.rows() != 1 || b.rows() != 1 || dst.rows() != 1) {
     throw std::invalid_argument("bp_ntt_engine: run_modmul_rows needs single-row regions");
   }
-  return execute(compiler_.compile_modmul_data(a.base(), b.base(), dst.base()));
+  return execute(
+      cached({.kind = k_modmul_rows, .a = a.base(), .b = b.base(), .dst = dst.base()},
+             [&] { return compiler_.compile_modmul_data(a.base(), b.base(), dst.base()); }));
 }
 
 }  // namespace bpntt::core

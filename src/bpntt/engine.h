@@ -93,8 +93,34 @@ class bp_ntt_engine {
     return array_->stats();
   }
 
+  // Number of distinct compiled kernel programs held by the cache — a
+  // recompilation regression probe: repeating the same kernel sequence must
+  // leave this unchanged.
+  [[nodiscard]] std::size_t cached_programs() const noexcept { return cache_.size(); }
+
  private:
+  // Everything a compiled kernel program depends on besides the engine's
+  // fixed plan: which kernel, its operand row bases, the element count and
+  // the scale_b flag.  Unused fields stay 0/false for narrower kernels.
+  struct program_key {
+    int kind = 0;
+    unsigned a = 0;
+    unsigned b = 0;
+    unsigned dst = 0;
+    u64 rows = 0;
+    bool scale_b = false;
+    auto operator<=>(const program_key&) const = default;
+  };
+
   sram::op_stats execute(const isa::program& p);
+  // Compile-once lookup; `compile` is only invoked on a miss (no type
+  // erasure, so cache hits cost a map find and nothing else).
+  template <typename F>
+  const isa::program& cached(const program_key& key, F&& compile) {
+    auto it = cache_.find(key);
+    if (it == cache_.end()) it = cache_.emplace(key, compile()).first;
+    return it->second;
+  }
   void write_constants();
   void require_poly_region(const region& r) const;
 
@@ -106,8 +132,9 @@ class bp_ntt_engine {
   std::unique_ptr<sram::subarray> array_;
   microcode_compiler compiler_;
   isa::executor exec_;
-  // Compiled-program cache keyed by (kind, base).
-  mutable std::map<std::pair<int, unsigned>, isa::program> cache_;
+  // Compiled-program cache covering every kernel (forward, inverse,
+  // pointwise, basemul, modmul_rows) so repeated batches never recompile.
+  std::map<program_key, isa::program> cache_;
 };
 
 }  // namespace bpntt::core

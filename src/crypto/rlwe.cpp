@@ -1,65 +1,95 @@
 #include "crypto/rlwe.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "nttmath/modarith.h"
 
 namespace bpntt::crypto {
 
 rlwe_scheme::rlwe_scheme(param_set params, unsigned eta, polymul_fn mul)
-    : params_(std::move(params)),
-      eta_(eta),
-      mul_(std::move(mul)),
-      tables_(params_.n, params_.q, /*negacyclic=*/true) {
+    : params_(std::move(params)), eta_(eta), mul_(std::move(mul)) {
   if (!params_.supports_full_ntt()) {
     throw std::invalid_argument("rlwe_scheme: parameter set lacks a full negacyclic NTT");
   }
   if (!mul_) {
+    tables_ = std::make_unique<math::ntt_tables>(params_.n, params_.q, /*negacyclic=*/true);
     mul_ = [this](std::span<const std::uint64_t> a, std::span<const std::uint64_t> b) {
-      return math::polymul_ntt(a, b, tables_);
+      return math::polymul_ntt(a, b, *tables_);
     };
   }
 }
 
-rlwe_scheme::keypair rlwe_scheme::keygen(common::xoshiro256ss& rng) const {
-  keypair kp;
-  kp.pk.a = sample_uniform(params_.n, params_.q, rng);
-  kp.sk.s = sample_cbd(params_.n, params_.q, eta_, rng);
-  const poly e = sample_cbd(params_.n, params_.q, eta_, rng);
-  kp.pk.b = math::poly_add(mul_(kp.pk.a, kp.sk.s), e, params_.q);
+rlwe_keygen_randomness rlwe_sample_keygen(const param_set& p, unsigned eta,
+                                          common::xoshiro256ss& rng) {
+  rlwe_keygen_randomness rnd;
+  rnd.a = sample_uniform(p.n, p.q, rng);
+  rnd.s = sample_cbd(p.n, p.q, eta, rng);
+  rnd.e = sample_cbd(p.n, p.q, eta, rng);
+  return rnd;
+}
+
+rlwe_encrypt_randomness rlwe_sample_encrypt(const param_set& p, unsigned eta,
+                                            common::xoshiro256ss& rng) {
+  rlwe_encrypt_randomness rnd;
+  rnd.r = sample_cbd(p.n, p.q, eta, rng);
+  rnd.e1 = sample_cbd(p.n, p.q, eta, rng);
+  rnd.e2 = sample_cbd(p.n, p.q, eta, rng);
+  return rnd;
+}
+
+rlwe_scheme::keypair rlwe_finish_keygen(const param_set& p, rlwe_keygen_randomness rnd,
+                                        poly as) {
+  rlwe_scheme::keypair kp;
+  kp.pk.b = math::poly_add(as, rnd.e, p.q);
+  kp.pk.a = std::move(rnd.a);
+  kp.sk.s = std::move(rnd.s);
   return kp;
 }
 
-ciphertext rlwe_scheme::encrypt(const public_key& pk, std::span<const std::uint64_t> message,
-                                common::xoshiro256ss& rng) const {
-  if (message.size() != params_.n) throw std::invalid_argument("rlwe: message size");
-  const std::uint64_t q = params_.q;
-  const poly r = sample_cbd(params_.n, q, eta_, rng);
-  const poly e1 = sample_cbd(params_.n, q, eta_, rng);
-  const poly e2 = sample_cbd(params_.n, q, eta_, rng);
-
+ciphertext rlwe_finish_encrypt(const param_set& p, const rlwe_encrypt_randomness& rnd,
+                               std::span<const std::uint64_t> message, poly ar, poly br) {
+  if (message.size() != p.n) throw std::invalid_argument("rlwe: message size");
+  const std::uint64_t q = p.q;
   ciphertext ct;
-  ct.u = math::poly_add(mul_(pk.a, r), e1, q);
-  poly scaled(params_.n);
+  ct.u = math::poly_add(ar, rnd.e1, q);
+  poly scaled(p.n);
   const std::uint64_t half = (q + 1) / 2;  // round(q/2)
-  for (std::size_t i = 0; i < params_.n; ++i) {
+  for (std::size_t i = 0; i < p.n; ++i) {
     scaled[i] = message[i] != 0 ? half : 0;
   }
-  ct.v = math::poly_add(math::poly_add(mul_(pk.b, r), e2, q), scaled, q);
+  ct.v = math::poly_add(math::poly_add(br, rnd.e2, q), scaled, q);
   return ct;
 }
 
-poly rlwe_scheme::decrypt(const secret_key& sk, const ciphertext& ct) const {
-  const std::uint64_t q = params_.q;
-  const poly us = mul_(ct.u, sk.s);
-  poly m(params_.n);
-  for (std::size_t i = 0; i < params_.n; ++i) {
+poly rlwe_decrypt_from_product(const param_set& p, const ciphertext& ct, const poly& us) {
+  const std::uint64_t q = p.q;
+  poly m(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
     const std::uint64_t d = math::sub_mod(ct.v[i], us[i], q);
     // Decision regions around 0 and q/2.
     const std::uint64_t quarter = q / 4;
     m[i] = (d > quarter && d < q - quarter) ? 1 : 0;
   }
   return m;
+}
+
+rlwe_scheme::keypair rlwe_scheme::keygen(common::xoshiro256ss& rng) const {
+  auto rnd = rlwe_sample_keygen(params_, eta_, rng);
+  poly as = mul_(rnd.a, rnd.s);
+  return rlwe_finish_keygen(params_, std::move(rnd), std::move(as));
+}
+
+ciphertext rlwe_scheme::encrypt(const public_key& pk, std::span<const std::uint64_t> message,
+                                common::xoshiro256ss& rng) const {
+  const auto rnd = rlwe_sample_encrypt(params_, eta_, rng);
+  poly ar = mul_(pk.a, rnd.r);
+  poly br = mul_(pk.b, rnd.r);
+  return rlwe_finish_encrypt(params_, rnd, message, std::move(ar), std::move(br));
+}
+
+poly rlwe_scheme::decrypt(const secret_key& sk, const ciphertext& ct) const {
+  return rlwe_decrypt_from_product(params_, ct, mul_(ct.u, sk.s));
 }
 
 }  // namespace bpntt::crypto

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -43,7 +44,8 @@ struct ciphertext {
 
 class rlwe_scheme {
  public:
-  // `mul` defaults to the golden NTT product when null.
+  // `mul` defaults to the golden NTT product when null (the tables backing
+  // the default are only built in that case).
   rlwe_scheme(param_set params, unsigned eta = 2, polymul_fn mul = nullptr);
 
   [[nodiscard]] const param_set& params() const noexcept { return params_; }
@@ -61,7 +63,46 @@ class rlwe_scheme {
   param_set params_;
   unsigned eta_;
   polymul_fn mul_;
-  math::ntt_tables tables_;
+  std::unique_ptr<math::ntt_tables> tables_;  // only for the default mul
 };
+
+// ---- Staged primitives -----------------------------------------------------
+//
+// The sampling and recombination halves of the scheme with the ring
+// products factored out, so a batch scheduler can run the products of many
+// independent key/encrypt/decrypt flows as one wide dispatch (the bpntt
+// runtime batches all pending rlwe jobs stage by stage).  keygen / encrypt
+// / decrypt above are compositions of these, so the staged path is
+// bit-identical to the serial one for the same RNG stream.
+
+// Everything keygen draws, in draw order: a <- U, s <- CBD, e <- CBD.
+struct rlwe_keygen_randomness {
+  poly a;
+  poly s;
+  poly e;
+};
+// Everything encrypt draws, in draw order: r, e1, e2 <- CBD.
+struct rlwe_encrypt_randomness {
+  poly r;
+  poly e1;
+  poly e2;
+};
+
+[[nodiscard]] rlwe_keygen_randomness rlwe_sample_keygen(const param_set& p, unsigned eta,
+                                                        common::xoshiro256ss& rng);
+[[nodiscard]] rlwe_encrypt_randomness rlwe_sample_encrypt(const param_set& p, unsigned eta,
+                                                          common::xoshiro256ss& rng);
+// `as` is the keygen product a*s: pk = (a, as + e), sk = s.
+[[nodiscard]] rlwe_scheme::keypair rlwe_finish_keygen(const param_set& p,
+                                                      rlwe_keygen_randomness rnd, poly as);
+// `ar` / `br` are the encryption products a*r and b*r:
+// u = ar + e1, v = br + e2 + round(q/2)*m.
+[[nodiscard]] ciphertext rlwe_finish_encrypt(const param_set& p,
+                                             const rlwe_encrypt_randomness& rnd,
+                                             std::span<const std::uint64_t> message, poly ar,
+                                             poly br);
+// `us` is the decryption product u*s.
+[[nodiscard]] poly rlwe_decrypt_from_product(const param_set& p, const ciphertext& ct,
+                                             const poly& us);
 
 }  // namespace bpntt::crypto

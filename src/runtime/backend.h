@@ -17,6 +17,7 @@
 
 namespace bpntt::runtime {
 
+class executor;
 struct runtime_options;
 
 // Result of one scheduled batch.  wall_cycles is the batch's wall-clock in
@@ -46,6 +47,14 @@ class backend {
   virtual batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir dir) = 0;
   // Negacyclic ring product per pair; outputs in input order.
   virtual batch_result run_polymul(const std::vector<core::polymul_pair>& pairs) = 0;
+
+  // Installed once by the owning context.  Backends may fan batch-internal
+  // work (bank slices, job chunks) across the pool; with none attached they
+  // run serially.  Outputs must be bit-identical either way.
+  void attach_executor(executor* pool) noexcept { pool_ = pool; }
+
+ protected:
+  executor* pool_ = nullptr;
 };
 
 // Instantiate the backend selected by opts (opts must be validated).

@@ -1,6 +1,7 @@
 #include "runtime/context.h"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "common/xoshiro.h"
@@ -8,10 +9,41 @@
 
 namespace bpntt::runtime {
 
-context::context(runtime_options opts) : opts_(std::move(opts)) {
+namespace {
+
+// The pool is a member initializer, so its size must be vetted before
+// runtime_options::validate() gets a chance to run in the constructor body
+// — otherwise an absurd with_threads() value would spawn the threads first
+// and reject them after.
+unsigned checked_pool_size(const runtime_options& opts) {
+  runtime_options::validate_threads(opts.threads);
+  return opts.threads;
+}
+
+}  // namespace
+
+context::context(runtime_options opts)
+    : opts_(std::move(opts)), pool_(checked_pool_size(opts_)) {
   opts_.validate();
   backend_ = make_backend(opts_);
+  backend_->attach_executor(&pool_);
 }
+
+context::context(runtime_options opts, std::unique_ptr<backend> custom_backend)
+    : opts_(std::move(opts)),
+      backend_(std::move(custom_backend)),
+      pool_(checked_pool_size(opts_)) {
+  if (!backend_) {
+    throw std::invalid_argument("runtime: context needs a non-null custom backend");
+  }
+  opts_.params.validate();
+  backend_->attach_executor(&pool_);
+}
+
+// pool_ is the last member, so the defaulted destructor joins the workers
+// (running any still-queued drain task to completion) before the state
+// those tasks reference is torn down.
+context::~context() = default;
 
 namespace {
 
@@ -34,6 +66,7 @@ void require_ring_poly(const std::vector<u64>& coeffs, const core::ntt_params& p
 job_id context::enqueue(job j) {
   const job_id id = next_id_++;
   queue_.emplace_back(id, std::move(j));
+  std::lock_guard<std::mutex> lk(mu_);
   ++stats_.jobs_submitted;
   return id;
 }
@@ -70,15 +103,42 @@ job_id context::submit(rlwe_encrypt_job j) {
   return enqueue(std::move(j));
 }
 
-void context::account(const batch_result& r) {
+scheduler_stats context::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  scheduler_stats s = stats_;
+  s.jobs_in_flight = in_flight_.size();
+  return s;
+}
+
+void context::account_locked(const batch_result& r) {
   ++stats_.batches;
   stats_.waves += r.waves;
   stats_.wall_cycles += r.wall_cycles;
   stats_.energy_nj += r.stats.energy_pj * 1e-3;
 }
 
+void context::account(const batch_result& r) {
+  std::lock_guard<std::mutex> lk(mu_);
+  account_locked(r);
+}
+
+namespace {
+
+// A backend returning the wrong number of outputs would misroute results;
+// refuse loudly (the drain task converts this into per-job failures).
+void require_output_count(std::size_t got, std::size_t want, const char* what) {
+  if (got != want) {
+    throw std::logic_error("runtime: backend returned " + std::to_string(got) +
+                           " outputs for " + what + " of " + std::to_string(want) + " jobs");
+  }
+}
+
+}  // namespace
+
 void context::distribute(const std::vector<job_id>& ids, batch_result&& r) {
-  account(r);
+  require_output_count(r.outputs.size(), ids.size(), "a dispatch");
+  std::lock_guard<std::mutex> lk(mu_);
+  account_locked(r);
   for (std::size_t i = 0; i < ids.size(); ++i) {
     job_result res;
     res.outputs.push_back(std::move(r.outputs[i]));
@@ -86,8 +146,24 @@ void context::distribute(const std::vector<job_id>& ids, batch_result&& r) {
     res.wall_cycles = r.wall_cycles;
     res.jobs_in_batch = ids.size();
     done_.emplace(ids[i], std::move(res));
+    in_flight_.erase(ids[i]);
   }
   stats_.jobs_completed += ids.size();
+  cv_.notify_all();
+}
+
+void context::fail_group(const std::vector<job_id>& ids, const std::string& what) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const job_id id : ids) {
+    job_result res;
+    res.status = job_status::failed;
+    res.error = what;
+    res.jobs_in_batch = ids.size();
+    done_.emplace(id, std::move(res));
+    in_flight_.erase(id);
+  }
+  stats_.jobs_failed += ids.size();
+  cv_.notify_all();
 }
 
 void context::dispatch_ntt_group(const std::vector<job_id>& ids, std::vector<ntt_job>&& jobs,
@@ -106,40 +182,82 @@ void context::dispatch_polymul_group(const std::vector<job_id>& ids,
   distribute(ids, backend_->run_polymul(pairs));
 }
 
-void context::run_rlwe(job_id id, const rlwe_encrypt_job& j) {
+void context::run_rlwe_group(const std::vector<job_id>& ids,
+                             std::vector<rlwe_encrypt_job>&& jobs) {
   crypto::param_set ring;
   ring.name = "runtime";
   ring.n = opts_.params.n;
   ring.q = opts_.params.q;
   ring.min_tile_bits = opts_.params.k;
+  const std::size_t m = jobs.size();
+
+  // Each job's randomness comes from its own seeded stream in exactly the
+  // order the serial scheme draws it (keygen's a/s/e, then encrypt's
+  // r/e1/e2 — the ring products never touch the stream), so the staged
+  // flow below is bit-identical to running the scheme per job.
+  std::vector<crypto::rlwe_keygen_randomness> kg(m);
+  std::vector<crypto::rlwe_encrypt_randomness> en(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    common::xoshiro256ss rng(jobs[i].seed);
+    kg[i] = crypto::rlwe_sample_keygen(ring, jobs[i].eta, rng);
+    en[i] = crypto::rlwe_sample_encrypt(ring, jobs[i].eta, rng);
+  }
 
   sram::op_stats stats;
   u64 cycles = 0;
-  crypto::polymul_fn mul = [&](std::span<const std::uint64_t> a,
-                               std::span<const std::uint64_t> b) {
-    std::vector<core::polymul_pair> one(1);
-    one[0].a.assign(a.begin(), a.end());
-    one[0].b.assign(b.begin(), b.end());
-    batch_result r = backend_->run_polymul(one);
+  auto batch_mul = [&](std::vector<core::polymul_pair>&& pairs) {
+    batch_result r = backend_->run_polymul(pairs);
+    require_output_count(r.outputs.size(), pairs.size(), "an rlwe product stage");
     account(r);
     stats += r.stats;
     cycles += r.wall_cycles;
-    return std::move(r.outputs[0]);
+    return std::move(r.outputs);
   };
 
-  crypto::rlwe_scheme scheme(ring, j.eta, mul);
-  common::xoshiro256ss rng(j.seed);
-  const auto keys = scheme.keygen(rng);
-  const auto ct = scheme.encrypt(keys.pk, j.message, rng);
-  const auto decrypted = scheme.decrypt(keys.sk, ct);
+  // Stage 1 — keygen products a*s, one wide dispatch across all jobs.
+  std::vector<core::polymul_pair> pairs(m);
+  for (std::size_t i = 0; i < m; ++i) pairs[i] = {kg[i].a, kg[i].s};
+  auto as = batch_mul(std::move(pairs));
+  std::vector<crypto::rlwe_scheme::keypair> keys(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    keys[i] = crypto::rlwe_finish_keygen(ring, std::move(kg[i]), std::move(as[i]));
+  }
 
-  job_result res;
-  res.outputs = {ct.u, ct.v, decrypted};
-  res.op_stats = stats;
-  res.op_stats.cycles = cycles;  // the four ring products run back-to-back
-  res.wall_cycles = cycles;
-  done_.emplace(id, std::move(res));
-  ++stats_.jobs_completed;
+  // Stage 2 — both encryption products a*r and b*r, batched pairwise.
+  pairs.assign(2 * m, core::polymul_pair{});
+  for (std::size_t i = 0; i < m; ++i) {
+    pairs[2 * i] = {keys[i].pk.a, en[i].r};
+    pairs[2 * i + 1] = {keys[i].pk.b, en[i].r};
+  }
+  auto prods = batch_mul(std::move(pairs));
+  std::vector<crypto::ciphertext> cts(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    cts[i] = crypto::rlwe_finish_encrypt(ring, en[i], jobs[i].message,
+                                         std::move(prods[2 * i]), std::move(prods[2 * i + 1]));
+  }
+
+  // Stage 3 — decryption round-trip products u*s.
+  pairs.assign(m, core::polymul_pair{});
+  for (std::size_t i = 0; i < m; ++i) pairs[i] = {cts[i].u, keys[i].sk.s};
+  auto us = batch_mul(std::move(pairs));
+
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 0; i < m; ++i) {
+    auto decrypted = crypto::rlwe_decrypt_from_product(ring, cts[i], us[i]);
+    job_result res;
+    res.outputs.reserve(3);
+    res.outputs.push_back(std::move(cts[i].u));
+    res.outputs.push_back(std::move(cts[i].v));
+    res.outputs.push_back(std::move(decrypted));
+    res.op_stats = stats;
+    res.op_stats.cycles = cycles;  // the three product stages run back-to-back
+    res.wall_cycles = cycles;
+    res.jobs_in_batch = m;
+    done_.emplace(ids[i], std::move(res));
+    in_flight_.erase(ids[i]);
+  }
+  stats_.jobs_completed += m;
+  cv_.notify_all();
 }
 
 void context::flush() {
@@ -148,48 +266,110 @@ void context::flush() {
   // (and direction) into one backend dispatch each — the widest batches the
   // backend can shard over banks, lanes and waves.  Results are keyed by
   // job_id, so regrouping never misroutes an output.
-  std::vector<job_id> fwd_ids, inv_ids, mul_ids;
-  std::vector<ntt_job> fwd, inv;
-  std::vector<polymul_job> muls;
-  std::vector<std::pair<job_id, rlwe_encrypt_job>> rlwes;
+  auto plan = std::make_shared<flush_plan>();
   for (auto& [id, j] : queue_) {
     if (auto* ntt = std::get_if<ntt_job>(&j)) {
-      auto& ids = ntt->dir == transform_dir::forward ? fwd_ids : inv_ids;
-      auto& group = ntt->dir == transform_dir::forward ? fwd : inv;
+      auto& ids = ntt->dir == transform_dir::forward ? plan->fwd_ids : plan->inv_ids;
+      auto& group = ntt->dir == transform_dir::forward ? plan->fwd : plan->inv;
       ids.push_back(id);
       group.push_back(std::move(*ntt));
     } else if (auto* mul = std::get_if<polymul_job>(&j)) {
-      mul_ids.push_back(id);
-      muls.push_back(std::move(*mul));
+      plan->mul_ids.push_back(id);
+      plan->muls.push_back(std::move(*mul));
     } else {
-      rlwes.emplace_back(id, std::move(std::get<rlwe_encrypt_job>(j)));
+      plan->rlwe_ids.push_back(id);
+      plan->rlwes.push_back(std::move(std::get<rlwe_encrypt_job>(j)));
     }
   }
   queue_.clear();
+  {
+    // Jobs become in-flight before the drain task exists, so a wait() racing
+    // the pool can never mistake a dispatched job for a claimed one.
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto* ids :
+         {&plan->fwd_ids, &plan->inv_ids, &plan->mul_ids, &plan->rlwe_ids}) {
+      in_flight_.insert(ids->begin(), ids->end());
+    }
+  }
+  pool_.enqueue([this, plan] { drain(*plan); });
+}
 
-  if (!fwd.empty()) dispatch_ntt_group(fwd_ids, std::move(fwd), transform_dir::forward);
-  if (!inv.empty()) dispatch_ntt_group(inv_ids, std::move(inv), transform_dir::inverse);
-  if (!muls.empty()) dispatch_polymul_group(mul_ids, std::move(muls));
-  for (const auto& [id, j] : rlwes) run_rlwe(id, j);
+void context::drain(flush_plan& plan) {
+  // Dispatches of overlapping flushes serialize here — backends batch onto
+  // shared bank state.  Parallelism lives inside each dispatch (bank
+  // slices, cpu job chunks) and between flush() and the waiting client.
+  std::lock_guard<std::mutex> serialize(dispatch_mu_);
+  const auto guarded = [&](const std::vector<job_id>& ids, auto&& fn) {
+    if (ids.empty()) return;
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      // The exception fails exactly this dispatch: per-job error recorded,
+      // sibling groups of the same flush still run.
+      fail_group(ids, e.what());
+    } catch (...) {
+      fail_group(ids, "unknown backend error");
+    }
+  };
+  guarded(plan.fwd_ids, [&] {
+    dispatch_ntt_group(plan.fwd_ids, std::move(plan.fwd), transform_dir::forward);
+  });
+  guarded(plan.inv_ids, [&] {
+    dispatch_ntt_group(plan.inv_ids, std::move(plan.inv), transform_dir::inverse);
+  });
+  guarded(plan.mul_ids,
+          [&] { dispatch_polymul_group(plan.mul_ids, std::move(plan.muls)); });
+  guarded(plan.rlwe_ids, [&] { run_rlwe_group(plan.rlwe_ids, std::move(plan.rlwes)); });
+}
+
+bool context::is_queued(job_id id) const noexcept {
+  for (const auto& [qid, j] : queue_) {
+    if (qid == id) return true;
+  }
+  return false;
 }
 
 job_result context::wait(job_id id) {
   if (id == 0 || id >= next_id_) throw std::out_of_range("runtime: unknown job id");
+  if (is_queued(id)) flush();
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return done_.count(id) != 0 || in_flight_.count(id) == 0; });
   auto it = done_.find(id);
-  if (it == done_.end()) {
-    flush();
-    it = done_.find(id);
-  }
   if (it == done_.end()) {
     throw std::out_of_range("runtime: job result already claimed");
   }
   job_result res = std::move(it->second);
   done_.erase(it);
+  if (res.status == job_status::failed) {
+    throw job_failed_error(id, res.error);
+  }
   return res;
+}
+
+std::optional<job_result> context::try_wait(job_id id) {
+  if (id == 0 || id >= next_id_) throw std::out_of_range("runtime: unknown job id");
+  const bool queued = is_queued(id);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = done_.find(id);
+  if (it != done_.end()) {
+    job_result res = std::move(it->second);
+    done_.erase(it);
+    return res;
+  }
+  if (queued || in_flight_.count(id) != 0) return std::nullopt;
+  throw std::out_of_range("runtime: job result already claimed");
+}
+
+void context::sync() {
+  flush();
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return in_flight_.empty(); });
 }
 
 std::vector<job_result> context::wait_all() {
   flush();
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return in_flight_.empty(); });
   std::vector<job_result> all;
   all.reserve(done_.size());
   for (auto& [id, res] : done_) all.push_back(std::move(res));

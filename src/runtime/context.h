@@ -3,27 +3,46 @@
 //   runtime::context ctx(runtime_options()
 //                            .with_ring(256, 7681, 14)
 //                            .with_backend(backend_kind::sram)
-//                            .with_banks(2));
+//                            .with_banks(2)
+//                            .with_threads(4));
 //   std::vector<runtime::job_id> ids;
 //   for (auto& poly : batch) ids.push_back(ctx.submit(runtime::ntt_job{.coeffs = poly}));
-//   for (auto id : ids) auto r = ctx.wait(id);   // r.outputs[0] = NTT(poly)
+//   ctx.flush();                                  // async: schedules and returns
+//   for (auto id : ids) auto r = ctx.wait(id);    // blocks on per-job completion
 //
 // submit() validates and enqueues; nothing executes until a wait (or an
 // explicit flush).  The deferral is the batching opportunity: at flush time
 // the pending set is partitioned by job kind — forward transforms with
-// forward transforms, ring products with ring products — and each partition
-// goes to the backend as one batch, so the in-SRAM scheduler can shard it
-// across banks and lanes and fill whole waves.  Jobs are independent and
-// results are keyed by job_id, so the regrouping is unobservable except in
-// the scheduler counters.
+// forward transforms, ring products with ring products, R-LWE flows staged
+// together — and each partition goes to the backend as one batch, so the
+// in-SRAM scheduler can shard it across banks and lanes and fill whole
+// waves.  flush() hands the partitions to a fixed-size thread pool and
+// returns immediately; inside a dispatch the backend fans bank slices (or
+// cpu job chunks) across the same pool.  Jobs are independent and results
+// are keyed by job_id, so the regrouping is unobservable except in the
+// scheduler counters — outputs are bit-identical to a serial run.
+//
+// Failure model: a backend exception fails exactly the jobs of the
+// dispatch it occurred in (job_status::failed + the backend's message);
+// sibling dispatches of the same flush still complete.  wait() throws
+// job_failed_error for a failed job; try_wait()/wait_all() return the
+// failed job_result instead.
+//
+// Threading contract: one client thread submits/waits; the pool threads
+// are internal.  A context is not a multi-producer queue.
 #pragma once
 
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
 #include <variant>
 #include <vector>
 
 #include "runtime/backend.h"
+#include "runtime/executor.h"
 #include "runtime/job.h"
 #include "runtime/options.h"
 
@@ -34,16 +53,22 @@ using job = std::variant<ntt_job, polymul_job, rlwe_encrypt_job>;
 // Cumulative scheduling counters across the context's lifetime.
 struct scheduler_stats {
   u64 jobs_submitted = 0;
-  u64 jobs_completed = 0;
-  u64 batches = 0;      // backend dispatches
-  u64 waves = 0;        // scheduling waves executed by the backend
-  u64 wall_cycles = 0;  // sum of batch wall-clocks (batches run back-to-back)
+  u64 jobs_completed = 0;  // finished ok
+  u64 jobs_failed = 0;     // dispatch raised; per-job error recorded
+  u64 jobs_in_flight = 0;  // snapshot: dispatched, not yet completed/failed
+  u64 batches = 0;         // backend dispatches
+  u64 waves = 0;           // scheduling waves executed by the backend
+  u64 wall_cycles = 0;     // sum of batch wall-clocks (batches run back-to-back)
   double energy_nj = 0.0;
 };
 
 class context {
  public:
   explicit context(runtime_options opts);
+  // Injects a caller-provided backend (stub backends in tests, custom
+  // models).  opts still selects ring parameters and pool size.
+  context(runtime_options opts, std::unique_ptr<backend> custom_backend);
+  ~context();
 
   context(const context&) = delete;
   context& operator=(const context&) = delete;
@@ -52,7 +77,10 @@ class context {
   [[nodiscard]] backend& active_backend() noexcept { return *backend_; }
   // Jobs one scheduling round absorbs at full utilisation (0 = unbounded).
   [[nodiscard]] unsigned wave_width() const noexcept { return backend_->wave_width(); }
-  [[nodiscard]] const scheduler_stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] unsigned executor_threads() const noexcept { return pool_.thread_count(); }
+  // Counter snapshot (jobs_in_flight is the instantaneous gauge).
+  [[nodiscard]] scheduler_stats stats() const;
+  // Jobs enqueued but not yet handed to the executor by a flush.
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
   // Validate and enqueue; throws std::invalid_argument on jobs the
@@ -61,32 +89,66 @@ class context {
   job_id submit(polymul_job j);
   job_id submit(rlwe_encrypt_job j);
 
-  // Execute everything pending: the queue is partitioned by job kind (and
-  // transform direction) into one backend dispatch each.  Jobs are
-  // independent, so the regrouping is unobservable outside stats().
+  // Partition everything pending by job kind (and transform direction) and
+  // hand the partitions to the executor; returns without blocking.
   void flush();
+  // flush() + block until nothing is in flight.  Unclaimed results stay
+  // retrievable afterwards.
+  void sync();
 
-  // Result retrieval (flushes first if the job is still queued).  wait()
-  // consumes the result; waiting twice on the same id throws.
+  // Blocking retrieval; flushes first if the job is still queued.  wait()
+  // consumes the result.  Throws std::out_of_range("... unknown job id")
+  // for ids never returned by submit, std::out_of_range("... already
+  // claimed") for results retrieved before, and job_failed_error (with the
+  // backend's message) when the job's dispatch failed.
   [[nodiscard]] job_result wait(job_id id);
-  // All unclaimed results in submission order.
+  // Non-blocking probe: the result if the job has completed or failed
+  // (consuming it — inspect job_result::status), std::nullopt while it is
+  // queued or in flight.  Does not flush.  Throws like wait() for unknown
+  // or already-claimed ids.
+  [[nodiscard]] std::optional<job_result> try_wait(job_id id);
+  // Flush, drain, and return all unclaimed results in submission order
+  // (failed jobs included, carrying status/error).
   [[nodiscard]] std::vector<job_result> wait_all();
 
  private:
+  // One flush's partitioned queue, handed to the executor as a unit.
+  struct flush_plan {
+    std::vector<job_id> fwd_ids, inv_ids, mul_ids, rlwe_ids;
+    std::vector<ntt_job> fwd, inv;
+    std::vector<polymul_job> muls;
+    std::vector<rlwe_encrypt_job> rlwes;
+  };
+
   job_id enqueue(job j);
+  [[nodiscard]] bool is_queued(job_id id) const noexcept;
+  void drain(flush_plan& plan);
   void distribute(const std::vector<job_id>& ids, batch_result&& r);
+  void fail_group(const std::vector<job_id>& ids, const std::string& what);
   void dispatch_ntt_group(const std::vector<job_id>& ids, std::vector<ntt_job>&& jobs,
                           transform_dir dir);
   void dispatch_polymul_group(const std::vector<job_id>& ids, std::vector<polymul_job>&& jobs);
-  void run_rlwe(job_id id, const rlwe_encrypt_job& j);
+  void run_rlwe_group(const std::vector<job_id>& ids, std::vector<rlwe_encrypt_job>&& jobs);
   void account(const batch_result& r);
+  void account_locked(const batch_result& r);
 
   runtime_options opts_;
   std::unique_ptr<backend> backend_;
+  // Client-thread state: the pre-flush queue and the id counter.
   std::vector<std::pair<job_id, job>> queue_;
-  std::map<job_id, job_result> done_;
   job_id next_id_ = 1;
+  // Shared state, guarded by mu_: completion map, in-flight set, counters.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<job_id, job_result> done_;
+  std::set<job_id> in_flight_;
   scheduler_stats stats_;
+  // Dispatches serialize here: backends batch onto shared bank state, so
+  // two drain tasks must not interleave backend calls.
+  std::mutex dispatch_mu_;
+  // Declared last: destroyed first, joining the workers (and finishing any
+  // queued drain task) before the members those tasks reference go away.
+  executor pool_;
 };
 
 }  // namespace bpntt::runtime

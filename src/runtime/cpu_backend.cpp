@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "nttmath/poly.h"
+#include "runtime/executor.h"
 
 namespace bpntt::runtime {
 
@@ -32,10 +33,40 @@ void cpu_backend::transform(std::vector<u64>& a, transform_dir dir) const {
   }
 }
 
+std::vector<u64> cpu_backend::multiply(const core::polymul_pair& pair) const {
+  if (itables_) {
+    std::vector<u64> a = pair.a;
+    std::vector<u64> b = pair.b;
+    math::incomplete_ntt_forward(a, *itables_);
+    math::incomplete_ntt_forward(b, *itables_);
+    std::vector<u64> c(a.size());
+    math::incomplete_basemul(a, b, c, *itables_);
+    math::incomplete_ntt_inverse(c, *itables_);
+    return c;
+  }
+  if (fast_) {
+    std::vector<u64> a = pair.a;
+    std::vector<u64> b = pair.b;
+    fast_->forward(a);
+    fast_->forward(b);
+    std::vector<u64> c(a.size());
+    math::ntt_pointwise(a, b, c, params_.q);
+    fast_->inverse(c);
+    return c;
+  }
+  return math::polymul_ntt(pair.a, pair.b, *tables_);
+}
+
 batch_result cpu_backend::finish(std::vector<std::vector<u64>> outputs, double seconds) const {
   batch_result out;
   out.waves = outputs.empty() ? 0 : 1;
   out.outputs = std::move(outputs);
+  if (!out.outputs.empty()) {
+    // A small batch can finish inside one clock tick and measure 0 seconds;
+    // clamp to one core cycle so a non-empty batch never reports zero work
+    // (downstream throughput/energy division relies on that).
+    seconds = std::max(seconds, 1.0 / (freq_ghz_ * 1e9));
+  }
   out.wall_cycles = static_cast<u64>(std::llround(seconds * freq_ghz_ * 1e9));
   out.stats.cycles = out.wall_cycles;
   out.stats.energy_pj = seconds * power_w_ * 1e12;
@@ -46,7 +77,9 @@ batch_result cpu_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
                                   transform_dir dir) {
   std::vector<std::vector<u64>> outputs = polys;
   const auto start = std::chrono::steady_clock::now();
-  for (auto& a : outputs) transform(a, dir);
+  // Tables are immutable after construction, so jobs chunk freely across
+  // the pool; each task owns its output slot.
+  parallel_for(pool_, outputs.size(), [&](std::size_t i) { transform(outputs[i], dir); });
   const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
   return finish(std::move(outputs), elapsed.count());
 }
@@ -54,29 +87,7 @@ batch_result cpu_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
 batch_result cpu_backend::run_polymul(const std::vector<core::polymul_pair>& pairs) {
   std::vector<std::vector<u64>> outputs(pairs.size());
   const auto start = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    if (itables_) {
-      std::vector<u64> a = pairs[i].a;
-      std::vector<u64> b = pairs[i].b;
-      math::incomplete_ntt_forward(a, *itables_);
-      math::incomplete_ntt_forward(b, *itables_);
-      std::vector<u64> c(a.size());
-      math::incomplete_basemul(a, b, c, *itables_);
-      math::incomplete_ntt_inverse(c, *itables_);
-      outputs[i] = std::move(c);
-    } else if (fast_) {
-      std::vector<u64> a = pairs[i].a;
-      std::vector<u64> b = pairs[i].b;
-      fast_->forward(a);
-      fast_->forward(b);
-      std::vector<u64> c(a.size());
-      math::ntt_pointwise(a, b, c, params_.q);
-      fast_->inverse(c);
-      outputs[i] = std::move(c);
-    } else {
-      outputs[i] = math::polymul_ntt(pairs[i].a, pairs[i].b, *tables_);
-    }
-  }
+  parallel_for(pool_, pairs.size(), [&](std::size_t i) { outputs[i] = multiply(pairs[i]); });
   const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
   return finish(std::move(outputs), elapsed.count());
 }

@@ -31,6 +31,7 @@ class cpu_backend final : public backend {
 
  private:
   void transform(std::vector<u64>& a, transform_dir dir) const;
+  [[nodiscard]] std::vector<u64> multiply(const core::polymul_pair& pair) const;
   [[nodiscard]] batch_result finish(std::vector<std::vector<u64>> outputs,
                                     double seconds) const;
 

@@ -1,0 +1,136 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace bpntt::runtime {
+
+namespace {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4u : std::min(hw, 16u);
+}
+
+// Shared state of one parallel_for: an atomic work-list cursor plus a
+// completion count.  Helpers that start late — or never, on a saturated
+// pool — are harmless: every index is claimed exactly once, and whoever
+// claims it (helper or the caller) runs it.  A helper that finds the
+// cursor exhausted exits without touching `fn`, so the state outliving the
+// caller's stack frame (via the shared_ptr in the queued closures) is safe.
+struct for_state {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t finished = 0;  // guarded by mu
+  std::exception_ptr error;  // first failure, guarded by mu
+  std::mutex mu;
+  std::condition_variable done;
+
+  void run() {
+    std::size_t ran = 0;
+    std::exception_ptr first;
+    for (std::size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+      ++ran;
+    }
+    if (ran == 0) return;
+    std::lock_guard<std::mutex> lk(mu);
+    if (first && !error) error = first;
+    finished += ran;
+    if (finished == n) done.notify_all();
+  }
+};
+
+}  // namespace
+
+executor::executor(unsigned threads) {
+  const unsigned n = resolve_threads(threads);
+  workers_.reserve(n);
+  try {
+    for (unsigned i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // A thread-limited host can fail a spawn mid-loop; stop and join the
+    // workers that did start so the exception propagates instead of
+    // ~thread() on a joinable worker calling std::terminate.
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    throw;
+  }
+}
+
+executor::~executor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  // Workers drain the queue before exiting, so every enqueued task (and
+  // with it every in-flight job of an owning context) still completes.
+  for (auto& w : workers_) w.join();
+}
+
+void executor::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void executor::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void executor::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  auto st = std::make_shared<for_state>();
+  st->n = n;
+  st->fn = &fn;
+  const std::size_t helpers = std::min<std::size_t>(workers_.size(), n - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    enqueue([st] { st->run(); });
+  }
+  st->run();  // the caller claims indices too — no idle-worker dependency
+  std::unique_lock<std::mutex> lk(st->mu);
+  st->done.wait(lk, [&] { return st->finished == st->n; });
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+void parallel_for(executor* pool, std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, fn);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) fn(i);
+}
+
+}  // namespace bpntt::runtime

@@ -1,0 +1,66 @@
+// Fixed-size thread pool of the bpntt runtime.
+//
+// Two primitives cover everything the scheduler needs:
+//   - enqueue(task): fire-and-forget FIFO submission.  Completion is the
+//     task's own business — the context tracks per-job completion states,
+//     so the pool never hands out futures.
+//   - parallel_for(n, fn): run fn(0..n) across the pool with the *caller
+//     participating*.  The caller claims indices from the same atomic
+//     cursor as the helpers, so progress never depends on a free worker —
+//     calling parallel_for from inside a pool task (the context's drain
+//     task fanning a batch over banks) cannot deadlock even on a pool of
+//     one thread.
+//
+// Determinism note: parallel_for only decides *which thread* runs fn(i);
+// callers that write disjoint output slots per index produce bit-identical
+// results regardless of pool size.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bpntt::runtime {
+
+class executor {
+ public:
+  // threads == 0 picks a size from the host's hardware concurrency.
+  explicit executor(unsigned threads = 0);
+  ~executor();
+
+  executor(const executor&) = delete;
+  executor& operator=(const executor&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  // Fire-and-forget; tasks run FIFO across the workers.
+  void enqueue(std::function<void()> task);
+
+  // Execute fn(i) exactly once for every i in [0, n), returning when all n
+  // calls have finished.  The first exception thrown by any fn(i) is
+  // rethrown here (the remaining indices still run — batch items are
+  // independent and a caller distributing per-job results needs all slots
+  // settled).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Serial fallback shared by the backends: run on the pool when one is
+// attached, inline otherwise (stub backends in tests run without a pool).
+void parallel_for(executor* pool, std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace bpntt::runtime

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bpntt/bank.h"
@@ -49,15 +51,38 @@ struct rlwe_encrypt_job {
 
 using job_id = std::uint64_t;
 
+// Terminal state of a job.  A backend exception fails exactly the jobs of
+// the dispatch it occurred in; sibling dispatches of the same flush still
+// complete with `ok` results.
+enum class job_status { ok, failed };
+
 // Unified result: `outputs` holds the job's polynomials (one for ntt_job and
 // polymul_job; ciphertext u, v and the decrypted round-trip for
 // rlwe_encrypt_job).  op_stats and wall_cycles describe the scheduled batch
 // the job rode in — divide by jobs_in_batch for an amortized per-job view.
+// When status == failed, `error` carries the backend's message and
+// `outputs` is empty.
 struct job_result {
+  job_status status = job_status::ok;
+  std::string error;
   std::vector<std::vector<u64>> outputs;
   sram::op_stats op_stats;
   u64 wall_cycles = 0;
   std::size_t jobs_in_batch = 1;
+};
+
+// Thrown by context::wait() when the waited job's dispatch failed in the
+// backend.  Carries the same per-job error that try_wait() / wait_all()
+// report through job_result::error for callers that prefer not to catch.
+class job_failed_error : public std::runtime_error {
+ public:
+  job_failed_error(job_id id, const std::string& why)
+      : std::runtime_error("runtime: job " + std::to_string(id) + " failed: " + why),
+        id_(id) {}
+  [[nodiscard]] job_id id() const noexcept { return id_; }
+
+ private:
+  job_id id_;
 };
 
 }  // namespace bpntt::runtime

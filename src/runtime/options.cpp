@@ -27,6 +27,12 @@ runtime_options runtime_options::for_param_set(const crypto::param_set& set) {
   return opts;
 }
 
+void runtime_options::validate_threads(unsigned threads) {
+  if (threads > 256) {
+    throw std::invalid_argument("runtime_options: threads must be in [0, 256] (0 = auto)");
+  }
+}
+
 void runtime_options::validate() const {
   params.validate();
   if (params.synthetic()) {
@@ -34,6 +40,7 @@ void runtime_options::validate() const {
         "runtime_options: synthetic params (q == 0) have no job semantics; use the perf_model "
         "sweeps for performance-only runs");
   }
+  validate_threads(threads);
   switch (backend) {
     case backend_kind::sram:
       if (banks < 1 || banks > 64) {

@@ -40,6 +40,12 @@ struct runtime_options {
   double cpu_freq_ghz = 3.0;
   double cpu_power_w = 15.0;
 
+  // Executor pool size for async flush and batch-internal fan-out (bank
+  // slices, cpu job chunks).  0 derives a size from the host's hardware
+  // concurrency; 1 gives a single worker (serial dispatch, still async
+  // with respect to the submitting thread).
+  unsigned threads = 0;
+
   runtime_options& with_backend(backend_kind k) {
     backend = k;
     return *this;
@@ -81,11 +87,19 @@ struct runtime_options {
     cpu_power_w = power_w;
     return *this;
   }
+  runtime_options& with_threads(unsigned t) {
+    threads = t;
+    return *this;
+  }
 
   // Ring selection from a named lattice parameter set: picks the minimal
   // tile width and falls back to the incomplete transform when the set has
   // no full negacyclic NTT (standardized Kyber).
   [[nodiscard]] static runtime_options for_param_set(const crypto::param_set& set);
+
+  // Shared bound check for the executor pool size — called by validate()
+  // and by the context constructors before the pool member is built.
+  static void validate_threads(unsigned threads);
 
   // The sram backend's per-bank configuration, derived.
   [[nodiscard]] core::bank_config bank() const {

@@ -1,6 +1,7 @@
 #include "runtime/reference_backend.h"
 
 #include "nttmath/poly.h"
+#include "runtime/executor.h"
 
 namespace bpntt::runtime {
 
@@ -17,7 +18,9 @@ batch_result reference_backend::run_ntt(const std::vector<std::vector<u64>>& pol
   batch_result out;
   out.outputs = polys;
   out.waves = polys.empty() ? 0 : 1;
-  for (auto& a : out.outputs) {
+  // The golden tables are read-only; jobs chunk freely across the pool.
+  parallel_for(pool_, out.outputs.size(), [&](std::size_t i) {
+    auto& a = out.outputs[i];
     if (itables_) {
       dir == transform_dir::forward ? math::incomplete_ntt_forward(a, *itables_)
                                     : math::incomplete_ntt_inverse(a, *itables_);
@@ -28,7 +31,7 @@ batch_result reference_backend::run_ntt(const std::vector<std::vector<u64>>& pol
       dir == transform_dir::forward ? math::cyclic_ntt_forward(a, *tables_)
                                     : math::cyclic_ntt_inverse(a, *tables_);
     }
-  }
+  });
   return out;
 }
 
@@ -36,10 +39,10 @@ batch_result reference_backend::run_polymul(const std::vector<core::polymul_pair
   batch_result out;
   out.outputs.resize(pairs.size());
   out.waves = pairs.empty() ? 0 : 1;
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
+  parallel_for(pool_, pairs.size(), [&](std::size_t i) {
     out.outputs[i] = itables_ ? math::polymul_incomplete(pairs[i].a, pairs[i].b, *itables_)
                               : math::polymul_ntt(pairs[i].a, pairs[i].b, *tables_);
-  }
+  });
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/executor.h"
+
 namespace bpntt::runtime {
 
 sram_backend::sram_backend(const runtime_options& opts) {
@@ -38,14 +40,23 @@ batch_result sram_backend::shard(std::size_t njobs, RunSlice&& run_slice) {
     }
   }
 
+  // Banks are independent models executing a broadcast command stream
+  // (§IV-A), so their slices really do run concurrently: one pool task per
+  // bank.  Results are merged serially in bank order afterwards, keeping
+  // the floating-point energy sum (and therefore every reported stat)
+  // deterministic regardless of pool size.
+  std::vector<core::bank_run_result> per_bank(banks_.size());
+  parallel_for(pool_, banks_.size(), [&](std::size_t b) {
+    if (!assigned[b].empty()) per_bank[b] = run_slice(banks_[b], assigned[b]);
+  });
+
   for (std::size_t b = 0; b < banks_.size(); ++b) {
     if (assigned[b].empty()) continue;
-    core::bank_run_result r = run_slice(banks_[b], assigned[b]);
+    core::bank_run_result& r = per_bank[b];
     for (std::size_t k = 0; k < assigned[b].size(); ++k) {
       out.outputs[assigned[b][k]] = std::move(r.outputs[k]);
     }
-    // Banks run concurrently (broadcast command stream, §IV-A): wall clock
-    // is the slowest bank; waves, energy and op counts accumulate.
+    // Wall clock is the slowest bank; waves, energy and op counts accumulate.
     out.wall_cycles = std::max(out.wall_cycles, r.cycles);
     out.waves += r.waves;
     out.stats += r.stats;

@@ -93,6 +93,41 @@ TEST(Engine, ProgramCacheReusesCompiledKernels) {
   const auto s2 = eng.run_forward();  // cached program, same array-op count modulo ripples
   EXPECT_GT(s1.cycles, 0u);
   EXPECT_GT(s2.cycles, 0u);
+  EXPECT_EQ(eng.cached_programs(), 1u);
+}
+
+TEST(Engine, ProgramCacheCoversEveryKernelAcrossRepeatedPolymulBatches) {
+  // The full in-array product pipeline — forward x2, pointwise, inverse,
+  // plus the basemul and modmul kernels — must compile each program once;
+  // repeating the batch must not grow the cache.
+  bp_ntt_engine eng(small_config(), small_params());
+  const auto ra = eng.poly_region(0);
+  const auto rb = eng.poly_region(16);
+  const auto& layout = eng.layout();
+  common::xoshiro256ss rng(5);
+  const auto run_once = [&] {
+    std::vector<u64> a(16), b(16);
+    for (auto& x : a) x = rng.below(97);
+    for (auto& x : b) x = rng.below(97);
+    eng.load_polynomial(0, a, ra);
+    eng.load_polynomial(0, b, rb);
+    (void)eng.run_forward(ra);
+    (void)eng.run_forward(rb);
+    (void)eng.run_pointwise(ra, rb, ra, /*scale_b=*/true);
+    (void)eng.run_inverse(ra);
+    (void)eng.run_modmul_rows(layout.make_region(0, 1), layout.make_region(1, 1),
+                              layout.make_region(2, 1));
+  };
+  run_once();
+  const std::size_t compiled = eng.cached_programs();
+  // forward@0, forward@16, pointwise, inverse@0, modmul = 5.
+  EXPECT_EQ(compiled, 5u);
+  run_once();
+  run_once();
+  EXPECT_EQ(eng.cached_programs(), compiled) << "repeated batches must not recompile";
+  // A different operand placement is a genuinely different program.
+  (void)eng.run_inverse(rb);
+  EXPECT_EQ(eng.cached_programs(), compiled + 1);
 }
 
 TEST(Engine, RegionHandlesAreValidatedAtAllocation) {

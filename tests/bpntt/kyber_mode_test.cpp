@@ -113,6 +113,11 @@ TEST(KyberMode, BasemulAloneMatchesGolden) {
     math::incomplete_basemul(a[lane], b[lane], expect, *eng.incomplete_tables());
     ASSERT_EQ(eng.peek_polynomial(lane, 16), expect) << "lane " << lane;
   }
+  // The compiled basemul program is cached like the transforms: a repeat
+  // run with the same operand regions must not recompile.
+  const std::size_t compiled = eng.cached_programs();
+  eng.run_basemul(eng.poly_region(0), eng.poly_region(16), true);
+  EXPECT_EQ(eng.cached_programs(), compiled);
 }
 
 TEST(KyberMode, CompleteModeRejectsBasemul) {

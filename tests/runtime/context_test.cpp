@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "common/xoshiro.h"
 #include "nttmath/ntt.h"
 #include "nttmath/poly.h"
@@ -57,9 +60,23 @@ TEST(RuntimeContext, WaitConsumesAndRejectsUnknownIds) {
   context ctx(small_sram());
   common::xoshiro256ss rng(2);
   const auto id = ctx.submit(ntt_job{.coeffs = random_poly(32, 193, rng)});
-  EXPECT_THROW((void)ctx.wait(id + 1), std::out_of_range);  // never submitted
+  // The three wait() failure modes carry distinct messages: unknown id,
+  // already-claimed result, and (tested with the stub backend below) a
+  // failed dispatch.
+  EXPECT_THROW((void)ctx.wait(0), std::out_of_range);  // 0 is never issued
+  try {
+    (void)ctx.wait(id + 1);  // never submitted
+    FAIL() << "unknown id must throw";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "runtime: unknown job id");
+  }
   (void)ctx.wait(id);
-  EXPECT_THROW((void)ctx.wait(id), std::out_of_range);  // already claimed
+  try {
+    (void)ctx.wait(id);  // already claimed
+    FAIL() << "claimed id must throw";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "runtime: job result already claimed");
+  }
 }
 
 TEST(RuntimeContext, FlushPartitionsByKindAndDirection) {
@@ -75,10 +92,12 @@ TEST(RuntimeContext, FlushPartitionsByKindAndDirection) {
     (void)ctx.submit(polymul_job{.a = random_poly(p.n, p.q, rng),
                                  .b = random_poly(p.n, p.q, rng)});
   }
-  ctx.flush();
+  ctx.flush();  // async: schedules and returns
   EXPECT_EQ(ctx.pending(), 0u);
+  ctx.sync();  // block until the executor drained the dispatches
   EXPECT_EQ(ctx.stats().batches, 3u);
   EXPECT_EQ(ctx.stats().jobs_completed, 9u);
+  EXPECT_EQ(ctx.stats().jobs_in_flight, 0u);
 }
 
 TEST(RuntimeContext, ForwardThenInverseRestoresInput) {
@@ -188,6 +207,201 @@ TEST(RuntimeContext, ReferenceBackendIsFree) {
   const auto r = ctx.wait(ctx.submit(ntt_job{.coeffs = random_poly(32, 193, rng)}));
   EXPECT_EQ(r.wall_cycles, 0u);
   EXPECT_EQ(r.op_stats.energy_pj, 0.0);
+}
+
+TEST(RuntimeContext, CpuBackendNeverReportsZeroCyclesForNonEmptyBatches) {
+  // A tiny batch can finish inside one clock tick; the backend clamps to
+  // one core cycle so throughput/energy division stays well-defined.
+  context ctx(runtime_options(small_sram()).with_backend(backend_kind::cpu));
+  common::xoshiro256ss rng(10);
+  const auto r = ctx.wait(ctx.submit(ntt_job{.coeffs = random_poly(32, 193, rng)}));
+  EXPECT_GE(r.wall_cycles, 1u);
+  EXPECT_GT(r.op_stats.energy_pj, 0.0);
+}
+
+TEST(RuntimeContext, AsyncFlushReturnsBeforeResultsAndWaitBlocks) {
+  auto opts = small_sram().with_banks(2).with_threads(4);
+  context ctx(opts);
+  EXPECT_EQ(ctx.executor_threads(), 4u);
+  const auto& p = ctx.options().params;
+  common::xoshiro256ss rng(11);
+  std::vector<job_id> ids;
+  for (unsigned i = 0; i < 30; ++i) {
+    ids.push_back(ctx.submit(ntt_job{.coeffs = random_poly(p.n, p.q, rng)}));
+  }
+  ctx.flush();
+  EXPECT_EQ(ctx.pending(), 0u);  // handed to the executor
+  for (const auto id : ids) {
+    const auto r = ctx.wait(id);  // blocks on the per-job completion state
+    EXPECT_EQ(r.status, job_status::ok);
+  }
+  const auto s = ctx.stats();
+  EXPECT_EQ(s.jobs_completed, ids.size());
+  EXPECT_EQ(s.jobs_in_flight, 0u);
+  EXPECT_EQ(s.jobs_failed, 0u);
+}
+
+// ---- Stub backends: failure injection and contract checks ------------------
+
+// A scriptable backend: echoes inputs, optionally throwing on transforms or
+// returning a short output vector.
+class scripted_backend final : public backend {
+ public:
+  enum class mode { echo, throw_on_ntt, short_outputs };
+  explicit scripted_backend(mode m) : mode_(m) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "stub"; }
+  [[nodiscard]] unsigned wave_width() const noexcept override { return 0; }
+  [[nodiscard]] bool supports_polymul() const noexcept override { return true; }
+
+  batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir) override {
+    if (mode_ == mode::throw_on_ntt) {
+      throw std::runtime_error("stub backend: transform unit on fire");
+    }
+    batch_result r;
+    r.outputs = polys;
+    if (mode_ == mode::short_outputs && !r.outputs.empty()) r.outputs.pop_back();
+    r.waves = polys.empty() ? 0 : 1;
+    return r;
+  }
+  batch_result run_polymul(const std::vector<core::polymul_pair>& pairs) override {
+    batch_result r;
+    for (const auto& pr : pairs) r.outputs.push_back(pr.a);
+    r.waves = pairs.empty() ? 0 : 1;
+    return r;
+  }
+
+ private:
+  mode mode_;
+};
+
+context stub_context(scripted_backend::mode m) {
+  return context(small_sram(), std::make_unique<scripted_backend>(m));
+}
+
+TEST(RuntimeContext, BackendThrowFailsOnlyItsOwnDispatch) {
+  auto ctx = stub_context(scripted_backend::mode::throw_on_ntt);
+  common::xoshiro256ss rng(12);
+  const auto ntt1 = ctx.submit(ntt_job{.coeffs = random_poly(32, 193, rng)});
+  const auto ntt2 = ctx.submit(ntt_job{.coeffs = random_poly(32, 193, rng)});
+  const auto mul1 = ctx.submit(
+      polymul_job{.a = random_poly(32, 193, rng), .b = random_poly(32, 193, rng)});
+  ctx.sync();
+
+  // Sibling dispatch (the polymul group) survives the ntt group's failure.
+  const auto ok = ctx.wait(mul1);
+  EXPECT_EQ(ok.status, job_status::ok);
+  ASSERT_EQ(ok.outputs.size(), 1u);
+
+  // The failed jobs surface the backend's real error — not the old
+  // "job result already claimed" misreport.
+  try {
+    (void)ctx.wait(ntt1);
+    FAIL() << "failed job must throw job_failed_error";
+  } catch (const job_failed_error& e) {
+    EXPECT_EQ(e.id(), ntt1);
+    EXPECT_NE(std::string(e.what()).find("transform unit on fire"), std::string::npos);
+  }
+  // try_wait reports the same failure through job_result instead of throwing.
+  const auto failed = ctx.try_wait(ntt2);
+  ASSERT_TRUE(failed.has_value());
+  EXPECT_EQ(failed->status, job_status::failed);
+  EXPECT_NE(failed->error.find("transform unit on fire"), std::string::npos);
+  EXPECT_TRUE(failed->outputs.empty());
+
+  const auto s = ctx.stats();
+  EXPECT_EQ(s.jobs_failed, 2u);
+  EXPECT_EQ(s.jobs_completed, 1u);
+  EXPECT_EQ(s.jobs_in_flight, 0u);
+}
+
+TEST(RuntimeContext, WaitAllReportsFailedJobsThroughJobResult) {
+  auto ctx = stub_context(scripted_backend::mode::throw_on_ntt);
+  common::xoshiro256ss rng(13);
+  (void)ctx.submit(ntt_job{.coeffs = random_poly(32, 193, rng)});
+  (void)ctx.submit(
+      polymul_job{.a = random_poly(32, 193, rng), .b = random_poly(32, 193, rng)});
+  const auto all = ctx.wait_all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].status, job_status::failed);  // submission order: the ntt job
+  EXPECT_NE(all[0].error.find("transform unit on fire"), std::string::npos);
+  EXPECT_EQ(all[1].status, job_status::ok);
+}
+
+TEST(RuntimeContext, ShortBackendResultFailsLoudlyInsteadOfMisrouting) {
+  auto ctx = stub_context(scripted_backend::mode::short_outputs);
+  common::xoshiro256ss rng(14);
+  std::vector<job_id> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(ctx.submit(ntt_job{.coeffs = random_poly(32, 193, rng)}));
+  }
+  ctx.sync();
+  for (const auto id : ids) {
+    const auto r = ctx.try_wait(id);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->status, job_status::failed);
+    EXPECT_NE(r->error.find("backend returned 2 outputs for a dispatch of 3 jobs"),
+              std::string::npos)
+        << r->error;
+  }
+}
+
+TEST(RuntimeContext, TryWaitProbesWithoutBlockingOrFlushing) {
+  context ctx(small_sram());
+  common::xoshiro256ss rng(15);
+  const auto id = ctx.submit(ntt_job{.coeffs = random_poly(32, 193, rng)});
+  EXPECT_THROW((void)ctx.try_wait(id + 1), std::out_of_range);
+  // Still queued: try_wait neither blocks nor triggers the flush.
+  EXPECT_FALSE(ctx.try_wait(id).has_value());
+  EXPECT_EQ(ctx.pending(), 1u);
+  ctx.sync();
+  const auto r = ctx.try_wait(id);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, job_status::ok);
+  EXPECT_THROW((void)ctx.try_wait(id), std::out_of_range);  // claimed
+}
+
+TEST(RuntimeContext, OversizedPoolIsRejectedBeforeAnyThreadSpawns) {
+  // Both constructors vet the pool size up front — an absurd with_threads()
+  // must throw invalid_argument, not attempt the spawn first.
+  EXPECT_THROW(context(small_sram().with_threads(300)), std::invalid_argument);
+  EXPECT_THROW(context(small_sram().with_threads(300),
+                       std::make_unique<scripted_backend>(scripted_backend::mode::echo)),
+               std::invalid_argument);
+}
+
+TEST(RuntimeContext, RlweJobsShareStagedProductBatches) {
+  // Three concurrent R-LWE flows: the keygen products run as one dispatch,
+  // the encrypt products as one, the decrypt products as one — 3 batches,
+  // not 4 per job — and outputs stay bit-identical to isolated runs.
+  context batched(small_sram());
+  const auto& p = batched.options().params;
+  common::xoshiro256ss rng(16);
+  std::vector<std::vector<u64>> messages;
+  std::vector<job_id> ids;
+  for (int t = 0; t < 3; ++t) {
+    std::vector<u64> msg(p.n);
+    for (auto& m : msg) m = rng.below(2);
+    messages.push_back(msg);
+    ids.push_back(batched.submit(
+        rlwe_encrypt_job{.message = msg, .seed = 400 + static_cast<u64>(t)}));
+  }
+  batched.sync();
+  EXPECT_EQ(batched.stats().batches, 3u);
+  EXPECT_EQ(batched.stats().jobs_completed, 3u);
+
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    const auto got = batched.wait(ids[t]);
+    ASSERT_EQ(got.outputs.size(), 3u);
+    EXPECT_EQ(got.outputs[2], messages[t]) << "round-trip, job " << t;
+    EXPECT_EQ(got.jobs_in_batch, 3u);
+    // One job per context: the serial path the staged flow must match.
+    context solo(small_sram());
+    const auto want = solo.wait(solo.submit(
+        rlwe_encrypt_job{.message = messages[t], .seed = 400 + static_cast<u64>(t)}));
+    EXPECT_EQ(got.outputs[0], want.outputs[0]) << "ciphertext u, job " << t;
+    EXPECT_EQ(got.outputs[1], want.outputs[1]) << "ciphertext v, job " << t;
+  }
 }
 
 }  // namespace

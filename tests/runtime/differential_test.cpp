@@ -103,6 +103,29 @@ TEST(CrossBackendDifferential, PolymulAgreesAcrossBackends) {
   }
 }
 
+TEST(CrossBackendDifferential, PoolSizeNeverChangesOutputs) {
+  // The async executor only decides which thread runs which bank slice /
+  // job chunk; a 4-thread multi-bank run must be bit-identical to the
+  // single-worker serial path, per backend.
+  const auto base = runtime_options().with_ring(256, 7681, 14).with_subarrays(2).with_banks(3);
+  for (const auto kind : {backend_kind::sram, backend_kind::cpu, backend_kind::reference}) {
+    std::vector<std::vector<job_result>> per_pool;
+    for (const unsigned threads : {1u, 4u}) {
+      context ctx(runtime_options(base).with_backend(kind).with_threads(threads));
+      common::xoshiro256ss rng(404);  // same jobs for both pool sizes
+      for (unsigned i = 0; i < 40; ++i) {
+        (void)ctx.submit(ntt_job{.coeffs = random_poly(256, 7681, rng)});
+      }
+      per_pool.push_back(ctx.wait_all());
+    }
+    ASSERT_EQ(per_pool[0].size(), per_pool[1].size());
+    for (std::size_t i = 0; i < per_pool[0].size(); ++i) {
+      ASSERT_EQ(per_pool[1][i].outputs[0], per_pool[0][i].outputs[0])
+          << to_string(kind) << ", job " << i;
+    }
+  }
+}
+
 TEST(CrossBackendDifferential, RlweCiphertextsAgreeAcrossBackends) {
   // Seed-deterministic R-LWE: all three backends must produce the same
   // ciphertext and decrypt it back to the same message.

@@ -1,0 +1,99 @@
+#include "runtime/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace bpntt::runtime {
+namespace {
+
+TEST(Executor, ResolvesThreadCount) {
+  executor three(3);
+  EXPECT_EQ(three.thread_count(), 3u);
+  executor solo(1);
+  EXPECT_EQ(solo.thread_count(), 1u);
+  executor autosized(0);
+  EXPECT_GE(autosized.thread_count(), 1u);
+}
+
+TEST(Executor, ParallelForCoversEveryIndexExactlyOnce) {
+  executor pool(4);
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Executor, ParallelForWritesDisjointSlotsDeterministically) {
+  executor pool(4);
+  std::vector<int> out(257, 0);
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = static_cast<int>(i) * 3; });
+  for (std::size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(Executor, ParallelForRethrowsButStillRunsEveryIndex) {
+  executor pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   ran.fetch_add(1);
+                                   if (i % 7 == 3) throw std::runtime_error("item failed");
+                                 }),
+               std::runtime_error);
+  // Items are independent: the failure of one must not skip the others.
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(Executor, ParallelForFromInsidePoolTaskCannotDeadlock) {
+  // A pool of one thread: the drain-style task occupies the only worker and
+  // fans out again.  The caller participates in its own parallel_for, so
+  // this completes without any free worker.
+  executor pool(1);
+  std::atomic<int> sum{0};
+  std::atomic<bool> finished{false};
+  pool.enqueue([&] {
+    pool.parallel_for(16, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+    finished.store(true);
+  });
+  // Drain by destroying a second scope? Simpler: spin-wait bounded by the
+  // test timeout; the task must complete on its own.
+  while (!finished.load()) std::this_thread::yield();
+  EXPECT_EQ(sum.load(), 120);  // 0 + 1 + ... + 15
+}
+
+TEST(Executor, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    executor pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.enqueue([&] { ran.fetch_add(1); });
+    }
+  }  // join: every enqueued task still runs
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(Executor, FreeParallelForFallsBackToSerialWithoutPool) {
+  std::vector<int> out(10, 0);
+  parallel_for(nullptr, out.size(), [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 10);
+}
+
+TEST(Executor, ParallelForHandlesEmptyAndSingleton) {
+  executor pool(2);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace bpntt::runtime

@@ -16,7 +16,8 @@ TEST(RuntimeOptions, BuilderCollapsesAllKnobs) {
                         .with_subarrays(8)
                         .with_array(128, 512)
                         .with_microcode(mc)
-                        .with_cpu_model(2.5, 10.0);
+                        .with_cpu_model(2.5, 10.0)
+                        .with_threads(6);
   EXPECT_EQ(opts.params.n, 128u);
   EXPECT_EQ(opts.params.q, 3329u);
   EXPECT_EQ(opts.params.k, 13u);
@@ -27,6 +28,7 @@ TEST(RuntimeOptions, BuilderCollapsesAllKnobs) {
   EXPECT_EQ(opts.array.cols, 512u);
   EXPECT_FALSE(opts.array.microcode.fuse_pairs);
   EXPECT_DOUBLE_EQ(opts.cpu_freq_ghz, 2.5);
+  EXPECT_EQ(opts.threads, 6u);
   // The derived per-bank config carries the same array knobs.
   const auto bank = opts.bank();
   EXPECT_EQ(bank.subarrays, 8u);
@@ -56,6 +58,13 @@ TEST(RuntimeOptions, ValidateRejectsBadSramShapes) {
   // A lone subarray cannot host both CTRL/CMD and compute.
   auto lone = runtime_options().with_ring(256, 7681, 14).with_subarrays(1);
   EXPECT_THROW(lone.validate(), std::invalid_argument);
+}
+
+TEST(RuntimeOptions, ValidateRejectsAbsurdPoolSizes) {
+  auto opts = runtime_options().with_ring(256, 7681, 14).with_threads(257);
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(opts.with_threads(0).validate());    // auto-sized
+  EXPECT_NO_THROW(opts.with_threads(256).validate());  // ceiling
 }
 
 TEST(RuntimeOptions, ValidateRejectsBadCpuModel) {
