@@ -8,9 +8,19 @@
 // baseline — run through bpntt::runtime with identical forward-NTT job
 // batches, so the comparison the table makes is apples-to-apples by
 // construction: same job model, same scheduler, different backend.
+//
+// Usage: bench_table1_comparison [--json <path>] [--cpu-iters <n>]
+//   --json       also emit every row and the headline ratios as JSON (the
+//                CI perf-trajectory artifact, conventionally
+//                BENCH_table1.json)
+//   --cpu-iters  iterations for the measured-CPU row (default 2000; CI
+//                smoke runs use fewer)
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "baselines/cpu_baseline.h"
 #include "baselines/design_model.h"
@@ -91,6 +101,48 @@ bpntt::baselines::design_point measure_cpu_row(unsigned iterations) {
   return row;
 }
 
+// Minimal JSON emitter for the perf-trajectory artifact — no dependency,
+// just rows and headline ratios with stable keys.
+void append_row_json(std::string& out, const bpntt::baselines::design_point& d,
+                     bool measured) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "    {\"name\": \"%s\", \"technology\": \"%s\", \"coef_bits\": %u, "
+                "\"measured\": %s, \"latency_us\": %.6g, \"throughput_kntt_s\": %.6g, "
+                "\"energy_nj\": %.6g, \"area_mm2\": %.6g, \"tput_per_mj\": %.6g}",
+                d.name.c_str(), d.technology.c_str(), d.coef_bits,
+                measured ? "true" : "false", d.latency_us, d.throughput_kntt_s, d.energy_nj,
+                d.area_mm2, d.tput_per_mj());
+  out += buf;
+}
+
+void write_json(const std::string& path,
+                const std::vector<std::pair<bpntt::baselines::design_point, bool>>& rows,
+                const bpntt::baselines::headline_ratios& ours,
+                const bpntt::baselines::headline_ratios& paper) {
+  std::string out = "{\n  \"bench\": \"table1_comparison\",\n  \"n\": 256,\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    append_row_json(out, rows[i].first, rows[i].second);
+    out += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "  ],\n  \"headlines\": {\n"
+                "    \"ours\":  {\"max_ta\": %.6g, \"min_tp\": %.6g, \"max_tp\": %.6g},\n"
+                "    \"paper\": {\"max_ta\": %.6g, \"min_tp\": %.6g, \"max_tp\": %.6g}\n"
+                "  }\n}\n",
+                ours.max_ta, ours.min_tp, ours.max_tp, paper.max_ta, paper.min_tp,
+                paper.max_tp);
+  out += buf;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("table1_comparison: cannot open --json path " + path);
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %zu JSON bytes to %s\n", out.size(), path.c_str());
+}
+
 std::vector<std::string> row_cells(const bpntt::baselines::design_point& d) {
   return {d.name,
           d.technology,
@@ -106,7 +158,21 @@ std::vector<std::string> row_cells(const bpntt::baselines::design_point& d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  unsigned cpu_iters = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--cpu-iters") == 0 && i + 1 < argc) {
+      cpu_iters = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (cpu_iters == 0) cpu_iters = 1;
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--cpu-iters <n>]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("=== Table I: comparing BP-NTT with state-of-the-art on a 256-point "
               "polynomial (45 nm) ===\n\n");
 
@@ -133,7 +199,7 @@ int main() {
   const auto cpu = bpntt::baselines::measure_cpu_ntt(tables);
   auto cpu_row = bpntt::baselines::cpu_design_point(cpu, 16);
   cpu_row.name = "CPU (measured, portable)";
-  const auto cpu_fast_row = measure_cpu_row(/*iterations=*/2000);
+  const auto cpu_fast_row = measure_cpu_row(cpu_iters);
   table.add_separator();
   table.add_row(row_cells(cpu_row));
   table.add_row(row_cells(cpu_fast_row));
@@ -162,5 +228,16 @@ int main() {
               "(Table I footnote *); the measured CPU rows use this host and an assumed\n"
               "%.0f W core power, so only their order of magnitude is meaningful.\n",
               cpu.assumed_power_w);
+
+  if (!json_path.empty()) {
+    std::vector<std::pair<bpntt::baselines::design_point, bool>> rows;
+    rows.emplace_back(bp16, true);
+    rows.emplace_back(bp14, true);
+    rows.emplace_back(paper, false);
+    for (const auto& d : baselines) rows.emplace_back(d, false);
+    rows.emplace_back(cpu_row, true);
+    rows.emplace_back(cpu_fast_row, true);
+    write_json(json_path, rows, ours, papers);
+  }
   return 0;
 }

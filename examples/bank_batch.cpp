@@ -25,7 +25,8 @@ int main() {
 
   std::printf("=== Bank-level batch NTT service ===\n\n");
   std::printf("runtime: %u banks of %u subarrays; wave width %u NTTs; %u pool threads\n",
-              opts.banks, opts.subarrays, ctx.wave_width(), ctx.executor_threads());
+              opts.topo.total_banks(), opts.topo.subarrays, ctx.wave_width(),
+              ctx.executor_threads());
 
   // 100 client polynomials (e.g. one per handshake).
   common::xoshiro256ss rng(777);

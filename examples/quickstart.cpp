@@ -25,9 +25,10 @@ int main() {
   //    the twiddle tables, compiles the command streams, and spins up the
   //    executor pool that flush() hands batches to.
   runtime::context ctx(opts);
-  std::printf("bpntt runtime: backend '%s', wave width %u jobs, %u wordlines per subarray, "
-              "%u executor threads\n",
-              ctx.active_backend().name().data(), ctx.wave_width(),
+  const auto& caps = ctx.capabilities();
+  std::printf("bpntt runtime: backend '%s', %u bank(s), wave width %u jobs, %u wordlines per "
+              "subarray, %u executor threads\n",
+              ctx.active_backend().name().data(), caps.banks(), caps.wave_width,
               core::row_layout{opts.array.data_rows}.total_rows(), ctx.executor_threads());
 
   // 3. Submit one forward-NTT job per lane (one SIMD wave).

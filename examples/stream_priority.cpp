@@ -1,0 +1,78 @@
+// Topology-aware streams: a PQC front-end serving two traffic classes on
+// one chip.  A 2-channel device (2 banks per channel) hosts a
+// latency-critical handshake stream (high priority, tight deadline) and a
+// bulk re-encryption stream — each stream owns one channel's banks, so
+// their dispatch groups genuinely overlap: the combined virtual-timeline
+// makespan is far below the sum of the two streams run back-to-back.
+#include <cstdio>
+#include <vector>
+
+#include "common/xoshiro.h"
+#include "runtime/context.h"
+
+int main() {
+  using namespace bpntt;
+
+  const auto opts = runtime::runtime_options()
+                        .with_ring(256, 12289, 16)
+                        .with_backend(runtime::backend_kind::sram)
+                        .with_topology(/*channels=*/2, /*banks_per_channel=*/2,
+                                       /*subarrays=*/4)
+                        .with_threads(4);
+  runtime::context ctx(opts);
+  const auto caps = ctx.capabilities();
+  std::printf("=== Two traffic classes on a %u-channel / %u-bank topology ===\n\n",
+              caps.channels, caps.banks());
+
+  // Streams are independent in-order lanes; auto placement hands each one
+  // whole channel (round-robin by stream id).
+  // One 12-job wave costs ~320k cycles on this topology; 400k is a
+  // realistic SLO the handshake class meets when it gets its channel.
+  auto handshakes = ctx.stream({.priority = 10, .deadline_cycles = 400000});
+  auto bulk = ctx.stream({.priority = 0});
+  const auto show = [](const char* name, const runtime::stream& s) {
+    std::printf("stream %u (%s): banks {", s.id(), name);
+    for (const auto b : s.bank_set()) std::printf(" %u", b);
+    std::printf(" }\n");
+  };
+  show("handshakes", handshakes);
+  show("bulk", bulk);
+
+  common::xoshiro256ss rng(99);
+  const auto random_poly = [&] {
+    std::vector<core::u64> p(opts.params.n);
+    for (auto& c : p) c = rng.below(opts.params.q);
+    return p;
+  };
+
+  std::vector<runtime::job_id> fast_ids, bulk_ids;
+  for (unsigned i = 0; i < 12; ++i) {
+    fast_ids.push_back(handshakes.submit(runtime::ntt_job{.coeffs = random_poly()}));
+  }
+  for (unsigned i = 0; i < 48; ++i) {
+    bulk_ids.push_back(bulk.submit(runtime::ntt_job{.coeffs = random_poly()}));
+  }
+
+  // Two dispatch groups, disjoint channels: they overlap on the pool.
+  handshakes.flush();
+  bulk.flush();
+  ctx.sync();
+
+  const auto fast = ctx.wait(fast_ids.front());
+  const auto heavy = ctx.wait(bulk_ids.front());
+  std::printf("\nhandshake batch : %llu cycles on stream %u, deadline %s\n",
+              static_cast<unsigned long long>(fast.wall_cycles), fast.stream,
+              fast.deadline_missed ? "MISSED" : "met");
+  std::printf("bulk batch      : %llu cycles on stream %u\n",
+              static_cast<unsigned long long>(heavy.wall_cycles), heavy.stream);
+
+  const auto s = ctx.stats();
+  std::printf("\nmakespan %llu cycles for %llu cycles of dispatched work "
+              "(overlap saved %.0f%%); %llu deadline misses\n",
+              static_cast<unsigned long long>(s.wall_cycles),
+              static_cast<unsigned long long>(fast.wall_cycles + heavy.wall_cycles),
+              100.0 * (1.0 - static_cast<double>(s.wall_cycles) /
+                                 static_cast<double>(fast.wall_cycles + heavy.wall_cycles)),
+              static_cast<unsigned long long>(s.deadline_misses));
+  return s.wall_cycles < fast.wall_cycles + heavy.wall_cycles ? 0 : 1;
+}

@@ -23,6 +23,18 @@ bp_ntt_bank::bp_ntt_bank(const bank_config& cfg, const ntt_params& params)
   }
 }
 
+bp_ntt_bank::exclusive_guard::exclusive_guard(std::atomic_flag& flag) : flag_(flag) {
+  if (flag_.test_and_set(std::memory_order_acquire)) {
+    throw std::logic_error(
+        "bp_ntt_bank: concurrent batch entry — two dispatch groups were scheduled onto the "
+        "same bank (scheduler bank-reservation bug)");
+  }
+}
+
+bp_ntt_bank::exclusive_guard::~exclusive_guard() {
+  flag_.clear(std::memory_order_release);
+}
+
 unsigned bp_ntt_bank::ctrl_rows_used() const noexcept {
   // Twiddles (n-1), inverse twiddles (n-1), n^-1, R^2 and the three row
   // constants, each k bits, packed into cols-wide control rows.
@@ -40,6 +52,7 @@ double bp_ntt_bank::area_mm2() const {
 template <typename LoadFn, typename RunFn, typename ReadFn>
 bank_run_result bp_ntt_bank::schedule(std::size_t njobs, LoadFn&& load, RunFn&& run,
                                       ReadFn&& read) {
+  const exclusive_guard exclusive(*busy_);
   bank_run_result result;
   result.outputs.resize(njobs);
   const unsigned per_engine = engines_.empty() ? 0u : engines_.front()->lanes();

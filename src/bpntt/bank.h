@@ -15,6 +15,7 @@
 // data-dependent), and waves repeat until the batch drains.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
@@ -86,9 +87,25 @@ class bp_ntt_bank {
   template <typename LoadFn, typename RunFn, typename ReadFn>
   bank_run_result schedule(std::size_t njobs, LoadFn&& load, RunFn&& run, ReadFn&& read);
 
+  // A bank's subarray state is exclusive to one batch at a time.  The
+  // runtime scheduler guarantees that by reserving disjoint bank subsets
+  // per dispatch group; this RAII guard turns a reservation bug (two groups
+  // entering the same bank concurrently) into a loud logic_error instead of
+  // silent state corruption.
+  class exclusive_guard {
+   public:
+    explicit exclusive_guard(std::atomic_flag& flag);
+    ~exclusive_guard();
+
+   private:
+    std::atomic_flag& flag_;
+  };
+
   bank_config cfg_;
   ntt_params params_;
   std::vector<std::unique_ptr<bp_ntt_engine>> engines_;
+  // Behind a pointer so the bank stays movable (vector storage).
+  std::unique_ptr<std::atomic_flag> busy_ = std::make_unique<std::atomic_flag>();
 };
 
 }  // namespace bpntt::core

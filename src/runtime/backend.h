@@ -7,6 +7,14 @@
 // the measured Montgomery software path, or the golden transform.  This is
 // the comparison surface the paper's Table I needs (BP-NTT vs CPU under one
 // methodology), with the golden backend as the correctness oracle.
+//
+// A backend advertises what it can run through one capabilities()
+// descriptor (wave width, polymul support, modulus/ring envelope, bank
+// map); the context validates jobs against it instead of probing ad-hoc
+// virtuals.  Each dispatch carries dispatch_hints — the submitting stream,
+// its priority/deadline, and the bank subset the scheduler reserved — so a
+// banked backend can confine concurrent streams to disjoint banks and let
+// them genuinely overlap.
 #pragma once
 
 #include <memory>
@@ -19,6 +27,47 @@ namespace bpntt::runtime {
 
 class executor;
 struct runtime_options;
+
+// Static description of a backend's execution envelope.  The context
+// validates the configured ring against it at construction and every
+// submit() against the per-op capability bits.
+struct backend_caps {
+  // Jobs one scheduling round absorbs at full utilisation (sram: lanes per
+  // wave summed over banks); 0 = unbounded.
+  unsigned wave_width = 0;
+  // Whether run_polymul can execute at the configured parameters (the sram
+  // pipeline needs two n-row operand regions per lane).
+  bool polymul = false;
+  // Ring envelope: largest polynomial order the backend can host (0 =
+  // unbounded) and widest modulus in bits it can reduce.
+  u64 max_poly_order = 0;
+  unsigned max_modulus_bits = 63;
+  // Bank map: lanes per wave of each independently schedulable bank, in
+  // bank-id order.  Empty = no banked structure (the backend is one
+  // resource; dispatches serialize).  A backend publishing >= 2 banks
+  // promises that dispatches confined to disjoint bank subsets (via
+  // dispatch_hints::bank_set) are safe to run concurrently.
+  std::vector<unsigned> bank_lanes;
+  // Channels the banks are grouped into (topology-aware stream placement
+  // prefers whole channels); 1 when the backend has no channel structure.
+  unsigned channels = 1;
+
+  [[nodiscard]] unsigned banks() const noexcept {
+    return static_cast<unsigned>(bank_lanes.size());
+  }
+  [[nodiscard]] bool overlapping_streams() const noexcept { return bank_lanes.size() >= 2; }
+};
+
+// Scheduling metadata that rides with every dispatch: which stream the
+// batch came from, how urgent it is, and — for banked backends — the bank
+// subset the context reserved for it.  An empty bank_set means "use every
+// bank" (the legacy single-queue path).
+struct dispatch_hints {
+  unsigned stream = 0;
+  int priority = 0;
+  u64 deadline_cycles = 0;  // 0 = no deadline
+  std::vector<unsigned> bank_set;
+};
 
 // Result of one scheduled batch.  wall_cycles is the batch's wall-clock in
 // the backend's own cycle domain (array cycles for sram, core cycles for
@@ -36,17 +85,15 @@ class backend {
   virtual ~backend() = default;
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
-  // Jobs one scheduling round absorbs at full utilisation (sram: lanes per
-  // wave summed over banks); 0 = unbounded.
-  [[nodiscard]] virtual unsigned wave_width() const noexcept = 0;
-  // Whether run_polymul can execute at the configured parameters (the sram
-  // pipeline needs two n-row operand regions per lane).
-  [[nodiscard]] virtual bool supports_polymul() const noexcept = 0;
+  // The execution envelope; must be stable for the backend's lifetime.
+  [[nodiscard]] virtual backend_caps capabilities() const = 0;
 
   // Transform every polynomial; outputs in input order.
-  virtual batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir dir) = 0;
+  virtual batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir dir,
+                               const dispatch_hints& hints) = 0;
   // Negacyclic ring product per pair; outputs in input order.
-  virtual batch_result run_polymul(const std::vector<core::polymul_pair>& pairs) = 0;
+  virtual batch_result run_polymul(const std::vector<core::polymul_pair>& pairs,
+                                   const dispatch_hints& hints) = 0;
 
   // Installed once by the owning context.  Backends may fan batch-internal
   // work (bank slices, job chunks) across the pool; with none attached they

@@ -1,5 +1,7 @@
 #include "runtime/context.h"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -26,7 +28,7 @@ context::context(runtime_options opts)
     : opts_(std::move(opts)), pool_(checked_pool_size(opts_)) {
   opts_.validate();
   backend_ = make_backend(opts_);
-  backend_->attach_executor(&pool_);
+  finish_construction();
 }
 
 context::context(runtime_options opts, std::unique_ptr<backend> custom_backend)
@@ -37,13 +39,142 @@ context::context(runtime_options opts, std::unique_ptr<backend> custom_backend)
     throw std::invalid_argument("runtime: context needs a non-null custom backend");
   }
   opts_.params.validate();
+  finish_construction();
+}
+
+void context::finish_construction() {
   backend_->attach_executor(&pool_);
+  caps_ = backend_->capabilities();
+
+  // The configured ring must fit the backend's envelope — a narrower
+  // backend (or a stub advertising one) is rejected here, not at dispatch.
+  if (caps_.max_poly_order != 0 && opts_.params.n > caps_.max_poly_order) {
+    throw std::invalid_argument(
+        "runtime: ring order n = " + std::to_string(opts_.params.n) +
+        " exceeds the backend's max polynomial order " + std::to_string(caps_.max_poly_order));
+  }
+  const unsigned q_bits = static_cast<unsigned>(std::bit_width(opts_.params.q));
+  if (q_bits > caps_.max_modulus_bits) {
+    throw std::invalid_argument("runtime: modulus q needs " + std::to_string(q_bits) +
+                                " bits but the backend's envelope is " +
+                                std::to_string(caps_.max_modulus_bits) + " bits");
+  }
+
+  // Scheduler resources: the backend's banks, or one pseudo-resource for
+  // non-banked backends (whose dispatches therefore serialize).
+  const unsigned resources = std::max(1u, caps_.banks());
+  bank_busy_.assign(resources, 0);
+  bank_free_at_.assign(resources, 0);
+
+  // The default stream (id 0) owns every bank — the legacy single-queue
+  // behaviour.
+  stream_state def;
+  def.resources = auto_bank_set(0);
+  streams_.emplace(0u, std::move(def));
 }
 
 // pool_ is the last member, so the defaulted destructor joins the workers
-// (running any still-queued drain task to completion) before the state
+// (running any still-queued dispatch group to completion) before the state
 // those tasks reference is torn down.
 context::~context() = default;
+
+// ---- streams ---------------------------------------------------------------
+
+std::vector<unsigned> context::auto_bank_set(unsigned sid) const {
+  const unsigned resources = std::max(1u, caps_.banks());
+  const unsigned banks = caps_.banks();
+  if (sid == 0 || !caps_.overlapping_streams()) {
+    std::vector<unsigned> all(resources);
+    for (unsigned r = 0; r < resources; ++r) all[r] = r;
+    return all;
+  }
+  // Topology-aware placement: a multi-channel device hands each stream one
+  // whole channel's banks; a flat multi-bank device hands it one bank.
+  // Round-robin by stream id, so placement is static and deterministic.
+  const unsigned channels =
+      (caps_.channels > 1 && banks % caps_.channels == 0) ? caps_.channels : 1;
+  if (channels > 1) {
+    const unsigned per = banks / channels;
+    const unsigned ch = (sid - 1) % channels;
+    std::vector<unsigned> set(per);
+    for (unsigned i = 0; i < per; ++i) set[i] = ch * per + i;
+    return set;
+  }
+  return {(sid - 1) % banks};
+}
+
+stream context::stream(stream_options sopts) {
+  const unsigned resources = std::max(1u, caps_.banks());
+  const unsigned sid = next_stream_id_++;
+  stream_state ss;
+  if (!sopts.bank_set.empty()) {
+    std::vector<unsigned> set = sopts.bank_set;
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    for (const unsigned b : set) {
+      if (b >= resources) {
+        throw std::invalid_argument("runtime: stream bank_set names bank " + std::to_string(b) +
+                                    " but the backend has " + std::to_string(resources) +
+                                    " schedulable banks");
+      }
+    }
+    ss.resources = std::move(set);
+  } else {
+    ss.resources = auto_bank_set(sid);
+  }
+  ss.sopts = std::move(sopts);
+  streams_.emplace(sid, std::move(ss));
+  return runtime::stream(this, sid);
+}
+
+context::stream_state& context::state_of(unsigned sid) {
+  const auto it = streams_.find(sid);
+  if (it == streams_.end()) {
+    throw std::logic_error("runtime: stream handle is closed or foreign to this context");
+  }
+  return it->second;
+}
+
+const context::stream_state& context::state_of(unsigned sid) const {
+  const auto it = streams_.find(sid);
+  if (it == streams_.end()) {
+    throw std::logic_error("runtime: stream handle is closed or foreign to this context");
+  }
+  return it->second;
+}
+
+void context::close_stream(unsigned sid) {
+  if (sid == 0) {
+    throw std::logic_error("runtime: the default stream cannot be closed");
+  }
+  state_of(sid);        // precise throw for foreign/already-closed handles
+  flush_stream(sid);    // nothing of the stream's may stay stuck in a queue
+  streams_.erase(sid);  // in-flight groups carry their own hints; ids stay waitable
+}
+
+std::size_t context::stream_pending(unsigned sid) const { return state_of(sid).queue.size(); }
+
+std::vector<unsigned> context::stream_bank_set(unsigned sid) const {
+  const auto& ss = state_of(sid);
+  return caps_.banks() == 0 ? std::vector<unsigned>{} : ss.resources;
+}
+
+context& stream::bound() const {
+  if (ctx_ == nullptr) {
+    throw std::logic_error("runtime: stream handle is not bound to a context");
+  }
+  return *ctx_;
+}
+
+job_id stream::submit(ntt_job j) { return bound().submit_ntt(id_, std::move(j)); }
+job_id stream::submit(polymul_job j) { return bound().submit_polymul(id_, std::move(j)); }
+job_id stream::submit(rlwe_encrypt_job j) { return bound().submit_rlwe(id_, std::move(j)); }
+void stream::flush() { bound().flush_stream(id_); }
+void stream::close() { bound().close_stream(id_); }
+std::size_t stream::pending() const { return bound().stream_pending(id_); }
+std::vector<unsigned> stream::bank_set() const { return bound().stream_bank_set(id_); }
+
+// ---- submission ------------------------------------------------------------
 
 namespace {
 
@@ -63,31 +194,31 @@ void require_ring_poly(const std::vector<u64>& coeffs, const core::ntt_params& p
 
 }  // namespace
 
-job_id context::enqueue(job j) {
+job_id context::enqueue(unsigned sid, job j) {
   const job_id id = next_id_++;
-  queue_.emplace_back(id, std::move(j));
+  state_of(sid).queue.emplace_back(id, std::move(j));
   std::lock_guard<std::mutex> lk(mu_);
   ++stats_.jobs_submitted;
   return id;
 }
 
-job_id context::submit(ntt_job j) {
+job_id context::submit_ntt(unsigned sid, ntt_job j) {
   require_ring_poly(j.coeffs, opts_.params, "ntt_job");
-  return enqueue(std::move(j));
+  return enqueue(sid, std::move(j));
 }
 
-job_id context::submit(polymul_job j) {
+job_id context::submit_polymul(unsigned sid, polymul_job j) {
   require_ring_poly(j.a, opts_.params, "polymul_job.a");
   require_ring_poly(j.b, opts_.params, "polymul_job.b");
-  if (!backend_->supports_polymul()) {
+  if (!caps_.polymul) {
     throw std::invalid_argument(
-        "runtime: this backend cannot run ring products at these parameters (the in-SRAM "
-        "pipeline needs two n-row operand regions per lane: 2n <= data_rows)");
+        "runtime: this backend's capabilities exclude ring products at these parameters (the "
+        "in-SRAM pipeline needs two n-row operand regions per lane: 2n <= data_rows)");
   }
-  return enqueue(std::move(j));
+  return enqueue(sid, std::move(j));
 }
 
-job_id context::submit(rlwe_encrypt_job j) {
+job_id context::submit_rlwe(unsigned sid, rlwe_encrypt_job j) {
   const auto& p = opts_.params;
   if (j.message.size() != p.n) {
     throw std::invalid_argument("runtime: rlwe message must have exactly n bits");
@@ -96,11 +227,21 @@ job_id context::submit(rlwe_encrypt_job j) {
     throw std::invalid_argument(
         "runtime: rlwe_encrypt_job needs a ring with a full negacyclic NTT (2n | q-1)");
   }
-  if (!backend_->supports_polymul()) {
+  if (!caps_.polymul) {
     throw std::invalid_argument(
         "runtime: rlwe_encrypt_job needs in-array ring products (2n <= data_rows)");
   }
-  return enqueue(std::move(j));
+  return enqueue(sid, std::move(j));
+}
+
+job_id context::submit(ntt_job j) { return submit_ntt(0, std::move(j)); }
+job_id context::submit(polymul_job j) { return submit_polymul(0, std::move(j)); }
+job_id context::submit(rlwe_encrypt_job j) { return submit_rlwe(0, std::move(j)); }
+
+std::size_t context::pending() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [sid, ss] : streams_) n += ss.queue.size();
+  return n;
 }
 
 scheduler_stats context::stats() const {
@@ -110,22 +251,159 @@ scheduler_stats context::stats() const {
   return s;
 }
 
-void context::account_locked(const batch_result& r) {
-  ++stats_.batches;
-  stats_.waves += r.waves;
-  stats_.wall_cycles += r.wall_cycles;
-  stats_.energy_nj += r.stats.energy_pj * 1e-3;
+// ---- scheduler -------------------------------------------------------------
+
+std::shared_ptr<context::dispatch_group> context::build_group(unsigned sid) {
+  stream_state& ss = state_of(sid);
+  if (ss.queue.empty()) return nullptr;
+  // Jobs of one stream are independent, so its pending set is partitioned
+  // by kind (and direction) into one backend dispatch each — the widest
+  // batches the backend can shard over banks, lanes and waves.  Results
+  // are keyed by job_id, so regrouping never misroutes an output.
+  auto g = std::make_shared<dispatch_group>();
+  for (auto& [id, j] : ss.queue) {
+    if (auto* ntt = std::get_if<ntt_job>(&j)) {
+      auto& ids = ntt->dir == transform_dir::forward ? g->plan.fwd_ids : g->plan.inv_ids;
+      auto& group = ntt->dir == transform_dir::forward ? g->plan.fwd : g->plan.inv;
+      ids.push_back(id);
+      group.push_back(std::move(*ntt));
+    } else if (auto* mul = std::get_if<polymul_job>(&j)) {
+      g->plan.mul_ids.push_back(id);
+      g->plan.muls.push_back(std::move(*mul));
+    } else {
+      g->plan.rlwe_ids.push_back(id);
+      g->plan.rlwes.push_back(std::move(std::get<rlwe_encrypt_job>(j)));
+    }
+  }
+  ss.queue.clear();
+
+  g->hints.stream = sid;
+  g->hints.priority = ss.sopts.priority;
+  g->hints.deadline_cycles = ss.sopts.deadline_cycles;
+  // Non-banked backends get no bank subset (the pseudo-resource is a
+  // scheduler fiction); banked backends are confined to the stream's banks.
+  if (caps_.banks() != 0) g->hints.bank_set = ss.resources;
+  g->resources = ss.resources;
+  return g;
 }
 
-void context::account(const batch_result& r) {
+void context::enqueue_group_locked(std::shared_ptr<dispatch_group> g) {
+  g->seq = next_group_seq_++;
+  for (const unsigned r : g->resources) {
+    g->ref_vtime = std::max(g->ref_vtime, bank_free_at_[r]);
+  }
+  // Jobs become in-flight before the group can run, so a wait() racing the
+  // pool can never mistake a dispatched job for a claimed one.
+  for (const auto* ids :
+       {&g->plan.fwd_ids, &g->plan.inv_ids, &g->plan.mul_ids, &g->plan.rlwe_ids}) {
+    in_flight_.insert(ids->begin(), ids->end());
+  }
+  ++stats_.groups;
+  const auto later = [](const std::shared_ptr<dispatch_group>& a,
+                        const std::shared_ptr<dispatch_group>& b) {
+    return a->hints.priority != b->hints.priority ? a->hints.priority > b->hints.priority
+                                                  : a->seq < b->seq;
+  };
+  ready_.insert(std::upper_bound(ready_.begin(), ready_.end(), g, later), std::move(g));
+}
+
+void context::flush_stream(unsigned sid) {
+  auto g = build_group(sid);
+  if (!g) return;
   std::lock_guard<std::mutex> lk(mu_);
-  account_locked(r);
+  enqueue_group_locked(std::move(g));
+  schedule_locked();
+}
+
+void context::flush() {
+  // Every stream's group enters the ready queue before any scheduling
+  // decision, so priority order holds across streams flushed together —
+  // a lower-id bulk stream cannot seize contended banks ahead of a
+  // higher-priority stream in the same flush.
+  std::vector<std::shared_ptr<dispatch_group>> groups;
+  for (auto& [sid, ss] : streams_) {
+    if (auto g = build_group(sid)) groups.push_back(std::move(g));
+  }
+  if (groups.empty()) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& g : groups) enqueue_group_locked(std::move(g));
+  schedule_locked();
+}
+
+void context::schedule_locked() {
+  // Walk the ready queue in priority order.  A group starts when every one
+  // of its banks is free *and unclaimed*: a blocked higher-priority group
+  // claims its banks so later (lower-priority) groups cannot slip onto
+  // banks it is waiting for, while groups on disjoint banks still start —
+  // that is the overlap.
+  std::vector<char> claimed = bank_busy_;
+  for (auto it = ready_.begin(); it != ready_.end();) {
+    auto& g = **it;
+    bool runnable = true;
+    for (const unsigned r : g.resources) runnable = runnable && !claimed[r];
+    if (runnable) {
+      for (const unsigned r : g.resources) bank_busy_[r] = claimed[r] = 1;
+      auto gp = *it;
+      it = ready_.erase(it);
+      pool_.enqueue([this, gp] { run_group(gp); });
+    } else {
+      for (const unsigned r : g.resources) claimed[r] = 1;
+      ++it;
+    }
+  }
+}
+
+void context::run_group(const std::shared_ptr<dispatch_group>& g) {
+  // Dispatches within a group run in submission order; a backend exception
+  // fails exactly its own dispatch — sibling dispatches of the same group,
+  // and other streams' groups, still run.
+  const auto guarded = [&](const std::vector<job_id>& ids, auto&& fn) {
+    if (ids.empty()) return;
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      fail_group(*g, ids, e.what());
+    } catch (...) {
+      fail_group(*g, ids, "unknown backend error");
+    }
+  };
+  flush_plan& plan = g->plan;
+  guarded(plan.fwd_ids,
+          [&] { dispatch_ntt_group(*g, plan.fwd_ids, std::move(plan.fwd), transform_dir::forward); });
+  guarded(plan.inv_ids,
+          [&] { dispatch_ntt_group(*g, plan.inv_ids, std::move(plan.inv), transform_dir::inverse); });
+  guarded(plan.mul_ids,
+          [&] { dispatch_polymul_group(*g, plan.mul_ids, std::move(plan.muls)); });
+  guarded(plan.rlwe_ids, [&] { run_rlwe_group(*g, plan.rlwe_ids, std::move(plan.rlwes)); });
+
+  // Release the bank reservation and let the next contender in.
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const unsigned r : g->resources) bank_busy_[r] = 0;
+  schedule_locked();
+}
+
+// ---- accounting and completion ---------------------------------------------
+
+u64 context::account_locked(const dispatch_group& g, const batch_result& r) {
+  // Virtual timeline: the batch starts at its bank subset's frontier and
+  // advances it.  Disjoint subsets advance independently — overlap; the
+  // default stream owns every bank, so its batches run back-to-back
+  // exactly as the legacy accounting did.
+  u64 start = 0;
+  for (const unsigned res : g.resources) start = std::max(start, bank_free_at_[res]);
+  const u64 end = start + r.wall_cycles;
+  for (const unsigned res : g.resources) bank_free_at_[res] = end;
+  ++stats_.batches;
+  stats_.waves += r.waves;
+  stats_.wall_cycles = std::max(stats_.wall_cycles, end);
+  stats_.energy_nj += r.stats.energy_pj * 1e-3;
+  return end;
 }
 
 namespace {
 
 // A backend returning the wrong number of outputs would misroute results;
-// refuse loudly (the drain task converts this into per-job failures).
+// refuse loudly (the dispatch guard converts this into per-job failures).
 void require_output_count(std::size_t got, std::size_t want, const char* what) {
   if (got != want) {
     throw std::logic_error("runtime: backend returned " + std::to_string(got) +
@@ -135,16 +413,23 @@ void require_output_count(std::size_t got, std::size_t want, const char* what) {
 
 }  // namespace
 
-void context::distribute(const std::vector<job_id>& ids, batch_result&& r) {
+void context::distribute(const dispatch_group& g, const std::vector<job_id>& ids,
+                         batch_result&& r) {
   require_output_count(r.outputs.size(), ids.size(), "a dispatch");
   std::lock_guard<std::mutex> lk(mu_);
-  account_locked(r);
+  const u64 end = account_locked(g, r);
+  const bool missed =
+      g.hints.deadline_cycles != 0 && end - g.ref_vtime > g.hints.deadline_cycles;
+  if (missed) stats_.deadline_misses += ids.size();
   for (std::size_t i = 0; i < ids.size(); ++i) {
     job_result res;
     res.outputs.push_back(std::move(r.outputs[i]));
     res.op_stats = r.stats;
     res.wall_cycles = r.wall_cycles;
     res.jobs_in_batch = ids.size();
+    res.stream = g.hints.stream;
+    res.finish_cycles = end;
+    res.deadline_missed = missed;
     done_.emplace(ids[i], std::move(res));
     in_flight_.erase(ids[i]);
   }
@@ -152,13 +437,15 @@ void context::distribute(const std::vector<job_id>& ids, batch_result&& r) {
   cv_.notify_all();
 }
 
-void context::fail_group(const std::vector<job_id>& ids, const std::string& what) {
+void context::fail_group(const dispatch_group& g, const std::vector<job_id>& ids,
+                         const std::string& what) {
   std::lock_guard<std::mutex> lk(mu_);
   for (const job_id id : ids) {
     job_result res;
     res.status = job_status::failed;
     res.error = what;
     res.jobs_in_batch = ids.size();
+    res.stream = g.hints.stream;
     done_.emplace(id, std::move(res));
     in_flight_.erase(id);
   }
@@ -166,23 +453,23 @@ void context::fail_group(const std::vector<job_id>& ids, const std::string& what
   cv_.notify_all();
 }
 
-void context::dispatch_ntt_group(const std::vector<job_id>& ids, std::vector<ntt_job>&& jobs,
-                                 transform_dir dir) {
+void context::dispatch_ntt_group(const dispatch_group& g, const std::vector<job_id>& ids,
+                                 std::vector<ntt_job>&& jobs, transform_dir dir) {
   std::vector<std::vector<u64>> polys;
   polys.reserve(jobs.size());
   for (auto& j : jobs) polys.push_back(std::move(j.coeffs));
-  distribute(ids, backend_->run_ntt(polys, dir));
+  distribute(g, ids, backend_->run_ntt(polys, dir, g.hints));
 }
 
-void context::dispatch_polymul_group(const std::vector<job_id>& ids,
+void context::dispatch_polymul_group(const dispatch_group& g, const std::vector<job_id>& ids,
                                      std::vector<polymul_job>&& jobs) {
   std::vector<core::polymul_pair> pairs;
   pairs.reserve(jobs.size());
   for (auto& j : jobs) pairs.push_back({std::move(j.a), std::move(j.b)});
-  distribute(ids, backend_->run_polymul(pairs));
+  distribute(g, ids, backend_->run_polymul(pairs, g.hints));
 }
 
-void context::run_rlwe_group(const std::vector<job_id>& ids,
+void context::run_rlwe_group(const dispatch_group& g, const std::vector<job_id>& ids,
                              std::vector<rlwe_encrypt_job>&& jobs) {
   crypto::param_set ring;
   ring.name = "runtime";
@@ -205,10 +492,14 @@ void context::run_rlwe_group(const std::vector<job_id>& ids,
 
   sram::op_stats stats;
   u64 cycles = 0;
+  u64 last_end = 0;
   auto batch_mul = [&](std::vector<core::polymul_pair>&& pairs) {
-    batch_result r = backend_->run_polymul(pairs);
+    batch_result r = backend_->run_polymul(pairs, g.hints);
     require_output_count(r.outputs.size(), pairs.size(), "an rlwe product stage");
-    account(r);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      last_end = account_locked(g, r);
+    }
     stats += r.stats;
     cycles += r.wall_cycles;
     return std::move(r.outputs);
@@ -242,6 +533,9 @@ void context::run_rlwe_group(const std::vector<job_id>& ids,
   auto us = batch_mul(std::move(pairs));
 
   std::lock_guard<std::mutex> lk(mu_);
+  const bool missed =
+      g.hints.deadline_cycles != 0 && last_end - g.ref_vtime > g.hints.deadline_cycles;
+  if (missed) stats_.deadline_misses += m;
   for (std::size_t i = 0; i < m; ++i) {
     auto decrypted = crypto::rlwe_decrypt_from_product(ring, cts[i], us[i]);
     job_result res;
@@ -253,6 +547,9 @@ void context::run_rlwe_group(const std::vector<job_id>& ids,
     res.op_stats.cycles = cycles;  // the three product stages run back-to-back
     res.wall_cycles = cycles;
     res.jobs_in_batch = m;
+    res.stream = g.hints.stream;
+    res.finish_cycles = last_end;
+    res.deadline_missed = missed;
     done_.emplace(ids[i], std::move(res));
     in_flight_.erase(ids[i]);
   }
@@ -260,78 +557,20 @@ void context::run_rlwe_group(const std::vector<job_id>& ids,
   cv_.notify_all();
 }
 
-void context::flush() {
-  if (queue_.empty()) return;
-  // Jobs are independent, so the whole pending set is partitioned by kind
-  // (and direction) into one backend dispatch each — the widest batches the
-  // backend can shard over banks, lanes and waves.  Results are keyed by
-  // job_id, so regrouping never misroutes an output.
-  auto plan = std::make_shared<flush_plan>();
-  for (auto& [id, j] : queue_) {
-    if (auto* ntt = std::get_if<ntt_job>(&j)) {
-      auto& ids = ntt->dir == transform_dir::forward ? plan->fwd_ids : plan->inv_ids;
-      auto& group = ntt->dir == transform_dir::forward ? plan->fwd : plan->inv;
-      ids.push_back(id);
-      group.push_back(std::move(*ntt));
-    } else if (auto* mul = std::get_if<polymul_job>(&j)) {
-      plan->mul_ids.push_back(id);
-      plan->muls.push_back(std::move(*mul));
-    } else {
-      plan->rlwe_ids.push_back(id);
-      plan->rlwes.push_back(std::move(std::get<rlwe_encrypt_job>(j)));
-    }
-  }
-  queue_.clear();
-  {
-    // Jobs become in-flight before the drain task exists, so a wait() racing
-    // the pool can never mistake a dispatched job for a claimed one.
-    std::lock_guard<std::mutex> lk(mu_);
-    for (const auto* ids :
-         {&plan->fwd_ids, &plan->inv_ids, &plan->mul_ids, &plan->rlwe_ids}) {
-      in_flight_.insert(ids->begin(), ids->end());
-    }
-  }
-  pool_.enqueue([this, plan] { drain(*plan); });
-}
+// ---- retrieval -------------------------------------------------------------
 
-void context::drain(flush_plan& plan) {
-  // Dispatches of overlapping flushes serialize here — backends batch onto
-  // shared bank state.  Parallelism lives inside each dispatch (bank
-  // slices, cpu job chunks) and between flush() and the waiting client.
-  std::lock_guard<std::mutex> serialize(dispatch_mu_);
-  const auto guarded = [&](const std::vector<job_id>& ids, auto&& fn) {
-    if (ids.empty()) return;
-    try {
-      fn();
-    } catch (const std::exception& e) {
-      // The exception fails exactly this dispatch: per-job error recorded,
-      // sibling groups of the same flush still run.
-      fail_group(ids, e.what());
-    } catch (...) {
-      fail_group(ids, "unknown backend error");
+std::optional<unsigned> context::queued_on(job_id id) const noexcept {
+  for (const auto& [sid, ss] : streams_) {
+    for (const auto& [qid, j] : ss.queue) {
+      if (qid == id) return sid;
     }
-  };
-  guarded(plan.fwd_ids, [&] {
-    dispatch_ntt_group(plan.fwd_ids, std::move(plan.fwd), transform_dir::forward);
-  });
-  guarded(plan.inv_ids, [&] {
-    dispatch_ntt_group(plan.inv_ids, std::move(plan.inv), transform_dir::inverse);
-  });
-  guarded(plan.mul_ids,
-          [&] { dispatch_polymul_group(plan.mul_ids, std::move(plan.muls)); });
-  guarded(plan.rlwe_ids, [&] { run_rlwe_group(plan.rlwe_ids, std::move(plan.rlwes)); });
-}
-
-bool context::is_queued(job_id id) const noexcept {
-  for (const auto& [qid, j] : queue_) {
-    if (qid == id) return true;
   }
-  return false;
+  return std::nullopt;
 }
 
 job_result context::wait(job_id id) {
   if (id == 0 || id >= next_id_) throw std::out_of_range("runtime: unknown job id");
-  if (is_queued(id)) flush();
+  if (const auto sid = queued_on(id)) flush_stream(*sid);
   std::unique_lock<std::mutex> lk(mu_);
   cv_.wait(lk, [&] { return done_.count(id) != 0 || in_flight_.count(id) == 0; });
   auto it = done_.find(id);
@@ -348,7 +587,7 @@ job_result context::wait(job_id id) {
 
 std::optional<job_result> context::try_wait(job_id id) {
   if (id == 0 || id >= next_id_) throw std::out_of_range("runtime: unknown job id");
-  const bool queued = is_queued(id);
+  const bool queued = queued_on(id).has_value();
   std::lock_guard<std::mutex> lk(mu_);
   auto it = done_.find(id);
   if (it != done_.end()) {

@@ -3,30 +3,49 @@
 //   runtime::context ctx(runtime_options()
 //                            .with_ring(256, 7681, 14)
 //                            .with_backend(backend_kind::sram)
-//                            .with_banks(2)
+//                            .with_topology(2, 2, 4)    // channels, banks/ch, subarrays
 //                            .with_threads(4));
-//   std::vector<runtime::job_id> ids;
-//   for (auto& poly : batch) ids.push_back(ctx.submit(runtime::ntt_job{.coeffs = poly}));
-//   ctx.flush();                                  // async: schedules and returns
-//   for (auto id : ids) auto r = ctx.wait(id);    // blocks on per-job completion
+//   auto fast = ctx.stream({.priority = 10});           // independent in-order lanes
+//   auto bulk = ctx.stream({.deadline_cycles = 50000});
+//   auto a = fast.submit(runtime::ntt_job{.coeffs = p1});
+//   auto b = bulk.submit(runtime::ntt_job{.coeffs = p2});
+//   fast.flush();  bulk.flush();                        // overlapping dispatch groups
+//   auto ra = ctx.wait(a);  auto rb = ctx.wait(b);      // per-job completion
 //
-// submit() validates and enqueues; nothing executes until a wait (or an
-// explicit flush).  The deferral is the batching opportunity: at flush time
-// the pending set is partitioned by job kind — forward transforms with
-// forward transforms, ring products with ring products, R-LWE flows staged
-// together — and each partition goes to the backend as one batch, so the
-// in-SRAM scheduler can shard it across banks and lanes and fill whole
-// waves.  flush() hands the partitions to a fixed-size thread pool and
-// returns immediately; inside a dispatch the backend fans bank slices (or
-// cpu job chunks) across the same pool.  Jobs are independent and results
-// are keyed by job_id, so the regrouping is unobservable except in the
-// scheduler counters — outputs are bit-identical to a serial run.
+// The legacy single-queue surface is a thin wrapper over the default stream
+// (id 0): ctx.submit() enqueues there, ctx.flush() flushes every stream, so
+// existing callers keep compiling and behave exactly as before.
+//
+// submit() validates against the backend's capabilities() descriptor and
+// enqueues; nothing executes until a flush (or a wait).  The deferral is
+// the batching opportunity: at flush time a stream's pending set is
+// partitioned by job kind — forward transforms with forward transforms,
+// ring products with ring products, R-LWE flows staged together — and the
+// partitions become one *dispatch group* carrying the stream's
+// dispatch_hints (stream id, priority, deadline, bank subset).
+//
+// Scheduling: every stream owns a bank subset of the backend's bank map
+// (topology-aware: one channel per stream on multi-channel devices, one
+// bank on flat multi-bank ones; the default stream owns all banks).
+// Dispatch groups whose subsets are disjoint run concurrently on the
+// executor pool — that is how independent streams genuinely overlap on a
+// multi-bank sram topology; groups contending for a bank are ordered by
+// priority (flush order breaks ties), and a lower-priority group never
+// steals a bank a blocked higher-priority group is waiting for.
+//
+// Accounting runs on a virtual timeline of per-bank frontiers: a batch on
+// subset S starts at S's frontier and advances it by the batch's
+// wall_cycles, so scheduler_stats::wall_cycles is the makespan — identical
+// to the old back-to-back sum when nothing overlaps, strictly smaller when
+// streams overlap.  A stream deadline is checked against completion minus
+// the frontier at flush; misses mark job_result::deadline_missed and count
+// into deadline_misses (accounting, not preemption).
 //
 // Failure model: a backend exception fails exactly the jobs of the
 // dispatch it occurred in (job_status::failed + the backend's message);
-// sibling dispatches of the same flush still complete.  wait() throws
-// job_failed_error for a failed job; try_wait()/wait_all() return the
-// failed job_result instead.
+// sibling dispatches of the same group, and sibling streams' groups, still
+// complete.  wait() throws job_failed_error for a failed job;
+// try_wait()/wait_all() return the failed job_result instead.
 //
 // Threading contract: one client thread submits/waits; the pool threads
 // are internal.  A context is not a multi-producer queue.
@@ -45,6 +64,7 @@
 #include "runtime/executor.h"
 #include "runtime/job.h"
 #include "runtime/options.h"
+#include "runtime/stream.h"
 
 namespace bpntt::runtime {
 
@@ -56,9 +76,13 @@ struct scheduler_stats {
   u64 jobs_completed = 0;  // finished ok
   u64 jobs_failed = 0;     // dispatch raised; per-job error recorded
   u64 jobs_in_flight = 0;  // snapshot: dispatched, not yet completed/failed
+  u64 groups = 0;          // dispatch groups executed (one per stream flush)
   u64 batches = 0;         // backend dispatches
   u64 waves = 0;           // scheduling waves executed by the backend
-  u64 wall_cycles = 0;     // sum of batch wall-clocks (batches run back-to-back)
+  // Virtual-timeline makespan: equals the back-to-back sum of batch
+  // wall-clocks when nothing overlaps, strictly smaller when streams do.
+  u64 wall_cycles = 0;
+  u64 deadline_misses = 0;  // jobs that completed past their stream's deadline
   double energy_nj = 0.0;
 };
 
@@ -75,32 +99,41 @@ class context {
 
   [[nodiscard]] const runtime_options& options() const noexcept { return opts_; }
   [[nodiscard]] backend& active_backend() noexcept { return *backend_; }
+  // The backend's execution envelope, captured at construction.
+  [[nodiscard]] const backend_caps& capabilities() const noexcept { return caps_; }
   // Jobs one scheduling round absorbs at full utilisation (0 = unbounded).
-  [[nodiscard]] unsigned wave_width() const noexcept { return backend_->wave_width(); }
+  [[nodiscard]] unsigned wave_width() const noexcept { return caps_.wave_width; }
   [[nodiscard]] unsigned executor_threads() const noexcept { return pool_.thread_count(); }
   // Counter snapshot (jobs_in_flight is the instantaneous gauge).
   [[nodiscard]] scheduler_stats stats() const;
-  // Jobs enqueued but not yet handed to the executor by a flush.
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  // Jobs enqueued on any stream and not yet handed to the scheduler.
+  [[nodiscard]] std::size_t pending() const noexcept;
 
-  // Validate and enqueue; throws std::invalid_argument on jobs the
-  // configured ring or backend cannot execute.
+  // Open an independent in-order submission lane.  Bank placement is
+  // topology-aware unless sopts.bank_set pins it explicitly; the handle
+  // stays valid for the context's lifetime.
+  [[nodiscard]] runtime::stream stream(stream_options sopts = {});
+
+  // Legacy single-queue surface: validate and enqueue on the default
+  // stream; throws std::invalid_argument on jobs the configured ring or
+  // backend capabilities cannot execute.
   job_id submit(ntt_job j);
   job_id submit(polymul_job j);
   job_id submit(rlwe_encrypt_job j);
 
-  // Partition everything pending by job kind (and transform direction) and
-  // hand the partitions to the executor; returns without blocking.
+  // Flush every stream: each non-empty queue becomes one dispatch group
+  // handed to the scheduler; returns without blocking.
   void flush();
   // flush() + block until nothing is in flight.  Unclaimed results stay
   // retrievable afterwards.
   void sync();
 
-  // Blocking retrieval; flushes first if the job is still queued.  wait()
-  // consumes the result.  Throws std::out_of_range("... unknown job id")
-  // for ids never returned by submit, std::out_of_range("... already
-  // claimed") for results retrieved before, and job_failed_error (with the
-  // backend's message) when the job's dispatch failed.
+  // Blocking retrieval; flushes the owning stream first if the job is
+  // still queued.  wait() consumes the result.  Throws
+  // std::out_of_range("... unknown job id") for ids never returned by
+  // submit, std::out_of_range("... already claimed") for results retrieved
+  // before, and job_failed_error (with the backend's message) when the
+  // job's dispatch failed.
   [[nodiscard]] job_result wait(job_id id);
   // Non-blocking probe: the result if the job has completed or failed
   // (consuming it — inspect job_result::status), std::nullopt while it is
@@ -112,7 +145,9 @@ class context {
   [[nodiscard]] std::vector<job_result> wait_all();
 
  private:
-  // One flush's partitioned queue, handed to the executor as a unit.
+  friend class runtime::stream;
+
+  // One stream flush, partitioned by job kind.
   struct flush_plan {
     std::vector<job_id> fwd_ids, inv_ids, mul_ids, rlwe_ids;
     std::vector<ntt_job> fwd, inv;
@@ -120,34 +155,81 @@ class context {
     std::vector<rlwe_encrypt_job> rlwes;
   };
 
-  job_id enqueue(job j);
-  [[nodiscard]] bool is_queued(job_id id) const noexcept;
-  void drain(flush_plan& plan);
-  void distribute(const std::vector<job_id>& ids, batch_result&& r);
-  void fail_group(const std::vector<job_id>& ids, const std::string& what);
-  void dispatch_ntt_group(const std::vector<job_id>& ids, std::vector<ntt_job>&& jobs,
-                          transform_dir dir);
-  void dispatch_polymul_group(const std::vector<job_id>& ids, std::vector<polymul_job>&& jobs);
-  void run_rlwe_group(const std::vector<job_id>& ids, std::vector<rlwe_encrypt_job>&& jobs);
-  void account(const batch_result& r);
-  void account_locked(const batch_result& r);
+  // A flushed stream queue waiting for (or holding) its bank reservation.
+  struct dispatch_group {
+    u64 seq = 0;                      // flush order; priority tiebreak
+    dispatch_hints hints;             // stream id, priority, deadline, bank subset
+    std::vector<unsigned> resources;  // scheduler resource ids (= bank ids, or {0})
+    u64 ref_vtime = 0;                // bank frontier at flush; deadline reference
+    flush_plan plan;
+  };
+
+  // Per-stream client state: policy, placement, and the pre-flush FIFO.
+  struct stream_state {
+    stream_options sopts;
+    std::vector<unsigned> resources;
+    std::vector<std::pair<job_id, job>> queue;
+  };
+
+  void finish_construction();
+
+  // Stream plumbing (called by the handle).
+  job_id submit_ntt(unsigned sid, ntt_job j);
+  job_id submit_polymul(unsigned sid, polymul_job j);
+  job_id submit_rlwe(unsigned sid, rlwe_encrypt_job j);
+  void flush_stream(unsigned sid);
+  void close_stream(unsigned sid);
+  [[nodiscard]] std::size_t stream_pending(unsigned sid) const;
+  [[nodiscard]] std::vector<unsigned> stream_bank_set(unsigned sid) const;
+  [[nodiscard]] stream_state& state_of(unsigned sid);
+  [[nodiscard]] const stream_state& state_of(unsigned sid) const;
+  [[nodiscard]] std::vector<unsigned> auto_bank_set(unsigned sid) const;
+  // Partition one stream's queue into a dispatch group (nullptr if empty).
+  [[nodiscard]] std::shared_ptr<dispatch_group> build_group(unsigned sid);
+  void enqueue_group_locked(std::shared_ptr<dispatch_group> g);
+
+  job_id enqueue(unsigned sid, job j);
+  // The stream a still-queued job sits on, if any.
+  [[nodiscard]] std::optional<unsigned> queued_on(job_id id) const noexcept;
+
+  // Scheduler: starts every ready group whose banks are free and not
+  // claimed by a blocked higher-priority group.  Requires mu_.
+  void schedule_locked();
+  void run_group(const std::shared_ptr<dispatch_group>& g);
+
+  // Advance the group's bank frontiers by one batch; returns the batch's
+  // completion time on the virtual timeline.  Requires mu_.
+  u64 account_locked(const dispatch_group& g, const batch_result& r);
+  void distribute(const dispatch_group& g, const std::vector<job_id>& ids, batch_result&& r);
+  void fail_group(const dispatch_group& g, const std::vector<job_id>& ids,
+                  const std::string& what);
+  void dispatch_ntt_group(const dispatch_group& g, const std::vector<job_id>& ids,
+                          std::vector<ntt_job>&& jobs, transform_dir dir);
+  void dispatch_polymul_group(const dispatch_group& g, const std::vector<job_id>& ids,
+                              std::vector<polymul_job>&& jobs);
+  void run_rlwe_group(const dispatch_group& g, const std::vector<job_id>& ids,
+                      std::vector<rlwe_encrypt_job>&& jobs);
 
   runtime_options opts_;
   std::unique_ptr<backend> backend_;
-  // Client-thread state: the pre-flush queue and the id counter.
-  std::vector<std::pair<job_id, job>> queue_;
+  backend_caps caps_;
+  // Client-thread state: per-stream queues and the id counters.
+  std::map<unsigned, stream_state> streams_;
+  unsigned next_stream_id_ = 1;
   job_id next_id_ = 1;
-  // Shared state, guarded by mu_: completion map, in-flight set, counters.
+  // Shared state, guarded by mu_: completion map, in-flight set, counters,
+  // and the scheduler (ready groups, bank reservations, bank frontiers).
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<job_id, job_result> done_;
   std::set<job_id> in_flight_;
   scheduler_stats stats_;
-  // Dispatches serialize here: backends batch onto shared bank state, so
-  // two drain tasks must not interleave backend calls.
-  std::mutex dispatch_mu_;
+  std::vector<std::shared_ptr<dispatch_group>> ready_;  // priority desc, seq asc
+  std::vector<char> bank_busy_;
+  std::vector<u64> bank_free_at_;
+  u64 next_group_seq_ = 0;
   // Declared last: destroyed first, joining the workers (and finishing any
-  // queued drain task) before the members those tasks reference go away.
+  // queued dispatch group) before the members those tasks reference go away.
   executor pool_;
 };
 

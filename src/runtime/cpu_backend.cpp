@@ -74,7 +74,7 @@ batch_result cpu_backend::finish(std::vector<std::vector<u64>> outputs, double s
 }
 
 batch_result cpu_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
-                                  transform_dir dir) {
+                                  transform_dir dir, const dispatch_hints&) {
   std::vector<std::vector<u64>> outputs = polys;
   const auto start = std::chrono::steady_clock::now();
   // Tables are immutable after construction, so jobs chunk freely across
@@ -84,7 +84,8 @@ batch_result cpu_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
   return finish(std::move(outputs), elapsed.count());
 }
 
-batch_result cpu_backend::run_polymul(const std::vector<core::polymul_pair>& pairs) {
+batch_result cpu_backend::run_polymul(const std::vector<core::polymul_pair>& pairs,
+                                      const dispatch_hints&) {
   std::vector<std::vector<u64>> outputs(pairs.size());
   const auto start = std::chrono::steady_clock::now();
   parallel_for(pool_, pairs.size(), [&](std::size_t i) { outputs[i] = multiply(pairs[i]); });

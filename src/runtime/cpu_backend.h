@@ -23,11 +23,19 @@ class cpu_backend final : public backend {
   explicit cpu_backend(const runtime_options& opts);
 
   [[nodiscard]] std::string_view name() const noexcept override { return "cpu"; }
-  [[nodiscard]] unsigned wave_width() const noexcept override { return 0; }
-  [[nodiscard]] bool supports_polymul() const noexcept override { return true; }
+  // Unbounded batches, no banked structure: one resource, dispatches
+  // serialize.  The software path hosts any power-of-two order and any
+  // modulus the 63-bit golden arithmetic can reduce.
+  [[nodiscard]] backend_caps capabilities() const override {
+    backend_caps caps;
+    caps.polymul = true;
+    return caps;
+  }
 
-  batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir dir) override;
-  batch_result run_polymul(const std::vector<core::polymul_pair>& pairs) override;
+  batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir dir,
+                       const dispatch_hints& hints) override;
+  batch_result run_polymul(const std::vector<core::polymul_pair>& pairs,
+                           const dispatch_hints& hints) override;
 
  private:
   void transform(std::vector<u64>& a, transform_dir dir) const;

@@ -62,6 +62,13 @@ enum class job_status { ok, failed };
 // the job rode in — divide by jobs_in_batch for an amortized per-job view.
 // When status == failed, `error` carries the backend's message and
 // `outputs` is empty.
+//
+// Stream accounting: `stream` is the submission stream the job rode in (0 =
+// the default stream), `finish_cycles` is the job's completion time on the
+// context's virtual timeline (per-bank frontiers; overlapping streams on
+// disjoint banks advance concurrently), and `deadline_missed` is set when
+// the stream carries a deadline and completion overran it, measured from
+// the stream's flush.
 struct job_result {
   job_status status = job_status::ok;
   std::string error;
@@ -69,6 +76,9 @@ struct job_result {
   sram::op_stats op_stats;
   u64 wall_cycles = 0;
   std::size_t jobs_in_batch = 1;
+  unsigned stream = 0;
+  u64 finish_cycles = 0;
+  bool deadline_missed = false;
 };
 
 // Thrown by context::wait() when the waited job's dispatch failed in the

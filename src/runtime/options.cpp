@@ -17,6 +17,18 @@ const char* to_string(backend_kind k) noexcept {
   return "?";
 }
 
+void device_topology::validate() const {
+  if (channels < 1 || channels > 16) {
+    throw std::invalid_argument("device_topology: channels must be in [1, 16]");
+  }
+  if (banks_per_channel < 1) {
+    throw std::invalid_argument("device_topology: banks_per_channel must be >= 1");
+  }
+  if (total_banks() > 64) {
+    throw std::invalid_argument("device_topology: channels * banks_per_channel must be <= 64");
+  }
+}
+
 runtime_options runtime_options::for_param_set(const crypto::param_set& set) {
   runtime_options opts;
   opts.params.n = set.n;
@@ -41,11 +53,20 @@ void runtime_options::validate() const {
         "sweeps for performance-only runs");
   }
   validate_threads(threads);
+  // The cpu model constants feed cycle/energy accounting; a non-positive
+  // value would silently produce nonsense (infinite cycles, negative
+  // energy), so they are rejected for every backend, not just cpu.
+  if (cpu_freq_ghz <= 0.0) {
+    throw std::invalid_argument("runtime_options: cpu_freq_ghz must be > 0 (got " +
+                                std::to_string(cpu_freq_ghz) + ")");
+  }
+  if (cpu_power_w <= 0.0) {
+    throw std::invalid_argument("runtime_options: cpu_power_w must be > 0 (got " +
+                                std::to_string(cpu_power_w) + ")");
+  }
   switch (backend) {
     case backend_kind::sram:
-      if (banks < 1 || banks > 64) {
-        throw std::invalid_argument("runtime_options: banks must be in [1, 64]");
-      }
+      topo.validate();
       bank().validate();
       if (params.n > array.data_rows) {
         throw std::invalid_argument(
@@ -54,10 +75,6 @@ void runtime_options::validate() const {
       }
       break;
     case backend_kind::cpu:
-      if (cpu_freq_ghz <= 0 || cpu_power_w <= 0) {
-        throw std::invalid_argument("runtime_options: cpu model needs positive freq and power");
-      }
-      break;
     case backend_kind::reference:
       break;
   }

@@ -5,9 +5,10 @@
 //   auto opts = runtime_options()
 //                   .with_ring(256, 7681, 14)
 //                   .with_backend(backend_kind::sram)
-//                   .with_banks(2)
-//                   .with_subarrays(4);
+//                   .with_topology(2, 2, 4);   // channels, banks/channel, subarrays
 //   context ctx(opts);
+//
+// with_banks(n) remains the one-channel shorthand the earlier API exposed.
 #pragma once
 
 #include "bpntt/bank.h"
@@ -25,14 +26,31 @@ enum class backend_kind {
 
 [[nodiscard]] const char* to_string(backend_kind k) noexcept;
 
+// Chip-shaped view of the sram backend's compute resources (Fig. 4):
+// channels -> banks -> subarrays.  Channels are the placement domains the
+// scheduler prefers when spreading independent streams; banks are the unit
+// of concurrent execution; subarrays (one repurposed as CTRL/CMD per bank)
+// set a bank's SIMD width.  The cpu/reference backends ignore it.
+struct device_topology {
+  unsigned channels = 1;
+  unsigned banks_per_channel = 1;
+  unsigned subarrays = 4;  // per bank, including the CTRL/CMD subarray
+
+  [[nodiscard]] unsigned total_banks() const noexcept { return channels * banks_per_channel; }
+  // Bank ids of one channel: [first, first + banks_per_channel).
+  [[nodiscard]] unsigned first_bank(unsigned channel) const noexcept {
+    return channel * banks_per_channel;
+  }
+
+  void validate() const;
+};
+
 struct runtime_options {
   backend_kind backend = backend_kind::sram;
   core::ntt_params params;
 
-  // sram backend: independent banks sharing the batch, subarrays per bank
-  // (one of which is the CTRL/CMD store), and the subarray itself.
-  unsigned banks = 1;
-  unsigned subarrays = 4;
+  // sram backend: the chip topology and the subarray geometry itself.
+  device_topology topo;
   core::engine_config array;
 
   // cpu backend: constants that convert measured wall time into the cycle /
@@ -61,12 +79,23 @@ struct runtime_options {
     params.incomplete = incomplete;
     return *this;
   }
+  // Full chip shape: channels x banks_per_channel banks of `subarrays`
+  // subarrays each.
+  runtime_options& with_topology(unsigned channels, unsigned banks_per_channel,
+                                 unsigned subarrays) {
+    topo.channels = channels;
+    topo.banks_per_channel = banks_per_channel;
+    topo.subarrays = subarrays;
+    return *this;
+  }
+  // One-channel shorthand: n independent banks on a single channel.
   runtime_options& with_banks(unsigned b) {
-    banks = b;
+    topo.channels = 1;
+    topo.banks_per_channel = b;
     return *this;
   }
   runtime_options& with_subarrays(unsigned s) {
-    subarrays = s;
+    topo.subarrays = s;
     return *this;
   }
   runtime_options& with_array(unsigned data_rows, unsigned cols) {
@@ -104,7 +133,7 @@ struct runtime_options {
   // The sram backend's per-bank configuration, derived.
   [[nodiscard]] core::bank_config bank() const {
     core::bank_config cfg;
-    cfg.subarrays = subarrays;
+    cfg.subarrays = topo.subarrays;
     cfg.array = array;
     return cfg;
   }

@@ -14,7 +14,7 @@ reference_backend::reference_backend(const runtime_options& opts) : params_(opts
 }
 
 batch_result reference_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
-                                        transform_dir dir) {
+                                        transform_dir dir, const dispatch_hints&) {
   batch_result out;
   out.outputs = polys;
   out.waves = polys.empty() ? 0 : 1;
@@ -35,7 +35,8 @@ batch_result reference_backend::run_ntt(const std::vector<std::vector<u64>>& pol
   return out;
 }
 
-batch_result reference_backend::run_polymul(const std::vector<core::polymul_pair>& pairs) {
+batch_result reference_backend::run_polymul(const std::vector<core::polymul_pair>& pairs,
+                                            const dispatch_hints&) {
   batch_result out;
   out.outputs.resize(pairs.size());
   out.waves = pairs.empty() ? 0 : 1;

@@ -1,40 +1,70 @@
 #include "runtime/sram_backend.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "runtime/executor.h"
 
 namespace bpntt::runtime {
 
-sram_backend::sram_backend(const runtime_options& opts) {
-  banks_.reserve(opts.banks);
-  for (unsigned b = 0; b < opts.banks; ++b) {
+sram_backend::sram_backend(const runtime_options& opts) : channels_(opts.topo.channels) {
+  const unsigned total = opts.topo.total_banks();
+  banks_.reserve(total);
+  for (unsigned b = 0; b < total; ++b) {
     banks_.emplace_back(opts.bank(), opts.params);
   }
 }
 
-unsigned sram_backend::wave_width() const noexcept {
-  unsigned w = 0;
-  for (const auto& b : banks_) w += b.lanes_per_wave();
-  return w;
+backend_caps sram_backend::capabilities() const {
+  backend_caps caps;
+  caps.bank_lanes.reserve(banks_.size());
+  for (const auto& b : banks_) {
+    caps.bank_lanes.push_back(b.lanes_per_wave());
+    caps.wave_width += b.lanes_per_wave();
+  }
+  caps.channels = channels_;
+  caps.polymul = !banks_.empty() && banks_.front().supports_polymul();
+  if (!banks_.empty()) {
+    const auto& p = banks_.front().params();
+    caps.max_poly_order = p.n;       // banks are built for exactly this ring
+    caps.max_modulus_bits = p.k - 1; // carry-save headroom: 2q < 2^k
+  }
+  return caps;
 }
 
-bool sram_backend::supports_polymul() const noexcept {
-  return !banks_.empty() && banks_.front().supports_polymul();
+std::vector<unsigned> sram_backend::resolve_bank_set(const dispatch_hints& hints) const {
+  if (hints.bank_set.empty()) {
+    std::vector<unsigned> all(banks_.size());
+    for (unsigned b = 0; b < banks_.size(); ++b) all[b] = b;
+    return all;
+  }
+  for (const unsigned b : hints.bank_set) {
+    if (b >= banks_.size()) {
+      throw std::invalid_argument("sram backend: dispatch names bank " + std::to_string(b) +
+                                  " but the topology has " + std::to_string(banks_.size()) +
+                                  " banks");
+    }
+  }
+  return hints.bank_set;
 }
 
 template <typename RunSlice>
-batch_result sram_backend::shard(std::size_t njobs, RunSlice&& run_slice) {
+batch_result sram_backend::shard(std::size_t njobs, const dispatch_hints& hints,
+                                 RunSlice&& run_slice) {
   batch_result out;
   out.outputs.resize(njobs);
   if (njobs == 0 || banks_.empty()) return out;
 
-  // Wave-width blocks round-robin over banks: block b -> bank b mod N.
-  const unsigned block_width = std::max(1u, banks_.front().lanes_per_wave());
-  std::vector<std::vector<std::size_t>> assigned(banks_.size());
+  // Wave-width blocks round-robin over the subset: block b -> subset bank
+  // b mod |subset|.  The assignment depends only on the subset, so a given
+  // (jobs, bank_set) dispatch is deterministic at any pool size.
+  const std::vector<unsigned> set = resolve_bank_set(hints);
+  const unsigned block_width = std::max(1u, banks_[set.front()].lanes_per_wave());
+  std::vector<std::vector<std::size_t>> assigned(set.size());
   std::size_t block = 0;
   for (std::size_t i = 0; i < njobs; i += block_width, ++block) {
-    auto& dst = assigned[block % banks_.size()];
+    auto& dst = assigned[block % set.size()];
     for (std::size_t j = i; j < std::min<std::size_t>(njobs, i + block_width); ++j) {
       dst.push_back(j);
     }
@@ -42,19 +72,19 @@ batch_result sram_backend::shard(std::size_t njobs, RunSlice&& run_slice) {
 
   // Banks are independent models executing a broadcast command stream
   // (§IV-A), so their slices really do run concurrently: one pool task per
-  // bank.  Results are merged serially in bank order afterwards, keeping
-  // the floating-point energy sum (and therefore every reported stat)
-  // deterministic regardless of pool size.
-  std::vector<core::bank_run_result> per_bank(banks_.size());
-  parallel_for(pool_, banks_.size(), [&](std::size_t b) {
-    if (!assigned[b].empty()) per_bank[b] = run_slice(banks_[b], assigned[b]);
+  // subset bank.  Results are merged serially in bank order afterwards,
+  // keeping the floating-point energy sum (and therefore every reported
+  // stat) deterministic regardless of pool size.
+  std::vector<core::bank_run_result> per_bank(set.size());
+  parallel_for(pool_, set.size(), [&](std::size_t s) {
+    if (!assigned[s].empty()) per_bank[s] = run_slice(banks_[set[s]], assigned[s]);
   });
 
-  for (std::size_t b = 0; b < banks_.size(); ++b) {
-    if (assigned[b].empty()) continue;
-    core::bank_run_result& r = per_bank[b];
-    for (std::size_t k = 0; k < assigned[b].size(); ++k) {
-      out.outputs[assigned[b][k]] = std::move(r.outputs[k]);
+  for (std::size_t s = 0; s < set.size(); ++s) {
+    if (assigned[s].empty()) continue;
+    core::bank_run_result& r = per_bank[s];
+    for (std::size_t k = 0; k < assigned[s].size(); ++k) {
+      out.outputs[assigned[s][k]] = std::move(r.outputs[k]);
     }
     // Wall clock is the slowest bank; waves, energy and op counts accumulate.
     out.wall_cycles = std::max(out.wall_cycles, r.cycles);
@@ -66,8 +96,8 @@ batch_result sram_backend::shard(std::size_t njobs, RunSlice&& run_slice) {
 }
 
 batch_result sram_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
-                                   transform_dir dir) {
-  return shard(polys.size(),
+                                   transform_dir dir, const dispatch_hints& hints) {
+  return shard(polys.size(), hints,
                [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
                  std::vector<std::vector<u64>> slice;
                  slice.reserve(idx.size());
@@ -76,8 +106,9 @@ batch_result sram_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
                });
 }
 
-batch_result sram_backend::run_polymul(const std::vector<core::polymul_pair>& pairs) {
-  return shard(pairs.size(),
+batch_result sram_backend::run_polymul(const std::vector<core::polymul_pair>& pairs,
+                                       const dispatch_hints& hints) {
+  return shard(pairs.size(), hints,
                [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
                  std::vector<core::polymul_pair> slice;
                  slice.reserve(idx.size());

@@ -1,11 +1,15 @@
-// In-SRAM backend: N cache banks of BP-NTT compute subarrays behind the
-// uniform backend interface.
+// In-SRAM backend: a chip topology (channels -> banks) of BP-NTT compute
+// subarrays behind the uniform backend interface.
 //
-// A batch is sharded across banks in wave-width blocks (block b goes to
-// bank b mod N), so small batches fill whole waves on one bank before
-// touching the next and large batches load-balance evenly.  Banks execute
-// concurrently: batch wall-clock is the slowest bank's, energy and op
-// counts sum.
+// A batch is sharded across its dispatch's bank subset in wave-width blocks
+// (block b goes to the b mod |subset|'th subset bank), so small batches
+// fill whole waves on one bank before touching the next and large batches
+// load-balance evenly.  Banks execute concurrently: batch wall-clock is the
+// slowest bank's, energy and op counts sum.
+//
+// Banks are independent cycle-level models, so dispatches confined to
+// disjoint bank subsets (dispatch_hints::bank_set) are safe to run
+// concurrently — that is how the context overlaps independent streams.
 #pragma once
 
 #include <vector>
@@ -20,22 +24,28 @@ class sram_backend final : public backend {
   explicit sram_backend(const runtime_options& opts);
 
   [[nodiscard]] std::string_view name() const noexcept override { return "sram"; }
-  [[nodiscard]] unsigned wave_width() const noexcept override;
-  [[nodiscard]] bool supports_polymul() const noexcept override;
+  [[nodiscard]] backend_caps capabilities() const override;
 
-  batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir dir) override;
-  batch_result run_polymul(const std::vector<core::polymul_pair>& pairs) override;
+  batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir dir,
+                       const dispatch_hints& hints) override;
+  batch_result run_polymul(const std::vector<core::polymul_pair>& pairs,
+                           const dispatch_hints& hints) override;
 
   [[nodiscard]] unsigned banks() const noexcept { return static_cast<unsigned>(banks_.size()); }
   [[nodiscard]] const core::bp_ntt_bank& bank(unsigned i) const { return banks_.at(i); }
 
  private:
-  // Shard `njobs` into wave-width blocks round-robin over banks;
-  // `run_slice(bank, job_indices)` executes one bank's slice and the
-  // per-job outputs are stitched back into submission order.
+  // Shard `njobs` into wave-width blocks round-robin over the dispatch's
+  // bank subset; `run_slice(bank, job_indices)` executes one bank's slice
+  // and the per-job outputs are stitched back into submission order.
   template <typename RunSlice>
-  batch_result shard(std::size_t njobs, RunSlice&& run_slice);
+  batch_result shard(std::size_t njobs, const dispatch_hints& hints, RunSlice&& run_slice);
 
+  // The dispatch's bank subset: hints.bank_set when non-empty (validated),
+  // every bank otherwise.
+  [[nodiscard]] std::vector<unsigned> resolve_bank_set(const dispatch_hints& hints) const;
+
+  unsigned channels_ = 1;
   std::vector<core::bp_ntt_bank> banks_;
 };
 

@@ -251,10 +251,14 @@ class scripted_backend final : public backend {
   explicit scripted_backend(mode m) : mode_(m) {}
 
   [[nodiscard]] std::string_view name() const noexcept override { return "stub"; }
-  [[nodiscard]] unsigned wave_width() const noexcept override { return 0; }
-  [[nodiscard]] bool supports_polymul() const noexcept override { return true; }
+  [[nodiscard]] backend_caps capabilities() const override {
+    backend_caps caps;
+    caps.polymul = true;
+    return caps;
+  }
 
-  batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir) override {
+  batch_result run_ntt(const std::vector<std::vector<u64>>& polys, transform_dir,
+                       const dispatch_hints&) override {
     if (mode_ == mode::throw_on_ntt) {
       throw std::runtime_error("stub backend: transform unit on fire");
     }
@@ -264,7 +268,8 @@ class scripted_backend final : public backend {
     r.waves = polys.empty() ? 0 : 1;
     return r;
   }
-  batch_result run_polymul(const std::vector<core::polymul_pair>& pairs) override {
+  batch_result run_polymul(const std::vector<core::polymul_pair>& pairs,
+                           const dispatch_hints&) override {
     batch_result r;
     for (const auto& pr : pairs) r.outputs.push_back(pr.a);
     r.waves = pairs.empty() ? 0 : 1;

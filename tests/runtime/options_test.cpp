@@ -22,8 +22,9 @@ TEST(RuntimeOptions, BuilderCollapsesAllKnobs) {
   EXPECT_EQ(opts.params.q, 3329u);
   EXPECT_EQ(opts.params.k, 13u);
   EXPECT_EQ(opts.backend, backend_kind::cpu);
-  EXPECT_EQ(opts.banks, 3u);
-  EXPECT_EQ(opts.subarrays, 8u);
+  EXPECT_EQ(opts.topo.channels, 1u);  // with_banks is the one-channel shorthand
+  EXPECT_EQ(opts.topo.total_banks(), 3u);
+  EXPECT_EQ(opts.topo.subarrays, 8u);
   EXPECT_EQ(opts.array.data_rows, 128u);
   EXPECT_EQ(opts.array.cols, 512u);
   EXPECT_FALSE(opts.array.microcode.fuse_pairs);
@@ -67,12 +68,52 @@ TEST(RuntimeOptions, ValidateRejectsAbsurdPoolSizes) {
   EXPECT_NO_THROW(opts.with_threads(256).validate());  // ceiling
 }
 
-TEST(RuntimeOptions, ValidateRejectsBadCpuModel) {
-  auto opts = runtime_options()
-                  .with_ring(256, 7681, 14)
-                  .with_backend(backend_kind::cpu)
-                  .with_cpu_model(0.0, 15.0);
-  EXPECT_THROW(opts.validate(), std::invalid_argument);
+TEST(RuntimeOptions, ValidateRejectsBadCpuModelWithPreciseMessages) {
+  // Non-positive model constants would yield nonsense cycle/energy
+  // accounting; they are rejected for *every* backend with a message naming
+  // the exact knob.
+  for (const auto kind : {backend_kind::cpu, backend_kind::sram, backend_kind::reference}) {
+    auto freq = runtime_options().with_ring(256, 7681, 14).with_backend(kind);
+    freq.cpu_freq_ghz = 0.0;
+    try {
+      freq.validate();
+      FAIL() << "zero cpu_freq_ghz must throw (" << to_string(kind) << ")";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("cpu_freq_ghz must be > 0"), std::string::npos)
+          << e.what();
+    }
+    auto power = runtime_options().with_ring(256, 7681, 14).with_backend(kind);
+    power.cpu_power_w = -2.5;
+    try {
+      power.validate();
+      FAIL() << "negative cpu_power_w must throw (" << to_string(kind) << ")";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("cpu_power_w must be > 0"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(RuntimeOptions, TopologyBuilderAndValidation) {
+  const auto opts = runtime_options().with_ring(256, 7681, 14).with_topology(2, 3, 4);
+  EXPECT_EQ(opts.topo.channels, 2u);
+  EXPECT_EQ(opts.topo.banks_per_channel, 3u);
+  EXPECT_EQ(opts.topo.total_banks(), 6u);
+  EXPECT_EQ(opts.topo.first_bank(1), 3u);
+  EXPECT_NO_THROW(opts.validate());
+
+  // with_banks after with_topology collapses back to one channel.
+  auto flat = runtime_options(opts).with_banks(5);
+  EXPECT_EQ(flat.topo.channels, 1u);
+  EXPECT_EQ(flat.topo.total_banks(), 5u);
+
+  EXPECT_THROW(runtime_options().with_ring(256, 7681, 14).with_topology(0, 2, 4).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(runtime_options().with_ring(256, 7681, 14).with_topology(2, 0, 4).validate(),
+               std::invalid_argument);
+  // 16 channels x 8 banks = 128 > the 64-bank ceiling.
+  EXPECT_THROW(runtime_options().with_ring(256, 7681, 14).with_topology(16, 8, 4).validate(),
+               std::invalid_argument);
 }
 
 TEST(RuntimeOptions, ForParamSetPicksTransformFlavour) {
