@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Advisory perf-trend check for the BENCH_table1.json artifact.
+
+Compares the current run's measured in-SRAM rows against the previous
+successful run's artifact and emits GitHub warning annotations when the
+cycle-derived latency regresses by more than the threshold.  Strictly
+non-fatal: every path — missing previous artifact, schema drift, genuine
+regression — exits 0; the signal is the annotation, not the job status.
+
+Usage: perf_trend.py <previous.json> <current.json>
+"""
+import json
+import sys
+
+THRESHOLD = 0.10  # warn past +10%
+
+
+def sram_rows(doc):
+    """name -> latency_us for the measured in-SRAM rows (latency is cycles
+    at the model's fixed array clock, so a latency ratio is a cycle ratio)."""
+    rows = {}
+    for row in doc.get("rows", []):
+        if row.get("measured") and row.get("technology") == "In-SRAM":
+            latency = row.get("latency_us")
+            if isinstance(latency, (int, float)) and latency > 0:
+                rows[row.get("name", "?")] = float(latency)
+    return rows
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: perf_trend.py <previous.json> <current.json>")
+        return 0
+    try:
+        with open(sys.argv[1]) as f:
+            prev = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf-trend: no usable previous artifact ({e}); skipping comparison")
+        return 0
+    try:
+        with open(sys.argv[2]) as f:
+            cur = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"::warning::perf-trend: current bench JSON unreadable ({e})")
+        return 0
+
+    prev_rows, cur_rows = sram_rows(prev), sram_rows(cur)
+    if not prev_rows or not cur_rows:
+        print("perf-trend: no measured in-SRAM rows to compare; skipping")
+        return 0
+
+    regressions = 0
+    for name, cur_lat in sorted(cur_rows.items()):
+        prev_lat = prev_rows.get(name)
+        if prev_lat is None:
+            print(f"perf-trend: new row '{name}' ({cur_lat:.3g} us), no baseline")
+            continue
+        delta = cur_lat / prev_lat - 1.0
+        verdict = "regressed" if delta > THRESHOLD else "ok"
+        print(f"perf-trend: {name}: {prev_lat:.4g} -> {cur_lat:.4g} us "
+              f"({delta:+.1%}) {verdict}")
+        if delta > THRESHOLD:
+            regressions += 1
+            print(f"::warning title=sram cycle regression::{name}: in-SRAM latency "
+                  f"{prev_lat:.4g} us -> {cur_lat:.4g} us ({delta:+.1%}, threshold "
+                  f"+{THRESHOLD:.0%}) vs the previous run's BENCH_table1.json")
+    if regressions == 0:
+        print("perf-trend: all measured in-SRAM rows within threshold")
+    return 0  # advisory by design
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,27 @@ param_set he_level(unsigned modulus_bits, std::uint64_t n) {
   return make("HE-" + std::to_string(modulus_bits) + "b", n, q);
 }
 
+unsigned rns_param_set::modulus_bits() const {
+  unsigned bits = 0;
+  for (const std::uint64_t q : primes) bits += common::bit_length(q);
+  return bits;
+}
+
+rns_param_set he_rns_level(unsigned limb_bits, unsigned limbs, std::uint64_t n) {
+  rns_param_set p;
+  p.primes = math::first_k_ntt_primes(limb_bits, n, limbs, /*negacyclic=*/true);
+  p.n = n;
+  p.name = "HE-RNS-" + std::to_string(limbs) + "x" + std::to_string(limb_bits) + "b";
+  // Every limb rides the same tiles, so the width is set by the widest
+  // prime in the chain (the last: the search is ascending).
+  p.min_tile_bits = required_tile_bits(p.primes.back());
+  return p;
+}
+
+std::vector<rns_param_set> all_rns_param_sets() {
+  return {he_rns_level(30, 2), he_rns_level(30, 3), he_rns_level(30, 4)};
+}
+
 std::vector<param_set> all_param_sets() {
   return {kyber(),       kyber_compat(), dilithium(),  falcon512(),
           falcon1024(),  he_level(16),   he_level(21), he_level(29)};

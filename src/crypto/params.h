@@ -22,6 +22,31 @@ struct param_set {
   [[nodiscard]] bool supports_full_ntt() const;  // 2n | q-1
 };
 
+// Big-modulus RLWE parameters in RNS form: the ciphertext modulus is the
+// product of a chain of pairwise-coprime NTT-friendly word-sized primes,
+// one NTT channel per limb (the FHE-style parameterization — word-sized
+// primes are what the bit-parallel in-SRAM multiplier runs, the chain is
+// what reaches the >100-bit moduli leveled schemes need).
+struct rns_param_set {
+  std::string name;
+  std::uint64_t n = 0;                 // polynomial order
+  std::vector<std::uint64_t> primes;   // limb moduli, ascending, distinct
+  unsigned min_tile_bits = 0;          // tile width the widest limb needs
+
+  // Sum of limb bit lengths: the modulus magnitude the chain reaches
+  // (exact within one bit of bitlen(prod primes)).
+  [[nodiscard]] unsigned modulus_bits() const;
+};
+
+// A big-modulus RLWE preset: `limbs` NTT-friendly primes of exactly
+// `limb_bits` bits each, supporting negacyclic NTTs of size n.
+[[nodiscard]] rns_param_set he_rns_level(unsigned limb_bits, unsigned limbs,
+                                         std::uint64_t n = 1024);
+
+// The RNS presets the benches/tests sweep: 2..4 limbs of 30-bit primes at
+// n=1024 (60..120-bit ciphertext moduli — the leveled-BGV/BFV shape).
+[[nodiscard]] std::vector<rns_param_set> all_rns_param_sets();
+
 // NB: standardized Kyber (q=3329) uses an *incomplete* NTT — 3328 = 2^8*13
 // caps full negacyclic transforms at n=128.  kyber() is still exercised at
 // the modular-multiplication level and for n<=128 rings; kyber_compat()

@@ -119,4 +119,41 @@ u64 ntt_friendly_prime(unsigned bits, u64 n, bool negacyclic) {
   return q;
 }
 
+std::vector<u64> first_k_ntt_primes(unsigned bits, u64 n, unsigned k, bool negacyclic) {
+  if (bits < 2 || bits > 62) {
+    throw std::runtime_error("first_k_ntt_primes: bits = " + std::to_string(bits) +
+                             " out of range [2, 62]");
+  }
+  if (k == 0) throw std::runtime_error("first_k_ntt_primes: k must be >= 1");
+  const u64 m = negacyclic ? 2 * n : n;
+  if (m == 0) throw std::runtime_error("first_k_ntt_primes: n must be >= 1");
+  const u64 hi = 1ULL << bits;
+  std::vector<u64> chain;
+  chain.reserve(k);
+  u64 lo = 1ULL << (bits - 1);
+  while (chain.size() < k) {
+    const u64 q = find_prime_congruent(lo, hi, m);
+    if (q == 0) break;
+    chain.push_back(q);
+    lo = q + 1;
+  }
+  if (chain.size() < k) {
+    throw std::runtime_error(
+        "first_k_ntt_primes: only " + std::to_string(chain.size()) + " of " + std::to_string(k) +
+        " primes of exactly " + std::to_string(bits) + " bits with q == 1 (mod " +
+        std::to_string(m) + ") exist; widen the limbs or shrink the chain");
+  }
+  // Ascending search from disjoint starting points already guarantees
+  // distinctness; re-check so a search regression cannot silently produce a
+  // degenerate (non-coprime) RNS basis.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    if (chain[i] <= chain[i - 1]) {
+      throw std::runtime_error("first_k_ntt_primes: internal error, chain is not "
+                               "strictly ascending at limb " +
+                               std::to_string(i));
+    }
+  }
+  return chain;
+}
+
 }  // namespace bpntt::math

@@ -30,4 +30,14 @@ namespace bpntt::math {
 // Throws std::runtime_error when no such prime exists.
 [[nodiscard]] u64 ntt_friendly_prime(unsigned bits, u64 n, bool negacyclic = true);
 
+// The first k NTT-friendly primes of exactly `bits` bits (ascending),
+// each supporting (nega)cyclic NTTs of size n.  Distinct primes are
+// pairwise coprime by construction, which is what makes the chain a valid
+// RNS basis; the result is checked for uniqueness anyway so a search bug
+// can never silently hand out a degenerate basis.  Throws
+// std::runtime_error naming bits/n/k and how many primes were found when
+// the bit range cannot supply k of them.
+[[nodiscard]] std::vector<u64> first_k_ntt_primes(unsigned bits, u64 n, unsigned k,
+                                                  bool negacyclic = true);
+
 }  // namespace bpntt::math

@@ -12,6 +12,15 @@ wide_uint::wide_uint(unsigned bits) : bits_(bits) {
   limbs_.assign((bits + kLimbBits - 1) / kLimbBits, 0);
 }
 
+wide_uint wide_uint::internal_width(unsigned bits) {
+  // Bypasses the public 4096-bit cap: division needs one carry bit of
+  // working width even at the maximum client width.
+  wide_uint r;
+  r.bits_ = bits;
+  r.limbs_.assign((bits + kLimbBits - 1) / kLimbBits, 0);
+  return r;
+}
+
 wide_uint::wide_uint(unsigned bits, std::uint64_t value) : wide_uint(bits) {
   limbs_[0] = value;
   trim();
@@ -81,7 +90,7 @@ wide_uint wide_uint::operator^(const wide_uint& o) const {
 }
 
 wide_uint wide_uint::shl1() const {
-  wide_uint r(bits_);
+  wide_uint r = internal_width(bits_);  // divmod shifts at carry-headroom width
   std::uint64_t carry = 0;
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
     r.limbs_[i] = (limbs_[i] << 1) | carry;
@@ -122,7 +131,7 @@ wide_uint wide_uint::add(const wide_uint& o) const {
 
 wide_uint wide_uint::sub(const wide_uint& o) const {
   if (bits_ != o.bits_) throw std::invalid_argument("wide_uint: width mismatch");
-  wide_uint r(bits_);
+  wide_uint r = internal_width(bits_);  // divmod subtracts at carry-headroom width
   std::int64_t borrow = 0;
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
     const unsigned __int128 lhs = limbs_[i];
@@ -138,6 +147,84 @@ wide_uint wide_uint::sub(const wide_uint& o) const {
   }
   r.trim();
   return r;
+}
+
+wide_uint wide_uint::resized(unsigned new_bits) const {
+  wide_uint r(new_bits);
+  const std::size_t common = std::min(r.limbs_.size(), limbs_.size());
+  for (std::size_t i = 0; i < common; ++i) r.limbs_[i] = limbs_[i];
+  r.trim();
+  return r;
+}
+
+wide_uint wide_uint::mul(const wide_uint& o) const {
+  // Schoolbook limb products; partial sums above this width are dropped
+  // (mod 2^bits), so only the limbs that can land inside it are computed.
+  wide_uint r(bits_);
+  const std::size_t n = r.limbs_.size();
+  for (std::size_t i = 0; i < std::min(limbs_.size(), n); ++i) {
+    if (limbs_[i] == 0) continue;
+    unsigned __int128 carry = 0;
+    for (std::size_t j = 0; i + j < n; ++j) {
+      const std::uint64_t oj = j < o.limbs_.size() ? o.limbs_[j] : 0;
+      const unsigned __int128 cur =
+          static_cast<unsigned __int128>(limbs_[i]) * oj + r.limbs_[i + j] + carry;
+      r.limbs_[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+  }
+  r.trim();
+  return r;
+}
+
+wide_uint wide_uint::mul_u64(std::uint64_t s) const {
+  wide_uint r(bits_);
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const unsigned __int128 cur = static_cast<unsigned __int128>(limbs_[i]) * s + carry;
+    r.limbs_[i] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  r.trim();
+  return r;
+}
+
+wide_divmod wide_uint::divmod(const wide_uint& d) const {
+  if (d.is_zero()) throw std::domain_error("wide_uint: division by zero");
+  wide_divmod out{wide_uint(bits_), wide_uint(bits_)};
+  if (d.bits() > bits_ && d.resized(bits_).compare(d) != 0) {
+    // The divisor exceeds this width entirely: quotient 0, remainder = this.
+    out.rem = *this;
+    return out;
+  }
+  // Binary long division, MSB first.  The running remainder stays below
+  // 2*divisor, which can exceed 2^bits when the divisor's top bit is set —
+  // one spare bit of working width keeps the shift lossless.
+  wide_uint divisor = internal_width(bits_ + 1);
+  for (std::size_t i = 0; i < std::min(d.limbs_.size(), divisor.limbs_.size()); ++i) {
+    divisor.limbs_[i] = d.limbs_[i];
+  }
+  divisor.trim();  // d's value fits bits_ (checked above), so nothing is lost
+  wide_uint rem = internal_width(bits_ + 1);
+  for (unsigned i = bits_; i-- > 0;) {
+    rem = rem.shl1();
+    if (bit(i)) rem.limbs_[0] |= 1ULL;
+    if (rem >= divisor) {
+      rem = rem.sub(divisor);
+      out.quot.set_bit(i, true);
+    }
+  }
+  out.rem = rem.resized(bits_);
+  return out;
+}
+
+std::uint64_t wide_uint::mod_u64(std::uint64_t m) const {
+  if (m == 0) throw std::domain_error("wide_uint: division by zero");
+  unsigned __int128 rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 64) | limbs_[i]) % m;
+  }
+  return static_cast<std::uint64_t>(rem);
 }
 
 int wide_uint::compare(const wide_uint& o) const noexcept {

@@ -14,6 +14,8 @@
 
 namespace bpntt::math {
 
+struct wide_divmod;  // divmod()'s quotient/remainder pair, defined below
+
 class wide_uint {
  public:
   wide_uint() = default;
@@ -39,9 +41,26 @@ class wide_uint {
   [[nodiscard]] wide_uint shr1() const;
   [[nodiscard]] wide_uint shl(unsigned k) const;
 
+  // Width adjustment: zero-extends, or truncates mod 2^new_bits.  The
+  // mixed-width entry point for CRT work, where per-limb words, CRT terms
+  // and the lazily-reduced accumulator all live at different widths.
+  [[nodiscard]] wide_uint resized(unsigned new_bits) const;
+
   // Arithmetic mod 2^bits.
   [[nodiscard]] wide_uint add(const wide_uint& o) const;
   [[nodiscard]] wide_uint sub(const wide_uint& o) const;  // wraps on underflow
+
+  // Full schoolbook product reduced mod 2^bits (the result keeps this
+  // operand's width).  `o` may have any width.
+  [[nodiscard]] wide_uint mul(const wide_uint& o) const;
+  // Product by a machine word, mod 2^bits.
+  [[nodiscard]] wide_uint mul_u64(std::uint64_t s) const;
+
+  // Long division: quotient and remainder at this operand's width.  `d` may
+  // have any width; d == 0 throws std::domain_error.
+  [[nodiscard]] wide_divmod divmod(const wide_uint& d) const;
+  // Remainder by a machine word (m != 0; throws std::domain_error).
+  [[nodiscard]] std::uint64_t mod_u64(std::uint64_t m) const;
 
   [[nodiscard]] int compare(const wide_uint& o) const noexcept;  // -1/0/+1
   bool operator==(const wide_uint& o) const noexcept { return compare(o) == 0; }
@@ -60,9 +79,17 @@ class wide_uint {
 
  private:
   void trim() noexcept;  // clear bits above bits_
+  // Zero value at a width exempt from the public 4096-bit cap: division
+  // needs one carry bit of working headroom even at the maximum width.
+  [[nodiscard]] static wide_uint internal_width(unsigned bits);
 
   unsigned bits_ = 0;
   std::vector<std::uint64_t> limbs_;
+};
+
+struct wide_divmod {
+  wide_uint quot;
+  wide_uint rem;
 };
 
 }  // namespace bpntt::math

@@ -1,0 +1,81 @@
+#include "rns/rns_basis.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/bitutil.h"
+#include "nttmath/primes.h"
+
+namespace bpntt::rns {
+
+rns_basis::rns_basis(u64 n, std::vector<u64> primes) : n_(n), primes_(std::move(primes)) {
+  if (!common::is_power_of_two(n_) || n_ < 2) {
+    throw std::invalid_argument("rns_basis: n must be a power of two >= 2");
+  }
+  if (primes_.empty()) {
+    throw std::invalid_argument("rns_basis: the prime chain must not be empty");
+  }
+  unsigned sum_bits = 0;
+  for (std::size_t i = 0; i < primes_.size(); ++i) {
+    const u64 q = primes_[i];
+    if ((q & 1ULL) == 0 || !math::is_prime(q)) {
+      throw std::invalid_argument("rns_basis: limb " + std::to_string(i) + " modulus " +
+                                  std::to_string(q) + " is not an odd prime");
+    }
+    if (q >= (1ULL << 62)) {
+      throw std::invalid_argument("rns_basis: limb " + std::to_string(i) + " modulus " +
+                                  std::to_string(q) + " exceeds the word-sized limb range");
+    }
+    if ((q - 1) % (2 * n_) != 0) {
+      throw std::invalid_argument(
+          "rns_basis: limb " + std::to_string(i) + " prime " + std::to_string(q) +
+          " does not support negacyclic NTTs of size n = " + std::to_string(n_) +
+          " (needs q == 1 mod 2n)");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (primes_[j] == q) {
+        throw std::invalid_argument("rns_basis: duplicate prime " + std::to_string(q) +
+                                    " at limbs " + std::to_string(j) + " and " +
+                                    std::to_string(i) +
+                                    " (distinct primes are what makes the chain coprime)");
+      }
+    }
+    sum_bits += common::bit_length(q);
+  }
+
+  // First pass at the sum of limb widths to learn M's exact bit length,
+  // then settle the working width: the lazily-reduced CRT accumulator
+  // reaches k*M, and the double-and-add oracle wants m < 2^(bits-1).
+  math::wide_uint m(sum_bits, 1);
+  for (const u64 q : primes_) m = m.mul_u64(q);
+  modulus_bits_ = sum_bits;
+  while (modulus_bits_ > 1 && !m.bit(modulus_bits_ - 1)) --modulus_bits_;
+  unsigned lazy_bits = 0;
+  while ((1ULL << lazy_bits) < primes_.size()) ++lazy_bits;
+  wide_bits_ = modulus_bits_ + lazy_bits + 1;
+
+  modulus_ = m.resized(wide_bits_);
+  crt_terms_.reserve(primes_.size());
+  crt_weights_.reserve(primes_.size());
+  for (const u64 q : primes_) {
+    // M_i = M / q_i — the divmod path CRT reconstruction leans on (the
+    // remainder doubles as a sanity check that q_i really divides M).
+    const math::wide_divmod dm = modulus_.divmod(math::wide_uint(64, q));
+    if (!dm.rem.is_zero()) {
+      throw std::logic_error("rns_basis: internal error, limb prime does not divide M");
+    }
+    const u64 mi_mod_q = dm.quot.mod_u64(q);
+    const u64 weight = math::inv_mod(mi_mod_q, q);
+    if (weight == 0) {
+      throw std::logic_error("rns_basis: internal error, CRT term not invertible mod limb");
+    }
+    crt_terms_.push_back(dm.quot);
+    crt_weights_.push_back(weight);
+  }
+}
+
+rns_basis rns_basis::with_limb_bits(u64 n, unsigned limb_bits, unsigned limbs) {
+  return rns_basis(n, math::first_k_ntt_primes(limb_bits, n, limbs, /*negacyclic=*/true));
+}
+
+}  // namespace bpntt::rns

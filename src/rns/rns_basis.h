@@ -1,0 +1,76 @@
+// RNS basis: a chain of pairwise-coprime, NTT-friendly word-sized primes
+// standing in for one big modulus M = q_0 * q_1 * ... * q_{k-1}.
+//
+// BP-NTT's bit-parallel in-SRAM multiplier works on word-sized moduli, but
+// FHE-scale RLWE and big-integer polynomial multiplication need moduli far
+// wider than one machine word.  The residue number system bridges the gap:
+// arithmetic mod M decomposes into k independent channels of arithmetic
+// mod q_i (one word-sized NTT each — exactly what the hardware runs), and
+// the Chinese Remainder Theorem recombines the channels exactly.
+//
+// The basis owns everything the recombination needs, precomputed once over
+// nttmath/wide_uint:
+//   M      — the big modulus, at wide_bits() working width,
+//   M_i    — M / q_i (the CRT term of limb i),
+//   y_i    — (M_i)^-1 mod q_i (the CRT weight of limb i, a machine word),
+// so that x = sum_i (x_i * y_i mod q_i) * M_i (mod M).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nttmath/modarith.h"
+#include "nttmath/wide_uint.h"
+
+namespace bpntt::rns {
+
+using math::u64;
+
+class rns_basis {
+ public:
+  // An explicit chain for NTTs of size n (power of two).  Validates every
+  // limb — odd prime, q_i == 1 (mod 2n), no duplicates — with messages
+  // naming the offending limb.  Throws std::invalid_argument.
+  rns_basis(u64 n, std::vector<u64> primes);
+
+  // The chain of the first `limbs` NTT-friendly primes of exactly
+  // `limb_bits` bits (ascending), via math::first_k_ntt_primes.
+  [[nodiscard]] static rns_basis with_limb_bits(u64 n, unsigned limb_bits, unsigned limbs);
+
+  [[nodiscard]] u64 n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t limbs() const noexcept { return primes_.size(); }
+  [[nodiscard]] const std::vector<u64>& primes() const noexcept { return primes_; }
+  [[nodiscard]] u64 prime(std::size_t i) const { return primes_.at(i); }
+
+  // Exact bit length of M.
+  [[nodiscard]] unsigned modulus_bits() const noexcept { return modulus_bits_; }
+  // Working width every big coefficient uses: modulus_bits() plus the
+  // headroom the lazily-reduced CRT accumulator (< k*M) and the
+  // double-and-add oracle (m < 2^(bits-1)) need.
+  [[nodiscard]] unsigned wide_bits() const noexcept { return wide_bits_; }
+
+  // M, at wide_bits() width.
+  [[nodiscard]] const math::wide_uint& modulus() const noexcept { return modulus_; }
+  // M_i = M / q_i, at wide_bits() width.
+  [[nodiscard]] const math::wide_uint& crt_term(std::size_t i) const {
+    return crt_terms_.at(i);
+  }
+  // y_i = (M_i)^-1 mod q_i.
+  [[nodiscard]] u64 crt_weight(std::size_t i) const { return crt_weights_.at(i); }
+
+  // Residue of a big value in limb i's channel: x mod q_i.
+  [[nodiscard]] u64 mod_limb(const math::wide_uint& x, std::size_t i) const {
+    return x.mod_u64(primes_.at(i));
+  }
+
+ private:
+  u64 n_ = 0;
+  std::vector<u64> primes_;
+  unsigned modulus_bits_ = 0;
+  unsigned wide_bits_ = 0;
+  math::wide_uint modulus_;
+  std::vector<math::wide_uint> crt_terms_;
+  std::vector<u64> crt_weights_;
+};
+
+}  // namespace bpntt::rns

@@ -1,0 +1,100 @@
+#include "rns/rns_engine.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace bpntt::rns {
+
+rns_engine::rns_engine(runtime::context& ctx, rns_basis basis)
+    : ctx_(ctx), basis_(std::move(basis)) {
+  const auto& params = ctx_.options().params;
+  if (basis_.n() != params.n) {
+    throw std::invalid_argument("rns_engine: basis order n = " + std::to_string(basis_.n()) +
+                                " does not match the context ring's n = " +
+                                std::to_string(params.n));
+  }
+  // Open every limb stream now: an inadmissible limb prime (outside the
+  // backend's modulus envelope, say) fails here with the stream
+  // validation's precise message, and placement is settled before the
+  // first product.
+  for (const u64 q : basis_.primes()) (void)ctx_.rns_stream(q);
+}
+
+void rns_engine::require_limbs(const rns_poly& p, const char* what) const {
+  if (p.limbs() != basis_.limbs()) {
+    throw std::invalid_argument(std::string("rns_engine: ") + what + " carries " +
+                                std::to_string(p.limbs()) + " limbs for a basis of " +
+                                std::to_string(basis_.limbs()));
+  }
+}
+
+std::vector<std::vector<u64>> rns_engine::collect(const std::vector<runtime::job_id>& ids) {
+  // Flush the limb streams together so every limb group enters the ready
+  // queue before scheduling starts — that is what lets disjoint-channel
+  // groups overlap instead of trickling in one at a time.
+  for (const u64 q : basis_.primes()) ctx_.rns_stream(q).flush();
+  last_ = fanout_stats{};
+  std::vector<std::vector<u64>> outputs;
+  outputs.reserve(ids.size());
+  for (const runtime::job_id id : ids) {
+    runtime::job_result r = ctx_.wait(id);
+    // One dispatch group per limb: amortize the batch wall-clock over the
+    // jobs that rode in it so multi-job fan-outs do not double-count.
+    last_.serial_cycles += r.wall_cycles / r.jobs_in_batch;
+    ++last_.limb_jobs;
+    outputs.push_back(std::move(r.outputs.front()));
+  }
+  return outputs;
+}
+
+std::vector<math::wide_uint> rns_engine::polymul(const std::vector<math::wide_uint>& a,
+                                                 const std::vector<math::wide_uint>& b) {
+  return lift(polymul(lower(a), lower(b)));
+}
+
+rns_poly rns_engine::polymul(const rns_poly& a, const rns_poly& b) {
+  require_limbs(a, "polymul operand a");
+  require_limbs(b, "polymul operand b");
+  runtime::rns_polymul_job job;
+  job.primes = basis_.primes();
+  job.a = a.residues;
+  job.b = b.residues;
+  const runtime::rns_submission sub = ctx_.submit_rns(std::move(job));
+  rns_poly out;
+  out.residues = collect(sub.limb_ids);
+  return out;
+}
+
+rns_poly rns_engine::transform(const rns_poly& p, core::transform_dir dir, const char* what) {
+  require_limbs(p, what);
+  std::vector<runtime::job_id> ids;
+  ids.reserve(basis_.limbs());
+  for (std::size_t i = 0; i < basis_.limbs(); ++i) {
+    runtime::ntt_job j;
+    j.dir = dir;
+    j.coeffs = p.residues[i];
+    ids.push_back(ctx_.rns_stream(basis_.prime(i)).submit(std::move(j)));
+  }
+  rns_poly out;
+  out.residues = collect(ids);
+  return out;
+}
+
+rns_poly rns_engine::forward(const rns_poly& p) {
+  return transform(p, core::transform_dir::forward, "forward operand");
+}
+
+rns_poly rns_engine::inverse(const rns_poly& p) {
+  return transform(p, core::transform_dir::inverse, "inverse operand");
+}
+
+rns_poly rns_engine::lower(const std::vector<math::wide_uint>& coeffs) const {
+  return rns_decompose(coeffs, basis_);
+}
+
+std::vector<math::wide_uint> rns_engine::lift(const rns_poly& p) const {
+  return rns_recombine(p, basis_);
+}
+
+}  // namespace bpntt::rns

@@ -1,0 +1,85 @@
+// Big-modulus polynomial arithmetic on top of bpntt::runtime: one NTT
+// workload per RNS limb, fanned out across the chip.
+//
+// The engine owns the mapping from "one ring product mod M" to "k
+// independent word-sized ring products mod q_i" and back:
+//
+//   rns_engine eng(ctx, rns_basis::with_limb_bits(n, 14, 4));
+//   auto c = eng.polymul(a, b);   // a, b, c: canonical mod M, wide_uint
+//
+// Each limb rides the context's dedicated limb stream for its prime
+// (context::rns_stream), so placement is the stream scheduler's
+// topology-aware policy: on a multi-channel device every limb gets its own
+// channel and the limb dispatch groups genuinely overlap (combined
+// makespan below the serial per-limb sum); on a flat device the limb
+// groups fall back to back-to-back batched dispatch on the shared banks.
+// Either way outputs are bit-identical — the schedule only moves cycles.
+//
+// Forward/inverse transforms of residue-form polynomials fan out the same
+// way, so a caller staying in the residue domain (FHE-style pipelines: one
+// decompose, many products, one lift) pays the CRT exactly twice.
+#pragma once
+
+#include <vector>
+
+#include "rns/rns_basis.h"
+#include "rns/rns_poly.h"
+#include "runtime/context.h"
+
+namespace bpntt::rns {
+
+// Aggregate view of one limb fan-out, for benches and overlap tests:
+// serial_cycles is what the limbs would cost back-to-back, the context's
+// scheduler_stats::wall_cycles delta tells what they cost overlapped.
+struct fanout_stats {
+  u64 serial_cycles = 0;  // sum of per-limb dispatch wall-clocks
+  u64 limb_jobs = 0;      // runtime jobs the fan-out produced
+};
+
+class rns_engine {
+ public:
+  // The basis' order must match the context ring's n, and every limb prime
+  // must be admissible as a ring override (context::stream validates each
+  // on first use; the constructor validates eagerly so a bad pairing fails
+  // here, not at the first product).
+  rns_engine(runtime::context& ctx, rns_basis basis);
+
+  [[nodiscard]] const rns_basis& basis() const noexcept { return basis_; }
+  // Stats of the most recent fan-out (polymul/forward/inverse call).
+  [[nodiscard]] const fanout_stats& last_fanout() const noexcept { return last_; }
+
+  // c = a * b mod (x^n + 1, M).  Coefficients canonical mod M at
+  // basis().wide_bits() width; decomposes, fans out one word-sized product
+  // per limb, recombines exactly via CRT.
+  [[nodiscard]] std::vector<math::wide_uint> polymul(
+      const std::vector<math::wide_uint>& a, const std::vector<math::wide_uint>& b);
+
+  // Residue-domain product: same fan-out, no CRT at either end.
+  [[nodiscard]] rns_poly polymul(const rns_poly& a, const rns_poly& b);
+
+  // Per-limb forward/inverse NTT of a residue-form polynomial (forward:
+  // standard order in, bit-reversed out; inverse the converse — the golden
+  // transform's ordering contract, per limb).
+  [[nodiscard]] rns_poly forward(const rns_poly& p);
+  [[nodiscard]] rns_poly inverse(const rns_poly& p);
+
+  // The CRT ends, exposed for callers staying in residue form.
+  [[nodiscard]] rns_poly lower(const std::vector<math::wide_uint>& coeffs) const;
+  [[nodiscard]] std::vector<math::wide_uint> lift(const rns_poly& p) const;
+
+ private:
+  // Flush every limb stream (so the limb groups enter the scheduler
+  // together and can overlap), wait on the per-limb ids in chain order,
+  // and collect outputs + fan-out stats.
+  [[nodiscard]] std::vector<std::vector<u64>> collect(const std::vector<runtime::job_id>& ids);
+  // One per-limb ntt_job fan-out in the given direction.
+  [[nodiscard]] rns_poly transform(const rns_poly& p, core::transform_dir dir,
+                                   const char* what);
+  void require_limbs(const rns_poly& p, const char* what) const;
+
+  runtime::context& ctx_;
+  rns_basis basis_;
+  fanout_stats last_;
+};
+
+}  // namespace bpntt::rns

@@ -67,6 +67,15 @@ struct dispatch_hints {
   int priority = 0;
   u64 deadline_cycles = 0;  // 0 = no deadline
   std::vector<unsigned> bank_set;
+  // Ring override: run this batch at modulus ring_q instead of the
+  // configured ring modulus (0 = configured ring).  The polynomial order
+  // and tile width stay as configured; the context has already validated
+  // that ring_q is an NTT-friendly prime inside the backend's modulus
+  // envelope.  This is the RNS limb mechanism: each residue channel of a
+  // big-modulus workload dispatches at its own word-sized prime, and
+  // backends retarget (sram: per-modulus bank engines, cpu/reference:
+  // per-modulus twiddle tables) lazily and cache the result.
+  u64 ring_q = 0;
 };
 
 // Result of one scheduled batch.  wall_cycles is the batch's wall-clock in

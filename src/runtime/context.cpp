@@ -8,6 +8,7 @@
 
 #include "common/xoshiro.h"
 #include "crypto/rlwe.h"
+#include "nttmath/primes.h"
 
 namespace bpntt::runtime {
 
@@ -103,8 +104,36 @@ std::vector<unsigned> context::auto_bank_set(unsigned sid) const {
   return {(sid - 1) % banks};
 }
 
+namespace {
+
+// A ring-overridden (RNS limb) stream must name a modulus every backend
+// can retarget to: an odd prime supporting the full negacyclic transform
+// at the configured order, inside the modulus envelope the backend
+// advertised.  Checked at stream creation so a bad limb fails with a
+// precise message instead of a backend throw at dispatch time.
+void validate_ring_override(u64 q, const core::ntt_params& params, const backend_caps& caps) {
+  if ((q & 1ULL) == 0 || !math::is_prime(q)) {
+    throw std::invalid_argument("runtime: stream ring_q = " + std::to_string(q) +
+                                " must be an odd prime");
+  }
+  if ((q - 1) % (2 * params.n) != 0) {
+    throw std::invalid_argument("runtime: stream ring_q = " + std::to_string(q) +
+                                " does not support negacyclic NTTs of size n = " +
+                                std::to_string(params.n) + " (needs q == 1 mod 2n)");
+  }
+  const unsigned q_bits = static_cast<unsigned>(std::bit_width(q));
+  if (q_bits > caps.max_modulus_bits) {
+    throw std::invalid_argument("runtime: stream ring_q needs " + std::to_string(q_bits) +
+                                " bits but the backend's envelope is " +
+                                std::to_string(caps.max_modulus_bits) + " bits");
+  }
+}
+
+}  // namespace
+
 stream context::stream(stream_options sopts) {
   const unsigned resources = std::max(1u, caps_.banks());
+  if (sopts.ring_q != 0) validate_ring_override(sopts.ring_q, opts_.params, caps_);
   const unsigned sid = next_stream_id_++;
   stream_state ss;
   if (!sopts.bank_set.empty()) {
@@ -150,6 +179,14 @@ void context::close_stream(unsigned sid) {
   state_of(sid);        // precise throw for foreign/already-closed handles
   flush_stream(sid);    // nothing of the stream's may stay stuck in a queue
   streams_.erase(sid);  // in-flight groups carry their own hints; ids stay waitable
+  // If this was a dedicated limb stream, forget it so rns_stream() opens a
+  // fresh one instead of handing out a dangling id.
+  for (auto it = rns_streams_.begin(); it != rns_streams_.end(); ++it) {
+    if (it->second == sid) {
+      rns_streams_.erase(it);
+      break;
+    }
+  }
 }
 
 std::size_t context::stream_pending(unsigned sid) const { return state_of(sid).queue.size(); }
@@ -178,14 +215,13 @@ std::vector<unsigned> stream::bank_set() const { return bound().stream_bank_set(
 
 namespace {
 
-void require_ring_poly(const std::vector<u64>& coeffs, const core::ntt_params& p,
-                       const char* what) {
-  if (coeffs.size() != p.n) {
+void require_ring_poly(const std::vector<u64>& coeffs, u64 n, u64 q, const char* what) {
+  if (coeffs.size() != n) {
     throw std::invalid_argument(std::string("runtime: ") + what + " must have exactly n = " +
-                                std::to_string(p.n) + " coefficients");
+                                std::to_string(n) + " coefficients");
   }
   for (const u64 c : coeffs) {
-    if (c >= p.q) {
+    if (c >= q) {
       throw std::invalid_argument(std::string("runtime: ") + what +
                                   " coefficients must be canonical (< q)");
     }
@@ -203,13 +239,17 @@ job_id context::enqueue(unsigned sid, job j) {
 }
 
 job_id context::submit_ntt(unsigned sid, ntt_job j) {
-  require_ring_poly(j.coeffs, opts_.params, "ntt_job");
+  const stream_state& ss = state_of(sid);
+  const u64 q = ss.sopts.ring_q != 0 ? ss.sopts.ring_q : opts_.params.q;
+  require_ring_poly(j.coeffs, opts_.params.n, q, "ntt_job");
   return enqueue(sid, std::move(j));
 }
 
 job_id context::submit_polymul(unsigned sid, polymul_job j) {
-  require_ring_poly(j.a, opts_.params, "polymul_job.a");
-  require_ring_poly(j.b, opts_.params, "polymul_job.b");
+  const stream_state& ss = state_of(sid);
+  const u64 q = ss.sopts.ring_q != 0 ? ss.sopts.ring_q : opts_.params.q;
+  require_ring_poly(j.a, opts_.params.n, q, "polymul_job.a");
+  require_ring_poly(j.b, opts_.params.n, q, "polymul_job.b");
   if (!caps_.polymul) {
     throw std::invalid_argument(
         "runtime: this backend's capabilities exclude ring products at these parameters (the "
@@ -220,6 +260,11 @@ job_id context::submit_polymul(unsigned sid, polymul_job j) {
 
 job_id context::submit_rlwe(unsigned sid, rlwe_encrypt_job j) {
   const auto& p = opts_.params;
+  if (state_of(sid).sopts.ring_q != 0) {
+    throw std::invalid_argument(
+        "runtime: rlwe_encrypt_job is ring-specific and cannot run on a ring-overridden "
+        "(RNS limb) stream");
+  }
   if (j.message.size() != p.n) {
     throw std::invalid_argument("runtime: rlwe message must have exactly n bits");
   }
@@ -237,6 +282,62 @@ job_id context::submit_rlwe(unsigned sid, rlwe_encrypt_job j) {
 job_id context::submit(ntt_job j) { return submit_ntt(0, std::move(j)); }
 job_id context::submit(polymul_job j) { return submit_polymul(0, std::move(j)); }
 job_id context::submit(rlwe_encrypt_job j) { return submit_rlwe(0, std::move(j)); }
+
+// ---- RNS fan-out ------------------------------------------------------------
+
+stream context::rns_stream(u64 prime) {
+  if (prime == 0) {
+    throw std::invalid_argument("runtime: rns_stream needs a non-zero limb prime");
+  }
+  const auto it = rns_streams_.find(prime);
+  if (it != rns_streams_.end()) return runtime::stream(this, it->second);
+  stream_options sopts;
+  sopts.ring_q = prime;
+  runtime::stream s = stream(std::move(sopts));
+  rns_streams_.emplace(prime, s.id());
+  return s;
+}
+
+rns_submission context::submit_rns(rns_polymul_job j) {
+  const std::size_t limbs = j.primes.size();
+  if (limbs == 0) {
+    throw std::invalid_argument("runtime: rns_polymul_job needs at least one limb prime");
+  }
+  if (j.a.size() != limbs || j.b.size() != limbs) {
+    throw std::invalid_argument(
+        "runtime: rns_polymul_job carries " + std::to_string(j.a.size()) + "/" +
+        std::to_string(j.b.size()) + " residue polynomials for a chain of " +
+        std::to_string(limbs) + " primes");
+  }
+  for (std::size_t i = 0; i < limbs; ++i) {
+    for (std::size_t k = i + 1; k < limbs; ++k) {
+      if (j.primes[i] == j.primes[k]) {
+        throw std::invalid_argument("runtime: rns_polymul_job repeats limb prime " +
+                                    std::to_string(j.primes[i]) +
+                                    " (an RNS basis needs pairwise-coprime moduli)");
+      }
+    }
+  }
+  // Open (or reuse) every limb stream and validate every residue
+  // polynomial before enqueueing anything, so an invalid limb rejects the
+  // whole job instead of half of it.
+  std::vector<unsigned> sids(limbs);
+  for (std::size_t i = 0; i < limbs; ++i) {
+    sids[i] = rns_stream(j.primes[i]).id();
+    const std::string what = "rns_polymul_job limb " + std::to_string(i);
+    require_ring_poly(j.a[i], opts_.params.n, j.primes[i], (what + ".a").c_str());
+    require_ring_poly(j.b[i], opts_.params.n, j.primes[i], (what + ".b").c_str());
+  }
+
+  rns_submission sub;
+  sub.primes = std::move(j.primes);
+  sub.limb_ids.reserve(limbs);
+  for (std::size_t i = 0; i < limbs; ++i) {
+    sub.limb_ids.push_back(
+        submit_polymul(sids[i], polymul_job{std::move(j.a[i]), std::move(j.b[i])}));
+  }
+  return sub;
+}
 
 std::size_t context::pending() const noexcept {
   std::size_t n = 0;
@@ -280,6 +381,7 @@ std::shared_ptr<context::dispatch_group> context::build_group(unsigned sid) {
   g->hints.stream = sid;
   g->hints.priority = ss.sopts.priority;
   g->hints.deadline_cycles = ss.sopts.deadline_cycles;
+  g->hints.ring_q = ss.sopts.ring_q;
   // Non-banked backends get no bank subset (the pseudo-resource is a
   // scheduler fiction); banked backends are confined to the stream's banks.
   if (caps_.banks() != 0) g->hints.bank_set = ss.resources;

@@ -111,8 +111,26 @@ class context {
 
   // Open an independent in-order submission lane.  Bank placement is
   // topology-aware unless sopts.bank_set pins it explicitly; the handle
-  // stays valid for the context's lifetime.
+  // stays valid for the context's lifetime.  A non-zero sopts.ring_q opens
+  // a ring-overridden (RNS limb) stream; it is validated here: odd prime,
+  // full negacyclic support at the configured n, inside the backend's
+  // modulus envelope.
   [[nodiscard]] runtime::stream stream(stream_options sopts = {});
+
+  // The context-owned limb stream dedicated to one RNS limb prime
+  // (created with {.ring_q = prime} on first use, then reused — so every
+  // product of a multi-limb workload lands its limb i on the same lane and
+  // topology-aware placement spreads limbs across channels).  Same
+  // validation as stream() with an explicit ring_q.
+  [[nodiscard]] runtime::stream rns_stream(u64 prime);
+
+  // Fan one decomposed big-modulus ring product out as one polymul job per
+  // limb, each on its limb's dedicated stream (rns_stream).  Validates the
+  // chain (>= 1 distinct odd primes, per-limb residues canonical) and
+  // returns the per-limb job ids in chain order.  Like submit(), nothing
+  // executes until a flush; flushing the limb streams together is what
+  // lets a multi-channel topology overlap the limb dispatch groups.
+  rns_submission submit_rns(rns_polymul_job j);
 
   // Legacy single-queue surface: validate and enqueue on the default
   // stream; throws std::invalid_argument on jobs the configured ring or
@@ -215,6 +233,8 @@ class context {
   backend_caps caps_;
   // Client-thread state: per-stream queues and the id counters.
   std::map<unsigned, stream_state> streams_;
+  // Dedicated RNS limb streams, keyed by limb prime (lazily created).
+  std::map<u64, unsigned> rns_streams_;
   unsigned next_stream_id_ = 1;
   job_id next_id_ = 1;
   // Shared state, guarded by mu_: completion map, in-flight set, counters,

@@ -21,8 +21,23 @@ cpu_backend::cpu_backend(const runtime_options& opts)
   }
 }
 
-void cpu_backend::transform(std::vector<u64>& a, transform_dir dir) const {
-  if (itables_) {
+const cpu_backend::limb_ring& cpu_backend::ring_for(u64 ring_q) {
+  std::lock_guard<std::mutex> lk(retarget_mu_);
+  auto it = retarget_.find(ring_q);
+  if (it == retarget_.end()) {
+    limb_ring ring;
+    ring.tables = std::make_unique<math::ntt_tables>(params_.n, ring_q, /*negacyclic=*/true);
+    ring.fast = std::make_unique<math::fast_ntt>(*ring.tables);
+    it = retarget_.emplace(ring_q, std::move(ring)).first;
+  }
+  return it->second;
+}
+
+void cpu_backend::transform(std::vector<u64>& a, transform_dir dir,
+                            const limb_ring* limb) const {
+  if (limb != nullptr) {
+    dir == transform_dir::forward ? limb->fast->forward(a) : limb->fast->inverse(a);
+  } else if (itables_) {
     dir == transform_dir::forward ? math::incomplete_ntt_forward(a, *itables_)
                                   : math::incomplete_ntt_inverse(a, *itables_);
   } else if (fast_) {
@@ -33,7 +48,18 @@ void cpu_backend::transform(std::vector<u64>& a, transform_dir dir) const {
   }
 }
 
-std::vector<u64> cpu_backend::multiply(const core::polymul_pair& pair) const {
+std::vector<u64> cpu_backend::multiply(const core::polymul_pair& pair,
+                                       const limb_ring* limb) const {
+  if (limb != nullptr) {
+    std::vector<u64> a = pair.a;
+    std::vector<u64> b = pair.b;
+    limb->fast->forward(a);
+    limb->fast->forward(b);
+    std::vector<u64> c(a.size());
+    math::ntt_pointwise(a, b, c, limb->tables->q());
+    limb->fast->inverse(c);
+    return c;
+  }
   if (itables_) {
     std::vector<u64> a = pair.a;
     std::vector<u64> b = pair.b;
@@ -74,21 +100,26 @@ batch_result cpu_backend::finish(std::vector<std::vector<u64>> outputs, double s
 }
 
 batch_result cpu_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
-                                  transform_dir dir, const dispatch_hints&) {
+                                  transform_dir dir, const dispatch_hints& hints) {
+  // Resolve a ring override before the clock starts: retarget table
+  // construction is setup, not per-batch work.
+  const limb_ring* limb = hints.ring_q != 0 ? &ring_for(hints.ring_q) : nullptr;
   std::vector<std::vector<u64>> outputs = polys;
   const auto start = std::chrono::steady_clock::now();
   // Tables are immutable after construction, so jobs chunk freely across
   // the pool; each task owns its output slot.
-  parallel_for(pool_, outputs.size(), [&](std::size_t i) { transform(outputs[i], dir); });
+  parallel_for(pool_, outputs.size(), [&](std::size_t i) { transform(outputs[i], dir, limb); });
   const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
   return finish(std::move(outputs), elapsed.count());
 }
 
 batch_result cpu_backend::run_polymul(const std::vector<core::polymul_pair>& pairs,
-                                      const dispatch_hints&) {
+                                      const dispatch_hints& hints) {
+  const limb_ring* limb = hints.ring_q != 0 ? &ring_for(hints.ring_q) : nullptr;
   std::vector<std::vector<u64>> outputs(pairs.size());
   const auto start = std::chrono::steady_clock::now();
-  parallel_for(pool_, pairs.size(), [&](std::size_t i) { outputs[i] = multiply(pairs[i]); });
+  parallel_for(pool_, pairs.size(),
+               [&](std::size_t i) { outputs[i] = multiply(pairs[i], limb); });
   const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
   return finish(std::move(outputs), elapsed.count());
 }

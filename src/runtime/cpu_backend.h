@@ -9,7 +9,9 @@
 // methodology baselines::measure_cpu_ntt uses for the Table I row.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include "nttmath/fast_ntt.h"
 #include "nttmath/incomplete_ntt.h"
@@ -38,8 +40,19 @@ class cpu_backend final : public backend {
                            const dispatch_hints& hints) override;
 
  private:
-  void transform(std::vector<u64>& a, transform_dir dir) const;
-  [[nodiscard]] std::vector<u64> multiply(const core::polymul_pair& pair) const;
+  // Montgomery fast path for one ring-override modulus (RNS limb
+  // dispatches) — the same competitive software path the primary ring
+  // uses, built lazily and cached for the backend's lifetime.
+  struct limb_ring {
+    std::unique_ptr<math::ntt_tables> tables;
+    std::unique_ptr<math::fast_ntt> fast;
+  };
+  [[nodiscard]] const limb_ring& ring_for(u64 ring_q);
+
+  // `limb` selects a retargeted ring; nullptr = the primary configured ring.
+  void transform(std::vector<u64>& a, transform_dir dir, const limb_ring* limb) const;
+  [[nodiscard]] std::vector<u64> multiply(const core::polymul_pair& pair,
+                                          const limb_ring* limb) const;
   [[nodiscard]] batch_result finish(std::vector<std::vector<u64>> outputs,
                                     double seconds) const;
 
@@ -49,6 +62,9 @@ class cpu_backend final : public backend {
   std::unique_ptr<math::ntt_tables> tables_;
   std::unique_ptr<math::incomplete_ntt_tables> itables_;
   std::unique_ptr<math::fast_ntt> fast_;
+  // Concurrent dispatch groups may fault in different limb moduli at once.
+  std::mutex retarget_mu_;
+  std::map<u64, limb_ring> retarget_;
 };
 
 }  // namespace bpntt::runtime

@@ -22,6 +22,8 @@ namespace bpntt::runtime {
 using u64 = core::u64;
 using core::transform_dir;
 
+using job_id = std::uint64_t;
+
 // One n-point transform of `coeffs` (canonical residues).  Forward consumes
 // standard order and produces bit-reversed order; inverse is the converse —
 // the same ordering contract as the golden transform.
@@ -38,6 +40,27 @@ struct polymul_job {
   std::vector<u64> b;
 };
 
+// One big-modulus negacyclic ring product, already decomposed into residue
+// polynomials over a chain of pairwise-coprime NTT-friendly limb primes
+// (an RNS basis; see src/rns/).  Limb i is an independent word-sized
+// product a[i] * b[i] mod (x^n + 1, primes[i]): submit_rns() fans the
+// limbs out one stream per limb, so on a multi-channel topology the limb
+// dispatch groups genuinely overlap.  CRT recombination of the per-limb
+// results into big coefficients is the caller's (rns_engine's) job.
+struct rns_polymul_job {
+  std::vector<u64> primes;            // the limb moduli, ascending, distinct
+  std::vector<std::vector<u64>> a;    // a[i]: n residues, canonical mod primes[i]
+  std::vector<std::vector<u64>> b;    // b[i]: likewise
+};
+
+// Receipt of one submit_rns(): the per-limb polymul job ids, in the same
+// order as the job's prime chain.  Wait on each id (its result is that
+// limb's residue product) and recombine via CRT.
+struct rns_submission {
+  std::vector<u64> primes;
+  std::vector<job_id> limb_ids;
+};
+
 // End-to-end R-LWE public-key encryption of a {0,1} message polynomial.
 // Key generation, encryption and a decryption round-trip all run with ring
 // products routed through the executing backend.  Randomness is derived
@@ -48,8 +71,6 @@ struct rlwe_encrypt_job {
   unsigned eta = 2;
   u64 seed = 1;
 };
-
-using job_id = std::uint64_t;
 
 // Terminal state of a job.  A backend exception fails exactly the jobs of
 // the dispatch it occurred in; sibling dispatches of the same flush still

@@ -39,6 +39,19 @@ runtime_options runtime_options::for_param_set(const crypto::param_set& set) {
   return opts;
 }
 
+runtime_options runtime_options::for_rns_param_set(const crypto::rns_param_set& set) {
+  if (set.primes.empty()) {
+    throw std::invalid_argument("runtime_options: rns_param_set carries no limb primes");
+  }
+  runtime_options opts;
+  opts.params.n = set.n;
+  opts.params.q = set.primes.front();
+  opts.params.k = set.min_tile_bits;
+  opts.params.negacyclic = true;
+  opts.params.incomplete = false;
+  return opts;
+}
+
 void runtime_options::validate_threads(unsigned threads) {
   if (threads > 256) {
     throw std::invalid_argument("runtime_options: threads must be in [0, 256] (0 = auto)");

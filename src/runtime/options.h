@@ -126,6 +126,13 @@ struct runtime_options {
   // no full negacyclic NTT (standardized Kyber).
   [[nodiscard]] static runtime_options for_param_set(const crypto::param_set& set);
 
+  // Ring selection from a big-modulus (RNS) parameter set: the context
+  // ring hosts the chain's first limb and the tile width fits the widest
+  // limb, so every limb prime is admissible as a stream ring override.
+  // The caller still picks the topology — one channel per limb is what
+  // lets the limb dispatch groups overlap.
+  [[nodiscard]] static runtime_options for_rns_param_set(const crypto::rns_param_set& set);
+
   // Shared bound check for the executor pool size — called by validate()
   // and by the context constructors before the pool member is built.
   static void validate_threads(unsigned threads);

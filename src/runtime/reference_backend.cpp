@@ -13,15 +13,34 @@ reference_backend::reference_backend(const runtime_options& opts) : params_(opts
   }
 }
 
+const math::ntt_tables& reference_backend::tables_for(u64 ring_q) {
+  std::lock_guard<std::mutex> lk(retarget_mu_);
+  auto it = retarget_.find(ring_q);
+  if (it == retarget_.end()) {
+    it = retarget_
+             .emplace(ring_q, std::make_unique<math::ntt_tables>(params_.n, ring_q,
+                                                                 /*negacyclic=*/true))
+             .first;
+  }
+  return *it->second;
+}
+
 batch_result reference_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
-                                        transform_dir dir, const dispatch_hints&) {
+                                        transform_dir dir, const dispatch_hints& hints) {
   batch_result out;
   out.outputs = polys;
   out.waves = polys.empty() ? 0 : 1;
+  // Ring-overridden (RNS limb) dispatches always run the full negacyclic
+  // transform at the limb modulus; resolve the tables before the parallel
+  // region so pool tasks only ever read them.
+  const math::ntt_tables* limb = hints.ring_q != 0 ? &tables_for(hints.ring_q) : nullptr;
   // The golden tables are read-only; jobs chunk freely across the pool.
   parallel_for(pool_, out.outputs.size(), [&](std::size_t i) {
     auto& a = out.outputs[i];
-    if (itables_) {
+    if (limb != nullptr) {
+      dir == transform_dir::forward ? math::ntt_forward(a, *limb)
+                                    : math::ntt_inverse(a, *limb);
+    } else if (itables_) {
       dir == transform_dir::forward ? math::incomplete_ntt_forward(a, *itables_)
                                     : math::incomplete_ntt_inverse(a, *itables_);
     } else if (params_.negacyclic) {
@@ -36,13 +55,18 @@ batch_result reference_backend::run_ntt(const std::vector<std::vector<u64>>& pol
 }
 
 batch_result reference_backend::run_polymul(const std::vector<core::polymul_pair>& pairs,
-                                            const dispatch_hints&) {
+                                            const dispatch_hints& hints) {
   batch_result out;
   out.outputs.resize(pairs.size());
   out.waves = pairs.empty() ? 0 : 1;
+  const math::ntt_tables* limb = hints.ring_q != 0 ? &tables_for(hints.ring_q) : nullptr;
   parallel_for(pool_, pairs.size(), [&](std::size_t i) {
-    out.outputs[i] = itables_ ? math::polymul_incomplete(pairs[i].a, pairs[i].b, *itables_)
-                              : math::polymul_ntt(pairs[i].a, pairs[i].b, *tables_);
+    if (limb != nullptr) {
+      out.outputs[i] = math::polymul_ntt(pairs[i].a, pairs[i].b, *limb);
+    } else {
+      out.outputs[i] = itables_ ? math::polymul_incomplete(pairs[i].a, pairs[i].b, *itables_)
+                                : math::polymul_ntt(pairs[i].a, pairs[i].b, *tables_);
+    }
   });
   return out;
 }

@@ -5,7 +5,9 @@
 // need answers.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include "nttmath/incomplete_ntt.h"
 #include "nttmath/ntt.h"
@@ -32,9 +34,16 @@ class reference_backend final : public backend {
                            const dispatch_hints& hints) override;
 
  private:
+  // The full-negacyclic tables for one ring-override modulus (RNS limb
+  // dispatches), built lazily and cached for the backend's lifetime.
+  [[nodiscard]] const math::ntt_tables& tables_for(u64 ring_q);
+
   core::ntt_params params_;
   std::unique_ptr<math::ntt_tables> tables_;
   std::unique_ptr<math::incomplete_ntt_tables> itables_;
+  // Concurrent dispatch groups may fault in different limb moduli at once.
+  std::mutex retarget_mu_;
+  std::map<u64, std::unique_ptr<math::ntt_tables>> retarget_;
 };
 
 }  // namespace bpntt::runtime

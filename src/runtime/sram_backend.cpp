@@ -8,12 +8,38 @@
 
 namespace bpntt::runtime {
 
-sram_backend::sram_backend(const runtime_options& opts) : channels_(opts.topo.channels) {
+sram_backend::sram_backend(const runtime_options& opts)
+    : channels_(opts.topo.channels), bank_cfg_(opts.bank()), params_(opts.params) {
   const unsigned total = opts.topo.total_banks();
   banks_.reserve(total);
   for (unsigned b = 0; b < total; ++b) {
-    banks_.emplace_back(opts.bank(), opts.params);
+    banks_.emplace_back(bank_cfg_, params_);
   }
+}
+
+std::vector<core::bp_ntt_bank>& sram_backend::banks_for(u64 ring_q) {
+  if (ring_q == 0) return banks_;
+  // The primary banks satisfy a same-modulus override only when they
+  // already run the full negacyclic transform — an incomplete or cyclic
+  // primary ring must still retarget, or a ring-overridden dispatch would
+  // execute a different transform here than on the cpu/reference backends.
+  if (ring_q == params_.q && params_.negacyclic && !params_.incomplete) return banks_;
+  std::lock_guard<std::mutex> lk(retarget_mu_);
+  auto it = retarget_.find(ring_q);
+  if (it == retarget_.end()) {
+    // Retarget: same chip, same tile width, twiddles/constants recompiled
+    // for the limb prime.  The limb ring is always a full negacyclic ring
+    // (the context validated 2n | q-1 at stream creation).
+    core::ntt_params limb = params_;
+    limb.q = ring_q;
+    limb.negacyclic = true;
+    limb.incomplete = false;
+    std::vector<core::bp_ntt_bank> retargeted;
+    retargeted.reserve(banks_.size());
+    for (std::size_t b = 0; b < banks_.size(); ++b) retargeted.emplace_back(bank_cfg_, limb);
+    it = retarget_.emplace(ring_q, std::move(retargeted)).first;
+  }
+  return it->second;
 }
 
 backend_caps sram_backend::capabilities() const {
@@ -59,8 +85,9 @@ batch_result sram_backend::shard(std::size_t njobs, const dispatch_hints& hints,
   // Wave-width blocks round-robin over the subset: block b -> subset bank
   // b mod |subset|.  The assignment depends only on the subset, so a given
   // (jobs, bank_set) dispatch is deterministic at any pool size.
+  std::vector<core::bp_ntt_bank>& banks = banks_for(hints.ring_q);
   const std::vector<unsigned> set = resolve_bank_set(hints);
-  const unsigned block_width = std::max(1u, banks_[set.front()].lanes_per_wave());
+  const unsigned block_width = std::max(1u, banks[set.front()].lanes_per_wave());
   std::vector<std::vector<std::size_t>> assigned(set.size());
   std::size_t block = 0;
   for (std::size_t i = 0; i < njobs; i += block_width, ++block) {
@@ -77,7 +104,7 @@ batch_result sram_backend::shard(std::size_t njobs, const dispatch_hints& hints,
   // stat) deterministic regardless of pool size.
   std::vector<core::bank_run_result> per_bank(set.size());
   parallel_for(pool_, set.size(), [&](std::size_t s) {
-    if (!assigned[s].empty()) per_bank[s] = run_slice(banks_[set[s]], assigned[s]);
+    if (!assigned[s].empty()) per_bank[s] = run_slice(banks[set[s]], assigned[s]);
   });
 
   for (std::size_t s = 0; s < set.size(); ++s) {

@@ -12,6 +12,8 @@
 // concurrently — that is how the context overlaps independent streams.
 #pragma once
 
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "runtime/backend.h"
@@ -45,8 +47,22 @@ class sram_backend final : public backend {
   // every bank otherwise.
   [[nodiscard]] std::vector<unsigned> resolve_bank_set(const dispatch_hints& hints) const;
 
+  // The bank array a dispatch executes on: the primary banks, or — for a
+  // ring-overridden (RNS limb) dispatch — the retargeted bank array for
+  // that modulus.  Retargeting models reloading the CTRL/CMD subarray's
+  // twiddle words for a different prime: same geometry, same tile width,
+  // different microcode constants.  Built lazily per modulus and cached;
+  // the scheduler's disjoint bank-id reservations keep a bank id exclusive
+  // across every array, so retargeted banks never run concurrently with
+  // their primary twin.
+  [[nodiscard]] std::vector<core::bp_ntt_bank>& banks_for(u64 ring_q);
+
   unsigned channels_ = 1;
+  core::bank_config bank_cfg_;
+  core::ntt_params params_;
   std::vector<core::bp_ntt_bank> banks_;
+  std::mutex retarget_mu_;
+  std::map<u64, std::vector<core::bp_ntt_bank>> retarget_;
 };
 
 }  // namespace bpntt::runtime

@@ -41,6 +41,14 @@ struct stream_options {
   // gets one channel's banks, on a flat multi-bank device one bank,
   // round-robin by stream id.
   std::vector<unsigned> bank_set;
+  // Ring override: every job on this stream runs at this word-sized
+  // modulus instead of the context ring's (0 = context ring).  The order n
+  // and tile width stay as configured.  This is how an RNS limb stream
+  // carries its residue channel: context::stream() validates the modulus
+  // (odd prime, full negacyclic support at n, inside the backend's
+  // envelope) and submissions validate coefficients against it.  R-LWE
+  // jobs are ring-specific and are rejected on overridden streams.
+  u64 ring_q = 0;
 };
 
 class stream {

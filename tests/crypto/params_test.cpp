@@ -51,6 +51,28 @@ TEST(Params, HeLevelsAreNttFriendlyPrimes) {
   }
 }
 
+TEST(Params, RnsPresetsCarryValidCoprimeChains) {
+  for (const auto& set : all_rns_param_sets()) {
+    SCOPED_TRACE(set.name);
+    EXPECT_GE(set.primes.size(), 2u);
+    for (std::size_t i = 0; i < set.primes.size(); ++i) {
+      EXPECT_TRUE(math::is_prime(set.primes[i])) << "limb " << i;
+      EXPECT_EQ((set.primes[i] - 1) % (2 * set.n), 0u) << "limb " << i;
+      if (i > 0) EXPECT_GT(set.primes[i], set.primes[i - 1]);
+      EXPECT_GE(set.min_tile_bits, required_tile_bits(set.primes[i]));
+    }
+    // The chain reaches a modulus no single word-sized limb can: the
+    // leveled-RLWE point (>= 60 bits from 2x30-bit limbs upward).
+    EXPECT_GE(set.modulus_bits(), 60u);
+  }
+  // he_rns_level is the parameterized entry behind the presets.
+  const auto p = he_rns_level(20, 3, 256);
+  EXPECT_EQ(p.n, 256u);
+  EXPECT_EQ(p.primes.size(), 3u);
+  EXPECT_EQ(p.min_tile_bits, required_tile_bits(p.primes.back()));
+  EXPECT_GE(p.modulus_bits(), 58u);
+}
+
 TEST(Params, PaperCapacityClaimCoverage) {
   // §I: BP-NTT covers PQC (256/1024-point, 14-32 bit) and HE (1024-point,
   // 16/21/29-bit) — every set must fit a 256x256 array's 16 tile columns

@@ -72,5 +72,46 @@ TEST(Primes, NttFriendlyPrimeRejectsBadWidth) {
   EXPECT_THROW(ntt_friendly_prime(63, 256), std::runtime_error);
 }
 
+TEST(Primes, FirstKNttPrimesBuildsAscendingDistinctChains) {
+  for (const unsigned k : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "k=" << k);
+    const auto chain = first_k_ntt_primes(20, 256, k);
+    ASSERT_EQ(chain.size(), k);
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      EXPECT_TRUE(is_prime(chain[i])) << "limb " << i;
+      EXPECT_EQ((chain[i] - 1) % 512, 0u) << "limb " << i;
+      EXPECT_GE(chain[i], 1ULL << 19);
+      EXPECT_LT(chain[i], 1ULL << 20);
+      if (i > 0) EXPECT_GT(chain[i], chain[i - 1]) << "not ascending at limb " << i;
+    }
+  }
+  // The first limb is exactly the single-prime search's answer.
+  EXPECT_EQ(first_k_ntt_primes(20, 256, 1).front(), ntt_friendly_prime(20, 256));
+}
+
+TEST(Primes, FirstKNttPrimesReportsShortfallPrecisely) {
+  // 12-bit primes with q == 1 (mod 2048): the window [2048, 4096) holds
+  // none, and the error says so with the search parameters.
+  try {
+    (void)first_k_ntt_primes(12, 1024, 2);
+    FAIL() << "impossible chain accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("only 0 of 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("12 bits"), std::string::npos) << what;
+    EXPECT_NE(what.find("mod 2048"), std::string::npos) << what;
+  }
+  // A window with some but not enough primes names the count it found.
+  try {
+    (void)first_k_ntt_primes(14, 2048, 16);
+    FAIL() << "oversized chain accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(" of 16"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW((void)first_k_ntt_primes(1, 256, 1), std::runtime_error);
+  EXPECT_THROW((void)first_k_ntt_primes(63, 256, 1), std::runtime_error);
+  EXPECT_THROW((void)first_k_ntt_primes(20, 256, 0), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace bpntt::math

@@ -120,5 +120,126 @@ TEST(WideUint, RejectsBadWidths) {
   EXPECT_THROW(wide_uint(5000), std::invalid_argument);
 }
 
+// ---- mul / divmod (the CRT reconstruction arithmetic) ----------------------
+
+TEST(WideUint, ResizedExtendsAndTruncates) {
+  const wide_uint w(64, 0xFFFF0000FFFF0000ULL);
+  EXPECT_EQ(w.resized(128).low64(), 0xFFFF0000FFFF0000ULL);
+  EXPECT_EQ(w.resized(128).bits(), 128u);
+  EXPECT_EQ(w.resized(16).low64(), 0x0000u);  // truncation keeps the low bits
+  EXPECT_EQ(w.resized(20).low64(), 0xF0000u);
+  // Extending never invents bits above the old width.
+  EXPECT_FALSE(w.resized(128).bit(64));
+}
+
+TEST(WideUint, MulMatchesU128OracleIncludingMixedWidths) {
+  common::xoshiro256ss rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const u64 a = rng(), b = rng();
+    const u128 full = static_cast<u128>(a) * b;
+    // 192-bit result holds the full 128-bit product; operand widths differ.
+    const wide_uint prod = wide_uint(192, a).mul(wide_uint(64, b));
+    EXPECT_EQ(prod.low64(), static_cast<u64>(full));
+    wide_uint hi = prod;
+    for (int s = 0; s < 64; ++s) hi = hi.shr1();
+    EXPECT_EQ(hi.low64(), static_cast<u64>(full >> 64));
+  }
+}
+
+TEST(WideUint, MulTruncatesModPow2AndHandlesCarryEdges) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1: full carry propagation across limbs.
+  const wide_uint max64(128, ~0ULL);
+  const wide_uint sq = max64.mul(max64);
+  EXPECT_EQ(sq.low64(), 1u);
+  wide_uint hi = sq;
+  for (int s = 0; s < 64; ++s) hi = hi.shr1();
+  EXPECT_EQ(hi.low64(), ~0ULL - 1);  // 2^64 - 2
+  // Truncating width: the same product at 64 bits keeps only the low limb.
+  const wide_uint sq64 = wide_uint(64, ~0ULL).mul(wide_uint(64, ~0ULL));
+  EXPECT_EQ(sq64.low64(), 1u);
+}
+
+TEST(WideUint, MulWithZeroLimbsInTheMiddle) {
+  // a = 2^128 + 3 (limb 1 is zero), b = 2^64 + 1: zero inner limbs must
+  // not derail the carry chain.
+  wide_uint a(256, 3);
+  a.set_bit(128, true);
+  wide_uint b(256, 1);
+  b.set_bit(64, true);
+  const wide_uint p = a.mul(b);  // 2^192 + 2^128 + 3*2^64 + 3
+  EXPECT_TRUE(p.bit(192));
+  EXPECT_TRUE(p.bit(128));
+  EXPECT_EQ(p.low64(), 3u);
+  wide_uint mid = p;
+  for (int s = 0; s < 64; ++s) mid = mid.shr1();
+  EXPECT_EQ(mid.low64(), 3u);
+}
+
+TEST(WideUint, DivmodReconstructsDividend) {
+  common::xoshiro256ss rng(88);
+  for (int i = 0; i < 50; ++i) {
+    wide_uint a(192);
+    for (unsigned b = 0; b < 192; ++b) a.set_bit(b, rng() & 1ULL);
+    // Mixed widths: a 64-bit divisor against a 192-bit dividend.
+    const wide_uint d(64, rng() | 1ULL);
+    const wide_divmod dm = a.divmod(d);
+    EXPECT_TRUE(dm.rem < d.resized(192));
+    // quot * d + rem == a (all at 192 bits; the product cannot overflow).
+    const wide_uint back = dm.quot.mul(d).add(dm.rem);
+    EXPECT_TRUE(back == a) << "iteration " << i;
+  }
+}
+
+TEST(WideUint, DivmodEdgeCases) {
+  const wide_uint a(128, 12345);
+  // Division by 1: quotient = dividend, remainder = 0.
+  const auto by_one = a.divmod(wide_uint(8, 1));
+  EXPECT_TRUE(by_one.quot == a);
+  EXPECT_TRUE(by_one.rem.is_zero());
+  // Division by self: quotient 1, remainder 0.
+  const auto by_self = a.divmod(a);
+  EXPECT_EQ(by_self.quot.low64(), 1u);
+  EXPECT_TRUE(by_self.rem.is_zero());
+  // Divisor wider than the dividend's width and larger in value: quot 0.
+  wide_uint huge(256);
+  huge.set_bit(200, true);
+  const auto by_huge = a.divmod(huge);
+  EXPECT_TRUE(by_huge.quot.is_zero());
+  EXPECT_TRUE(by_huge.rem == a);
+  // Zero dividend.
+  const auto zero = wide_uint(128).divmod(a);
+  EXPECT_TRUE(zero.quot.is_zero());
+  EXPECT_TRUE(zero.rem.is_zero());
+  // Division by zero throws.
+  EXPECT_THROW((void)a.divmod(wide_uint(64)), std::domain_error);
+  EXPECT_THROW((void)a.mod_u64(0), std::domain_error);
+}
+
+TEST(WideUint, DivmodWithTopBitSetDivisor) {
+  // The carry-edge case: a divisor with its top bit set at the dividend's
+  // width (2*divisor would overflow the nominal width mid-division).
+  wide_uint a(64, ~0ULL);       // 2^64 - 1
+  wide_uint d(64, 1ULL << 63);  // 2^63
+  const auto dm = a.divmod(d);
+  EXPECT_EQ(dm.quot.low64(), 1u);
+  EXPECT_EQ(dm.rem.low64(), (1ULL << 63) - 1);
+}
+
+TEST(WideUint, ModU64MatchesScalarOracle) {
+  common::xoshiro256ss rng(99);
+  for (int i = 0; i < 100; ++i) {
+    const u64 lo = rng(), hi = rng();
+    const u64 m = (rng() | 1ULL) >> 1;
+    wide_uint a(192, lo);
+    for (unsigned b = 0; b < 64; ++b) a.set_bit(64 + b, (hi >> b) & 1ULL);
+    const u128 value = (static_cast<u128>(hi) << 64) | lo;
+    EXPECT_EQ(a.mod_u64(m), static_cast<u64>(value % m));
+  }
+  // Zero-limb edge: a value whose low limb is zero.
+  wide_uint a(128);
+  a.set_bit(64, true);  // 2^64
+  EXPECT_EQ(a.mod_u64(10), 6u);  // 18446744073709551616 mod 10
+}
+
 }  // namespace
 }  // namespace bpntt::math
