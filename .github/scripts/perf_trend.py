@@ -1,18 +1,36 @@
 #!/usr/bin/env python3
-"""Advisory perf-trend check for the BENCH_table1.json artifact.
+"""Advisory perf-trend check for the bench JSON artifacts.
 
-Compares the current run's measured in-SRAM rows against the previous
-successful run's artifact and emits GitHub warning annotations when the
-cycle-derived latency regresses by more than the threshold.  Strictly
-non-fatal: every path — missing previous artifact, schema drift, genuine
-regression — exits 0; the signal is the annotation, not the job status.
+Compares the current run's measured rows against the previous successful
+run's artifacts and emits GitHub warning annotations when a cycle-derived
+metric regresses by more than the threshold:
 
-Usage: perf_trend.py <previous.json> <current.json>
+  * BENCH_table1.json     — measured in-SRAM rows, latency_us per row
+  * BENCH_rns_bigmul.json — RNS limb sweep, makespan_cycles per limb count
+
+Strictly non-fatal: every path — missing previous artifact, schema drift,
+genuine regression — exits 0; the signal is the annotation, not the job
+status.
+
+Usage: perf_trend.py <previous_table1.json> <current_table1.json>
+                     [<previous_rns_bigmul.json> <current_rns_bigmul.json>]
 """
 import json
 import sys
 
 THRESHOLD = 0.10  # warn past +10%
+
+
+def load(path, required):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        if required:
+            print(f"::warning::perf-trend: current bench JSON unreadable ({e})")
+        else:
+            print(f"perf-trend: no usable previous artifact ({e}); skipping comparison")
+        return None
 
 
 def sram_rows(doc):
@@ -27,45 +45,57 @@ def sram_rows(doc):
     return rows
 
 
-def main():
-    if len(sys.argv) != 3:
-        print("usage: perf_trend.py <previous.json> <current.json>")
-        return 0
-    try:
-        with open(sys.argv[1]) as f:
-            prev = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"perf-trend: no usable previous artifact ({e}); skipping comparison")
-        return 0
-    try:
-        with open(sys.argv[2]) as f:
-            cur = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"::warning::perf-trend: current bench JSON unreadable ({e})")
-        return 0
+def rns_rows(doc):
+    """'N limbs' -> makespan_cycles for the RNS big-modulus limb sweep."""
+    rows = {}
+    for row in doc.get("rows", []):
+        makespan = row.get("makespan_cycles")
+        limbs = row.get("limbs")
+        if isinstance(makespan, (int, float)) and makespan > 0 and limbs is not None:
+            rows[f"{limbs} limbs"] = float(makespan)
+    return rows
 
-    prev_rows, cur_rows = sram_rows(prev), sram_rows(cur)
+
+def compare(label, unit, prev_rows, cur_rows):
+    """Print the per-row trend, emitting a warning annotation per regression."""
     if not prev_rows or not cur_rows:
-        print("perf-trend: no measured in-SRAM rows to compare; skipping")
-        return 0
-
+        print(f"perf-trend[{label}]: no comparable rows; skipping")
+        return
     regressions = 0
-    for name, cur_lat in sorted(cur_rows.items()):
-        prev_lat = prev_rows.get(name)
-        if prev_lat is None:
-            print(f"perf-trend: new row '{name}' ({cur_lat:.3g} us), no baseline")
+    for name, cur in sorted(cur_rows.items()):
+        prev = prev_rows.get(name)
+        if prev is None:
+            print(f"perf-trend[{label}]: new row '{name}' ({cur:.4g} {unit}), no baseline")
             continue
-        delta = cur_lat / prev_lat - 1.0
+        delta = cur / prev - 1.0
         verdict = "regressed" if delta > THRESHOLD else "ok"
-        print(f"perf-trend: {name}: {prev_lat:.4g} -> {cur_lat:.4g} us "
+        print(f"perf-trend[{label}]: {name}: {prev:.4g} -> {cur:.4g} {unit} "
               f"({delta:+.1%}) {verdict}")
         if delta > THRESHOLD:
             regressions += 1
-            print(f"::warning title=sram cycle regression::{name}: in-SRAM latency "
-                  f"{prev_lat:.4g} us -> {cur_lat:.4g} us ({delta:+.1%}, threshold "
-                  f"+{THRESHOLD:.0%}) vs the previous run's BENCH_table1.json")
+            print(f"::warning title={label} cycle regression::{name}: "
+                  f"{prev:.4g} {unit} -> {cur:.4g} {unit} ({delta:+.1%}, threshold "
+                  f"+{THRESHOLD:.0%}) vs the previous run's artifact")
     if regressions == 0:
-        print("perf-trend: all measured in-SRAM rows within threshold")
+        print(f"perf-trend[{label}]: all rows within threshold")
+
+
+def main():
+    if len(sys.argv) not in (3, 5):
+        print("usage: perf_trend.py <previous_table1> <current_table1> "
+              "[<previous_rns_bigmul> <current_rns_bigmul>]")
+        return 0
+
+    prev = load(sys.argv[1], required=False)
+    cur = load(sys.argv[2], required=True)
+    if prev is not None and cur is not None:
+        compare("sram table1", "us", sram_rows(prev), sram_rows(cur))
+
+    if len(sys.argv) == 5:
+        prev_rns = load(sys.argv[3], required=False)
+        cur_rns = load(sys.argv[4], required=True)
+        if prev_rns is not None and cur_rns is not None:
+            compare("rns bigmul", "cyc", rns_rows(prev_rns), rns_rows(cur_rns))
     return 0  # advisory by design
 
 

@@ -1,0 +1,202 @@
+// RNS modulus switching (rescale): limb-count sweep.
+//
+// One leveled-multiply step — big-modulus negacyclic product, then the
+// exact divide-and-round by the dropped limb prime — runs per limb count.
+// The sweep reports, per chain length: the modulus before and after the
+// switch, the measured makespan of the fused modswitch_polymul (virtual-
+// timeline wall_cycles), and the operand-cache effect of repeating the
+// product with a warm cache (a fixed multiplicand's forward transforms are
+// served from the NTT-domain cache, so the warm makespan drops).
+//
+// Every run is verified against the wide_uint divide-and-round oracle
+// before its row is printed, so a rounding or scheduling bug cannot emit a
+// plausible row.
+//
+// Usage: bench_rescale [--json <path>] [--limbs <max>]
+//   --json   also emit the sweep as JSON (CI perf artifact, conventionally
+//            BENCH_rescale.json)
+//   --limbs  largest chain length to sweep (default 4, min 2)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/xoshiro.h"
+#include "rns/rns_engine.h"
+#include "runtime/context.h"
+
+namespace {
+
+using bpntt::math::wide_uint;
+
+// The sweep's ring: n = 128 keeps the in-array product pipeline inside the
+// default 256-row subarray (2n rows per lane), 14-bit limbs match the
+// paper's PQC tile class.
+constexpr unsigned kOrder = 128;
+constexpr unsigned kLimbBits = 14;
+constexpr unsigned kTileBits = 15;
+
+std::vector<wide_uint> random_big_poly(const bpntt::rns::rns_basis& basis,
+                                       bpntt::common::xoshiro256ss& rng) {
+  std::vector<wide_uint> poly;
+  poly.reserve(kOrder);
+  for (unsigned i = 0; i < kOrder; ++i) {
+    wide_uint c(basis.wide_bits());
+    for (unsigned b = 0; b < basis.modulus_bits(); ++b) c.set_bit(b, rng() & 1ULL);
+    poly.push_back(c.divmod(basis.modulus()).rem);  // canonicalize < M
+  }
+  return poly;
+}
+
+struct sweep_row {
+  unsigned limbs = 0;
+  unsigned modulus_bits = 0;
+  unsigned rescaled_bits = 0;
+  bpntt::core::u64 cold_cycles = 0;  // first modswitch_polymul (cache cold)
+  bpntt::core::u64 warm_cycles = 0;  // repeat with cached operand transforms
+  bpntt::core::u64 cache_hits = 0;   // operand-cache hits the repeat produced
+  double warm_saving = 0.0;          // 1 - warm / cold
+};
+
+sweep_row run_one(unsigned limbs) {
+  using namespace bpntt;
+  const auto basis = rns::rns_basis::with_limb_bits(kOrder, kLimbBits, limbs);
+
+  const auto opts = runtime::runtime_options()
+                        .with_ring(kOrder, basis.prime(0), kTileBits)
+                        .with_backend(runtime::backend_kind::sram)
+                        .with_topology(/*channels=*/limbs, /*banks_per_channel=*/1,
+                                       /*subarrays=*/4)
+                        .with_threads(limbs);
+  runtime::context ctx(opts);
+  rns::rns_engine eng(ctx, basis);
+
+  common::xoshiro256ss rng(4242 + limbs);
+  const auto a = random_big_poly(eng.basis(), rng);
+  const auto b = random_big_poly(eng.basis(), rng);
+
+  const auto cold_start = ctx.stats();
+  const auto c = eng.modswitch_polymul(a, b);
+  const auto cold_end = ctx.stats();
+
+  // The oracle: schoolbook product, wide divround by the dropped prime,
+  // reduce into the smaller modulus.
+  const auto product = rns::schoolbook_negacyclic_wide(a, b, basis.modulus());
+  const auto& dropped = eng.dropped_basis();
+  const wide_uint q_drop(64, basis.prime(basis.limbs() - 1));
+  for (unsigned i = 0; i < kOrder; ++i) {
+    const wide_uint expect =
+        product[i].divround(q_drop).divmod(dropped.modulus()).rem.resized(
+            dropped.wide_bits());
+    if (!(c[i] == expect)) {
+      throw std::runtime_error("rescale: limb sweep k=" + std::to_string(limbs) +
+                               " disagrees with the divround oracle at coefficient " +
+                               std::to_string(i));
+    }
+  }
+
+  // The repeat: identical operands, warm NTT-domain cache.
+  const auto warm_start = ctx.stats();
+  const auto c2 = eng.modswitch_polymul(a, b);
+  const auto warm_end = ctx.stats();
+  for (unsigned i = 0; i < kOrder; ++i) {
+    if (!(c2[i] == c[i])) {
+      throw std::runtime_error("rescale: warm repeat k=" + std::to_string(limbs) +
+                               " changed the result at coefficient " + std::to_string(i));
+    }
+  }
+
+  sweep_row row;
+  row.limbs = limbs;
+  row.modulus_bits = basis.modulus_bits();
+  row.rescaled_bits = dropped.modulus_bits();
+  row.cold_cycles = cold_end.wall_cycles - cold_start.wall_cycles;
+  row.warm_cycles = warm_end.wall_cycles - warm_start.wall_cycles;
+  row.cache_hits = warm_end.operand_cache_hits - warm_start.operand_cache_hits;
+  row.warm_saving = row.cold_cycles == 0
+                        ? 0.0
+                        : 1.0 - static_cast<double>(row.warm_cycles) /
+                                    static_cast<double>(row.cold_cycles);
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<sweep_row>& rows) {
+  std::string out = "{\n  \"bench\": \"rescale\",\n  \"n\": " + std::to_string(kOrder) +
+                    ",\n  \"limb_bits\": " + std::to_string(kLimbBits) + ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"limbs\": %u, \"modulus_bits\": %u, \"rescaled_bits\": %u, "
+                  "\"cold_cycles\": %llu, \"warm_cycles\": %llu, \"cache_hits\": %llu, "
+                  "\"warm_saving\": %.4f}",
+                  rows[i].limbs, rows[i].modulus_bits, rows[i].rescaled_bits,
+                  static_cast<unsigned long long>(rows[i].cold_cycles),
+                  static_cast<unsigned long long>(rows[i].warm_cycles),
+                  static_cast<unsigned long long>(rows[i].cache_hits), rows[i].warm_saving);
+    out += buf;
+    out += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("rescale: cannot open --json path " + path);
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %zu JSON bytes to %s\n", out.size(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  unsigned max_limbs = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--limbs") == 0 && i + 1 < argc) {
+      max_limbs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (max_limbs < 2 || max_limbs > 16) {
+        std::fprintf(stderr, "rescale: --limbs must be in [2, 16]\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--limbs <max>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("=== RNS modulus switching (multiply + rescale), %u-point ring, %u-bit limbs "
+              "===\n\n",
+              kOrder, kLimbBits);
+
+  std::vector<sweep_row> rows;
+  for (unsigned limbs = 2; limbs <= max_limbs; ++limbs) {
+    rows.push_back(run_one(limbs));
+  }
+
+  bpntt::common::text_table table({"Limbs", "Modulus", "Rescaled", "Cold(cyc)", "Warm(cyc)",
+                                   "Cache hits", "Warm saved"});
+  for (const auto& r : rows) {
+    char saved[32];
+    std::snprintf(saved, sizeof saved, "%.1f%%", 100.0 * r.warm_saving);
+    table.add_row({std::to_string(r.limbs), std::to_string(r.modulus_bits) + "b",
+                   std::to_string(r.rescaled_bits) + "b", std::to_string(r.cold_cycles),
+                   std::to_string(r.warm_cycles), std::to_string(r.cache_hits), saved});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nevery row verified against the wide_uint divide-and-round oracle\n");
+
+  if (!json_path.empty()) write_json(json_path, rows);
+
+  // A warm repeat that fails to beat the cold run means the operand cache
+  // stopped shortcutting transforms; keep the bench honest in CI smoke runs.
+  bool cache_won = true;
+  for (const auto& r : rows) {
+    cache_won = cache_won && r.cache_hits > 0 && r.warm_cycles < r.cold_cycles;
+  }
+  return cache_won ? 0 : 1;
+}

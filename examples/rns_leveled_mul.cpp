@@ -1,0 +1,124 @@
+// Leveled multiplication with RNS modulus switching: the walkthrough.
+//
+// A leveled HE pipeline multiplies, then *rescales*: every product is
+// divided (with exact rounding) by the chain's last limb prime, dropping
+// one limb — one level — per multiply.  This walk actually consumes the
+// levels of an he_rns_level parameter set: a ciphertext-shaped polynomial
+// enters at the full 4-limb modulus and is multiplied down the chain by a
+// fixed evaluation key until one limb remains, each step verified against
+// the wide_uint divide-and-round oracle.
+//
+// The fixed key is also where the NTT-domain operand cache earns its keep:
+// its forward transform per limb is computed once and served from the
+// cache on every later product at that level — watch operand_cache_hits.
+#include <cstdio>
+#include <vector>
+
+#include "common/xoshiro.h"
+#include "crypto/params.h"
+#include "rns/rns_engine.h"
+#include "runtime/context.h"
+
+namespace {
+
+using bpntt::math::wide_uint;
+
+constexpr unsigned kOrder = 128;
+constexpr unsigned kLimbBits = 14;
+constexpr unsigned kLimbs = 4;
+
+std::vector<wide_uint> random_canonical(const bpntt::rns::rns_basis& basis,
+                                        bpntt::common::xoshiro256ss& rng) {
+  std::vector<wide_uint> poly;
+  poly.reserve(kOrder);
+  for (unsigned i = 0; i < kOrder; ++i) {
+    wide_uint c(basis.wide_bits());
+    for (unsigned b = 0; b < basis.modulus_bits(); ++b) c.set_bit(b, rng() & 1ULL);
+    poly.push_back(c.divmod(basis.modulus()).rem);
+  }
+  return poly;
+}
+
+// The oracle: lift-free check of one modswitch_polymul output against
+// schoolbook product -> divround by the dropped prime -> reduce mod the
+// smaller modulus.
+bool matches_oracle(const std::vector<wide_uint>& a, const std::vector<wide_uint>& b,
+                    const std::vector<wide_uint>& got, const bpntt::rns::rns_basis& from,
+                    const bpntt::rns::rns_basis& to) {
+  const auto product = bpntt::rns::schoolbook_negacyclic_wide(a, b, from.modulus());
+  const wide_uint q_drop(64, from.prime(from.limbs() - 1));
+  for (unsigned i = 0; i < kOrder; ++i) {
+    const wide_uint expect =
+        product[i].divround(q_drop).divmod(to.modulus().resized(from.wide_bits())).rem;
+    if (!(got[i].resized(from.wide_bits()) == expect)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bpntt;
+
+  const auto top = crypto::he_rns_level(kLimbBits, kLimbs, kOrder);
+  const auto chain = crypto::rns_level_chain(top);
+  std::printf("=== Leveled RNS multiply: %u limbs of %u bits, %zu levels ===\n\n", kLimbs,
+              kLimbBits, chain.size() - 1);
+
+  // One channel per top-level limb; lower levels reuse a subset of the
+  // same dedicated limb streams.
+  auto opts = runtime::runtime_options::for_rns_param_set(top)
+                  .with_backend(runtime::backend_kind::sram)
+                  .with_topology(kLimbs, 1, 4)
+                  .with_threads(kLimbs);
+  runtime::context ctx(opts);
+
+  common::xoshiro256ss rng(99);
+  // The walk's state: a ciphertext-shaped polynomial at the top level, and
+  // the fixed "evaluation key" every level multiplies by.  The key's
+  // coefficients stay below the floor modulus so the same value is
+  // canonical at every level.
+  rns::rns_basis basis(kOrder, top.primes);
+  std::vector<wide_uint> ct = random_canonical(basis, rng);
+  const rns::rns_basis floor_basis(kOrder, {top.primes.front()});
+  std::vector<wide_uint> key_small = random_canonical(floor_basis, rng);
+
+  bool all_ok = true;
+  for (std::size_t level = 0; level + 1 < chain.size(); ++level) {
+    rns::rns_engine eng(ctx, basis);
+    const auto key = [&] {
+      std::vector<wide_uint> k;
+      k.reserve(kOrder);
+      for (const auto& c : key_small) k.push_back(c.resized(basis.wide_bits()));
+      return k;
+    }();
+
+    // Two products at this level against the same fixed key: the second
+    // one's key transforms come straight from the operand cache.
+    const auto hits_before = ctx.stats().operand_cache_hits;
+    const auto first = eng.modswitch_polymul(ct, key);
+    (void)eng.modswitch_polymul(ct, key);
+    const auto hits_after = ctx.stats().operand_cache_hits;
+
+    const auto& next_basis = eng.dropped_basis();
+    const bool ok = matches_oracle(ct, key, first, basis, next_basis);
+    all_ok = all_ok && ok;
+    std::printf("level %zu: %3ub modulus -> %3ub after rescale   oracle %s   "
+                "cache hits +%llu\n",
+                level, basis.modulus_bits(), next_basis.modulus_bits(),
+                ok ? "MATCH" : "MISMATCH",
+                static_cast<unsigned long long>(hits_after - hits_before));
+    all_ok = all_ok && hits_after > hits_before;
+
+    ct = first;
+    basis = next_basis;
+  }
+
+  const auto s = ctx.stats();
+  std::printf("\nwalk complete at %ub (one limb); operand cache: %llu hits / %llu misses, "
+              "%zu entries\n",
+              basis.modulus_bits(), static_cast<unsigned long long>(s.operand_cache_hits),
+              static_cast<unsigned long long>(s.operand_cache_misses),
+              ctx.operand_cache_size());
+  return all_ok ? 0 : 1;
+}

@@ -154,4 +154,36 @@ bank_run_result bp_ntt_bank::run_polymul_batch(const std::vector<polymul_pair>& 
       });
 }
 
+bank_run_result bp_ntt_bank::run_transformed_polymul_batch(
+    const std::vector<polymul_pair>& jobs) {
+  if (!supports_polymul()) {
+    throw std::invalid_argument(
+        "bp_ntt_bank: polymul needs two n-row regions per lane (2n <= data_rows)");
+  }
+  for (const auto& j : jobs) {
+    if (j.a.size() != params_.n || j.b.size() != params_.n) {
+      throw std::invalid_argument("bp_ntt_bank: job size mismatch");
+    }
+  }
+  const unsigned n = static_cast<unsigned>(params_.n);
+  return schedule(
+      jobs.size(),
+      [&](bp_ntt_engine& eng, unsigned lane, std::size_t job) {
+        eng.load_polynomial(lane, jobs[job].a, eng.poly_region(0));
+        eng.load_polynomial(lane, jobs[job].b, eng.poly_region(n));
+      },
+      [&](bp_ntt_engine& eng) {
+        const auto ra = eng.poly_region(0);
+        const auto rb = eng.poly_region(n);
+        sram::op_stats stats = params_.incomplete
+                                   ? eng.run_basemul(ra, rb, /*scale_b=*/true)
+                                   : eng.run_pointwise(ra, rb, ra, /*scale_b=*/true);
+        stats += eng.run_inverse(ra);
+        return stats;
+      },
+      [&](bp_ntt_engine& eng, unsigned lane, std::size_t) {
+        return eng.peek_polynomial(lane, eng.poly_region(0));
+      });
+}
+
 }  // namespace bpntt::core

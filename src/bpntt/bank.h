@@ -79,6 +79,13 @@ class bp_ntt_bank {
   // basemul in incomplete mode), INTT — one pair per lane per wave.  Needs
   // supports_polymul().
   [[nodiscard]] bank_run_result run_polymul_batch(const std::vector<polymul_pair>& jobs);
+  // Products of operands already in the NTT domain (both a and b carry the
+  // bit-reversed forward image run_forward would leave in the array):
+  // pointwise (or basemul) + INTT only — the tail of run_polymul_batch's
+  // pipeline, used when the runtime's operand cache already holds the
+  // transforms.  Needs supports_polymul().
+  [[nodiscard]] bank_run_result run_transformed_polymul_batch(
+      const std::vector<polymul_pair>& jobs);
 
  private:
   // Wave scheduler shared by the batch runners: fills every lane of every

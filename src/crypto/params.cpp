@@ -1,5 +1,7 @@
 #include "crypto/params.h"
 
+#include <stdexcept>
+
 #include "common/bitutil.h"
 #include "nttmath/primes.h"
 
@@ -50,6 +52,26 @@ rns_param_set he_rns_level(unsigned limb_bits, unsigned limbs, std::uint64_t n) 
 
 std::vector<rns_param_set> all_rns_param_sets() {
   return {he_rns_level(30, 2), he_rns_level(30, 3), he_rns_level(30, 4)};
+}
+
+std::vector<rns_param_set> rns_level_chain(const rns_param_set& top) {
+  if (top.primes.empty()) {
+    throw std::invalid_argument("rns_level_chain: the top-level set carries no limb primes");
+  }
+  std::vector<rns_param_set> chain;
+  chain.reserve(top.primes.size());
+  chain.push_back(top);
+  chain.front().name = top.name + "-L0";
+  for (std::size_t level = 1; level < top.primes.size(); ++level) {
+    rns_param_set next = chain.back();
+    next.primes.pop_back();
+    next.name = top.name + "-L" + std::to_string(level);
+    // The tile width stays the top level's: every level's limbs ride the
+    // same tiles, and the chain is ascending, so the widest prime a walk
+    // ever dispatches is the top level's last.
+    chain.push_back(std::move(next));
+  }
+  return chain;
 }
 
 std::vector<param_set> all_param_sets() {

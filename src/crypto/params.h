@@ -47,6 +47,14 @@ struct rns_param_set {
 // n=1024 (60..120-bit ciphertext moduli — the leveled-BGV/BFV shape).
 [[nodiscard]] std::vector<rns_param_set> all_rns_param_sets();
 
+// The modulus chain of a leveled walk down from `top`: entry 0 is `top`
+// itself, every subsequent entry drops the last limb prime — the basis a
+// ciphertext lives in after each multiply-and-rescale — ending at the
+// one-limb floor.  `top.primes.size()` entries in total, so a k-limb set
+// supports k-1 leveled multiplications.  Throws std::invalid_argument on
+// an empty chain.
+[[nodiscard]] std::vector<rns_param_set> rns_level_chain(const rns_param_set& top);
+
 // NB: standardized Kyber (q=3329) uses an *incomplete* NTT — 3328 = 2^8*13
 // caps full negacyclic transforms at n=128.  kyber() is still exercised at
 // the modular-multiplication level and for n<=128 rings; kyber_compat()

@@ -218,6 +218,19 @@ wide_divmod wide_uint::divmod(const wide_uint& d) const {
   return out;
 }
 
+wide_uint wide_uint::divround(const wide_uint& d) const {
+  wide_divmod dm = divmod(d);
+  // Ties round up: the quotient bumps when 2*rem >= d, i.e. d - rem <= rem.
+  // Compared at a width holding both operands, so a divisor wider than this
+  // value (quotient 0, rem = *this) still rounds correctly.
+  const unsigned w = std::max(bits_, d.bits());
+  const wide_uint rem = dm.rem.resized(w);
+  if (!rem.is_zero() && d.resized(w).sub(rem).compare(rem) <= 0) {
+    dm.quot = dm.quot.add(wide_uint(bits_, 1));
+  }
+  return dm.quot;
+}
+
 std::uint64_t wide_uint::mod_u64(std::uint64_t m) const {
   if (m == 0) throw std::domain_error("wide_uint: division by zero");
   unsigned __int128 rem = 0;

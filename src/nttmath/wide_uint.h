@@ -59,6 +59,12 @@ class wide_uint {
   // Long division: quotient and remainder at this operand's width.  `d` may
   // have any width; d == 0 throws std::domain_error.
   [[nodiscard]] wide_divmod divmod(const wide_uint& d) const;
+  // Round-to-nearest division (ties round up): round(x / d) at this
+  // operand's width.  The RNS rescale primitive — dividing a big
+  // coefficient by the dropped limb prime with exact rounding.  `d` may
+  // have any width (aliasing with *this is fine); d == 0 throws
+  // std::domain_error.
+  [[nodiscard]] wide_uint divround(const wide_uint& d) const;
   // Remainder by a machine word (m != 0; throws std::domain_error).
   [[nodiscard]] std::uint64_t mod_u64(std::uint64_t m) const;
 

@@ -78,4 +78,35 @@ rns_basis rns_basis::with_limb_bits(u64 n, unsigned limb_bits, unsigned limbs) {
   return rns_basis(n, math::first_k_ntt_primes(limb_bits, n, limbs, /*negacyclic=*/true));
 }
 
+rns_basis rns_basis::drop_last() const {
+  if (primes_.size() < 2) {
+    throw std::invalid_argument(
+        "rns_basis: drop_last on a one-limb chain — there is no smaller basis to switch to");
+  }
+  return rns_basis(n_, std::vector<u64>(primes_.begin(), primes_.end() - 1));
+}
+
+rns_basis rns_basis::switch_to(const rns_basis& other) const {
+  if (other.n() != n_) {
+    throw std::invalid_argument("rns_basis: switch_to target has ring order n = " +
+                                std::to_string(other.n()) + ", this basis has n = " +
+                                std::to_string(n_));
+  }
+  if (other.limbs() >= primes_.size()) {
+    throw std::invalid_argument(
+        "rns_basis: switch_to target carries " + std::to_string(other.limbs()) +
+        " limbs, not fewer than this chain's " + std::to_string(primes_.size()) +
+        " (modulus switching only ever shrinks the chain)");
+  }
+  for (std::size_t i = 0; i < other.limbs(); ++i) {
+    if (other.prime(i) != primes_[i]) {
+      throw std::invalid_argument(
+          "rns_basis: switch_to target limb " + std::to_string(i) + " is prime " +
+          std::to_string(other.prime(i)) + ", this chain's is " + std::to_string(primes_[i]) +
+          " (a rescale chain sheds limbs from the tail, so the target must be a prefix)");
+    }
+  }
+  return rns_basis(n_, std::vector<u64>(primes_.begin(), primes_.begin() + other.limbs()));
+}
+
 }  // namespace bpntt::rns

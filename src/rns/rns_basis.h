@@ -37,6 +37,20 @@ class rns_basis {
   // `limb_bits` bits (ascending), via math::first_k_ntt_primes.
   [[nodiscard]] static rns_basis with_limb_bits(u64 n, unsigned limb_bits, unsigned limbs);
 
+  // The derived basis after one modulus switch: the same chain minus its
+  // last limb, with every CRT constant (M, M_i, y_i) recomputed and
+  // revalidated from scratch — this is the basis an rns_engine::rescale
+  // result lives in.  Throws std::invalid_argument on a one-limb chain
+  // (there is no smaller basis to switch to).
+  [[nodiscard]] rns_basis drop_last() const;
+
+  // The derived basis for switching to `other`'s chain: validates that
+  // `other` names the same ring order and that its chain is a prefix of
+  // this one (a rescale chain only ever sheds limbs from the tail, so a
+  // reachable target is exactly a prefix), then rebuilds the CRT constants
+  // for the shorter chain.  Throws std::invalid_argument otherwise.
+  [[nodiscard]] rns_basis switch_to(const rns_basis& other) const;
+
   [[nodiscard]] u64 n() const noexcept { return n_; }
   [[nodiscard]] std::size_t limbs() const noexcept { return primes_.size(); }
   [[nodiscard]] const std::vector<u64>& primes() const noexcept { return primes_; }

@@ -81,6 +81,55 @@ rns_poly rns_engine::transform(const rns_poly& p, core::transform_dir dir, const
   return out;
 }
 
+const rns_basis& rns_engine::dropped_basis() {
+  if (!dropped_) dropped_ = basis_.drop_last();
+  return *dropped_;
+}
+
+rns_poly rns_engine::rescale(const rns_poly& p) {
+  require_limbs(p, "rescale operand");
+  if (basis_.limbs() < 2) {
+    throw std::invalid_argument(
+        "rns_engine: rescale on a one-limb basis — there is no limb left to drop");
+  }
+  const std::size_t kept = basis_.limbs() - 1;
+  const u64 q_drop = basis_.prime(kept);
+  const std::vector<u64>& dropped_residues = p.residues[kept];
+  std::vector<runtime::job_id> ids;
+  ids.reserve(kept);
+  for (std::size_t i = 0; i < kept; ++i) {
+    runtime::rns_rescale_job j;
+    j.prime = basis_.prime(i);
+    j.drop_prime = q_drop;
+    j.x = p.residues[i];
+    j.dropped = dropped_residues;
+    ids.push_back(ctx_.rns_stream(basis_.prime(i)).submit(std::move(j)));
+  }
+  rns_poly out;
+  out.residues = collect(ids);
+  return out;
+}
+
+rns_poly rns_engine::modswitch_polymul(const rns_poly& a, const rns_poly& b) {
+  // Two chained fan-outs: the per-limb products (which overlap across
+  // channels), then the per-limb rescale corrections riding the same limb
+  // streams.  The rescale needs every limb's product — including the
+  // dropped limb's, whose residues drive the rounding — so the seam
+  // between the two submissions is a genuine data dependency, not a
+  // scheduling artefact.
+  const rns_poly product = polymul(a, b);
+  const fanout_stats mul_stats = last_;
+  rns_poly out = rescale(product);
+  last_.serial_cycles += mul_stats.serial_cycles;
+  last_.limb_jobs += mul_stats.limb_jobs;
+  return out;
+}
+
+std::vector<math::wide_uint> rns_engine::modswitch_polymul(
+    const std::vector<math::wide_uint>& a, const std::vector<math::wide_uint>& b) {
+  return rns_recombine(modswitch_polymul(lower(a), lower(b)), dropped_basis());
+}
+
 rns_poly rns_engine::forward(const rns_poly& p) {
   return transform(p, core::transform_dir::forward, "forward operand");
 }

@@ -20,6 +20,7 @@
 // decompose, many products, one lift) pays the CRT exactly twice.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "rns/rns_basis.h"
@@ -57,6 +58,29 @@ class rns_engine {
   // Residue-domain product: same fan-out, no CRT at either end.
   [[nodiscard]] rns_poly polymul(const rns_poly& a, const rns_poly& b);
 
+  // Modulus switching: round(x / q_last) in the dropped basis
+  // (basis().drop_last()), computed limb-by-limb as one rns_rescale_job
+  // per kept limb on that limb's dedicated stream — the exact
+  // divide-and-round the leveled-HE rescale after every multiply needs.
+  // The result carries limbs() - 1 residue polynomials and is canonical in
+  // the smaller basis; it is bit-identical to lifting x, dividing by the
+  // dropped prime with wide_uint::divround, and re-decomposing.  Throws
+  // std::invalid_argument on a one-limb basis or a limb-count mismatch.
+  [[nodiscard]] rns_poly rescale(const rns_poly& p);
+
+  // The fused leveled-multiply step: c = rescale(a * b) as one submission
+  // — the limb products fan out and overlap, their outputs feed the
+  // rescale fan-out, and the result lives one level down.  Residue form in
+  // this basis in, residue form in basis().drop_last() out.
+  [[nodiscard]] rns_poly modswitch_polymul(const rns_poly& a, const rns_poly& b);
+  // Wide-coefficient convenience: canonical mod M in, canonical mod
+  // M/q_last out (at drop_last().wide_bits() width).
+  [[nodiscard]] std::vector<math::wide_uint> modswitch_polymul(
+      const std::vector<math::wide_uint>& a, const std::vector<math::wide_uint>& b);
+
+  // The basis one rescale lands in, built on first use and cached.
+  [[nodiscard]] const rns_basis& dropped_basis();
+
   // Per-limb forward/inverse NTT of a residue-form polynomial (forward:
   // standard order in, bit-reversed out; inverse the converse — the golden
   // transform's ordering contract, per limb).
@@ -80,6 +104,8 @@ class rns_engine {
   runtime::context& ctx_;
   rns_basis basis_;
   fanout_stats last_;
+  // Lazily-built rescale target (basis_ minus its last limb).
+  std::optional<rns_basis> dropped_;
 };
 
 }  // namespace bpntt::rns

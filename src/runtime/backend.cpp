@@ -1,12 +1,51 @@
 #include "runtime/backend.h"
 
 #include <stdexcept>
+#include <string>
 
+#include "nttmath/modarith.h"
 #include "runtime/cpu_backend.h"
 #include "runtime/reference_backend.h"
 #include "runtime/sram_backend.h"
 
 namespace bpntt::runtime {
+
+batch_result backend::run_rescale(const std::vector<rns_rescale_job>& jobs,
+                                  const dispatch_hints&) {
+  batch_result out;
+  out.outputs.reserve(jobs.size());
+  out.waves = jobs.empty() ? 0 : 1;
+  for (const rns_rescale_job& j : jobs) {
+    // Like the inverse guard below, a length mismatch here means the
+    // caller bypassed submit-side validation; refuse loudly instead of
+    // reading past the dropped-residue vector.
+    if (j.dropped.size() != j.x.size()) {
+      throw std::logic_error("runtime: rescale job carries " + std::to_string(j.x.size()) +
+                             " limb residues but " + std::to_string(j.dropped.size()) +
+                             " dropped residues");
+    }
+    // q_drop is coprime to every kept limb (the chain is pairwise-coprime
+    // primes), so the inverse exists; a zero inverse here means the caller
+    // bypassed submit-side validation.
+    const u64 inv = math::inv_mod(j.drop_prime % j.prime, j.prime);
+    if (inv == 0) {
+      throw std::logic_error("runtime: rescale drop prime " + std::to_string(j.drop_prime) +
+                             " is not invertible mod limb prime " + std::to_string(j.prime));
+    }
+    std::vector<u64> limb(j.x.size());
+    for (std::size_t i = 0; i < j.x.size(); ++i) {
+      const u64 r = j.dropped[i];
+      // floor((x - r) / q_drop) mod q_i, then +1 when the dropped residue
+      // rounds the quotient up (2r > q_drop; q_drop is odd, so never ==).
+      const u64 floor_term =
+          math::mul_mod(math::sub_mod(j.x[i], r % j.prime, j.prime), inv, j.prime);
+      limb[i] = r > j.drop_prime / 2 ? math::add_mod(floor_term, 1 % j.prime, j.prime)
+                                     : floor_term;
+    }
+    out.outputs.push_back(std::move(limb));
+  }
+  return out;
+}
 
 std::unique_ptr<backend> make_backend(const runtime_options& opts) {
   switch (opts.backend) {

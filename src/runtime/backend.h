@@ -26,6 +26,7 @@
 namespace bpntt::runtime {
 
 class executor;
+class operand_cache;
 struct runtime_options;
 
 // Static description of a backend's execution envelope.  The context
@@ -103,14 +104,32 @@ class backend {
   // Negacyclic ring product per pair; outputs in input order.
   virtual batch_result run_polymul(const std::vector<core::polymul_pair>& pairs,
                                    const dispatch_hints& hints) = 0;
+  // One limb's share of an RNS modulus switch per job; outputs in input
+  // order.  The base implementation computes the exact word-sized
+  // correction ((x - r) * q_drop^{-1} + round_up) mod prime at zero
+  // modelled cost — the correction is scalar per-coefficient work the
+  // controller interleaves between limb dispatches, not an in-array
+  // transform — so every backend (including injected stubs) supports
+  // rescale out of the box; backends may override to attach a cost model.
+  virtual batch_result run_rescale(const std::vector<rns_rescale_job>& jobs,
+                                   const dispatch_hints& hints);
+  // Entries currently held by the backend's lazy per-modulus retarget cache
+  // (ring-overridden dispatch state); 0 for backends that never retarget.
+  [[nodiscard]] virtual std::size_t retarget_cache_size() const { return 0; }
 
   // Installed once by the owning context.  Backends may fan batch-internal
   // work (bank slices, job chunks) across the pool; with none attached they
   // run serially.  Outputs must be bit-identical either way.
   void attach_executor(executor* pool) noexcept { pool_ = pool; }
 
+  // Installed once by the owning context (nullptr = caching disabled).
+  // Backends consult it on ring-overridden dispatches to skip transforms of
+  // repeated operands; caching may only change cycles, never outputs.
+  void attach_operand_cache(operand_cache* cache) noexcept { ocache_ = cache; }
+
  protected:
   executor* pool_ = nullptr;
+  operand_cache* ocache_ = nullptr;
 };
 
 // Instantiate the backend selected by opts (opts must be validated).

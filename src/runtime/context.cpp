@@ -45,6 +45,10 @@ context::context(runtime_options opts, std::unique_ptr<backend> custom_backend)
 
 void context::finish_construction() {
   backend_->attach_executor(&pool_);
+  if (opts_.operand_cache_entries != 0) {
+    ocache_ = std::make_unique<operand_cache>(opts_.operand_cache_entries);
+    backend_->attach_operand_cache(ocache_.get());
+  }
   caps_ = backend_->capabilities();
 
   // The configured ring must fit the backend's envelope — a narrower
@@ -134,6 +138,12 @@ void validate_ring_override(u64 q, const core::ntt_params& params, const backend
 stream context::stream(stream_options sopts) {
   const unsigned resources = std::max(1u, caps_.banks());
   if (sopts.ring_q != 0) validate_ring_override(sopts.ring_q, opts_.params, caps_);
+  // Skip ids still held by live streams (and the default stream's 0): a
+  // per-request service that opens and closes streams for long enough
+  // wraps the counter, and colliding with a live slot would hand two
+  // handles the same queue — the reopened handle must always be a fresh
+  // slot, never a resurrected one.
+  while (next_stream_id_ == 0 || streams_.count(next_stream_id_) != 0) ++next_stream_id_;
   const unsigned sid = next_stream_id_++;
   stream_state ss;
   if (!sopts.bank_set.empty()) {
@@ -176,7 +186,7 @@ void context::close_stream(unsigned sid) {
   if (sid == 0) {
     throw std::logic_error("runtime: the default stream cannot be closed");
   }
-  state_of(sid);        // precise throw for foreign/already-closed handles
+  (void)state_of(sid);  // precise throw for foreign/already-closed handles
   flush_stream(sid);    // nothing of the stream's may stay stuck in a queue
   streams_.erase(sid);  // in-flight groups carry their own hints; ids stay waitable
   // If this was a dedicated limb stream, forget it so rns_stream() opens a
@@ -206,6 +216,7 @@ context& stream::bound() const {
 job_id stream::submit(ntt_job j) { return bound().submit_ntt(id_, std::move(j)); }
 job_id stream::submit(polymul_job j) { return bound().submit_polymul(id_, std::move(j)); }
 job_id stream::submit(rlwe_encrypt_job j) { return bound().submit_rlwe(id_, std::move(j)); }
+job_id stream::submit(rns_rescale_job j) { return bound().submit_rescale(id_, std::move(j)); }
 void stream::flush() { bound().flush_stream(id_); }
 void stream::close() { bound().close_stream(id_); }
 std::size_t stream::pending() const { return bound().stream_pending(id_); }
@@ -279,6 +290,29 @@ job_id context::submit_rlwe(unsigned sid, rlwe_encrypt_job j) {
   return enqueue(sid, std::move(j));
 }
 
+job_id context::submit_rescale(unsigned sid, rns_rescale_job j) {
+  const stream_state& ss = state_of(sid);
+  const u64 q = ss.sopts.ring_q != 0 ? ss.sopts.ring_q : opts_.params.q;
+  if (j.prime != q) {
+    throw std::invalid_argument(
+        "runtime: rns_rescale_job names limb prime " + std::to_string(j.prime) +
+        " but this stream's ring modulus is " + std::to_string(q) +
+        " (the rescale correction of a limb rides that limb's stream)");
+  }
+  if (j.drop_prime == 0 || (j.drop_prime & 1ULL) == 0 || !math::is_prime(j.drop_prime)) {
+    throw std::invalid_argument("runtime: rns_rescale_job drop prime " +
+                                std::to_string(j.drop_prime) + " must be an odd prime");
+  }
+  if (j.drop_prime == j.prime) {
+    throw std::invalid_argument(
+        "runtime: rns_rescale_job drops its own limb prime " + std::to_string(j.prime) +
+        " (the dropped limb is excluded from the rescale fan-out)");
+  }
+  require_ring_poly(j.x, opts_.params.n, j.prime, "rns_rescale_job.x");
+  require_ring_poly(j.dropped, opts_.params.n, j.drop_prime, "rns_rescale_job.dropped");
+  return enqueue(sid, std::move(j));
+}
+
 job_id context::submit(ntt_job j) { return submit_ntt(0, std::move(j)); }
 job_id context::submit(polymul_job j) { return submit_polymul(0, std::move(j)); }
 job_id context::submit(rlwe_encrypt_job j) { return submit_rlwe(0, std::move(j)); }
@@ -346,10 +380,29 @@ std::size_t context::pending() const noexcept {
 }
 
 scheduler_stats context::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  scheduler_stats s = stats_;
-  s.jobs_in_flight = in_flight_.size();
+  scheduler_stats s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s = stats_;
+    s.jobs_in_flight = in_flight_.size();
+  }
+  if (ocache_) {
+    s.operand_cache_hits = ocache_->hits();
+    s.operand_cache_misses = ocache_->misses();
+  }
   return s;
+}
+
+std::size_t context::operand_cache_size() const noexcept {
+  return ocache_ ? ocache_->size() : 0;
+}
+
+void context::invalidate_operand(const std::vector<u64>& coeffs) noexcept {
+  if (ocache_) ocache_->invalidate(coeffs);
+}
+
+void context::invalidate_operand_cache() noexcept {
+  if (ocache_) ocache_->clear();
 }
 
 // ---- scheduler -------------------------------------------------------------
@@ -371,6 +424,9 @@ std::shared_ptr<context::dispatch_group> context::build_group(unsigned sid) {
     } else if (auto* mul = std::get_if<polymul_job>(&j)) {
       g->plan.mul_ids.push_back(id);
       g->plan.muls.push_back(std::move(*mul));
+    } else if (auto* rescale = std::get_if<rns_rescale_job>(&j)) {
+      g->plan.rescale_ids.push_back(id);
+      g->plan.rescales.push_back(std::move(*rescale));
     } else {
       g->plan.rlwe_ids.push_back(id);
       g->plan.rlwes.push_back(std::move(std::get<rlwe_encrypt_job>(j)));
@@ -396,8 +452,8 @@ void context::enqueue_group_locked(std::shared_ptr<dispatch_group> g) {
   }
   // Jobs become in-flight before the group can run, so a wait() racing the
   // pool can never mistake a dispatched job for a claimed one.
-  for (const auto* ids :
-       {&g->plan.fwd_ids, &g->plan.inv_ids, &g->plan.mul_ids, &g->plan.rlwe_ids}) {
+  for (const auto* ids : {&g->plan.fwd_ids, &g->plan.inv_ids, &g->plan.mul_ids,
+                          &g->plan.rlwe_ids, &g->plan.rescale_ids}) {
     in_flight_.insert(ids->begin(), ids->end());
   }
   ++stats_.groups;
@@ -476,6 +532,8 @@ void context::run_group(const std::shared_ptr<dispatch_group>& g) {
           [&] { dispatch_ntt_group(*g, plan.inv_ids, std::move(plan.inv), transform_dir::inverse); });
   guarded(plan.mul_ids,
           [&] { dispatch_polymul_group(*g, plan.mul_ids, std::move(plan.muls)); });
+  guarded(plan.rescale_ids,
+          [&] { dispatch_rescale_group(*g, plan.rescale_ids, std::move(plan.rescales)); });
   guarded(plan.rlwe_ids, [&] { run_rlwe_group(*g, plan.rlwe_ids, std::move(plan.rlwes)); });
 
   // Release the bank reservation and let the next contender in.
@@ -513,6 +571,14 @@ void require_output_count(std::size_t got, std::size_t want, const char* what) {
   }
 }
 
+// The one deadline check every dispatch path shares.  A stream deadline is
+// a completion budget measured from the stream's flush (the group's
+// reference virtual time); finishing *exactly at* the deadline is a meet,
+// not a miss — the boundary both dispatch paths must agree on.
+bool past_deadline(const dispatch_hints& hints, u64 ref_vtime, u64 end) noexcept {
+  return hints.deadline_cycles != 0 && end - ref_vtime > hints.deadline_cycles;
+}
+
 }  // namespace
 
 void context::distribute(const dispatch_group& g, const std::vector<job_id>& ids,
@@ -520,8 +586,7 @@ void context::distribute(const dispatch_group& g, const std::vector<job_id>& ids
   require_output_count(r.outputs.size(), ids.size(), "a dispatch");
   std::lock_guard<std::mutex> lk(mu_);
   const u64 end = account_locked(g, r);
-  const bool missed =
-      g.hints.deadline_cycles != 0 && end - g.ref_vtime > g.hints.deadline_cycles;
+  const bool missed = past_deadline(g.hints, g.ref_vtime, end);
   if (missed) stats_.deadline_misses += ids.size();
   for (std::size_t i = 0; i < ids.size(); ++i) {
     job_result res;
@@ -569,6 +634,11 @@ void context::dispatch_polymul_group(const dispatch_group& g, const std::vector<
   pairs.reserve(jobs.size());
   for (auto& j : jobs) pairs.push_back({std::move(j.a), std::move(j.b)});
   distribute(g, ids, backend_->run_polymul(pairs, g.hints));
+}
+
+void context::dispatch_rescale_group(const dispatch_group& g, const std::vector<job_id>& ids,
+                                     std::vector<rns_rescale_job>&& jobs) {
+  distribute(g, ids, backend_->run_rescale(jobs, g.hints));
 }
 
 void context::run_rlwe_group(const dispatch_group& g, const std::vector<job_id>& ids,
@@ -635,8 +705,7 @@ void context::run_rlwe_group(const dispatch_group& g, const std::vector<job_id>&
   auto us = batch_mul(std::move(pairs));
 
   std::lock_guard<std::mutex> lk(mu_);
-  const bool missed =
-      g.hints.deadline_cycles != 0 && last_end - g.ref_vtime > g.hints.deadline_cycles;
+  const bool missed = past_deadline(g.hints, g.ref_vtime, last_end);
   if (missed) stats_.deadline_misses += m;
   for (std::size_t i = 0; i < m; ++i) {
     auto decrypted = crypto::rlwe_decrypt_from_product(ring, cts[i], us[i]);

@@ -63,12 +63,13 @@
 #include "runtime/backend.h"
 #include "runtime/executor.h"
 #include "runtime/job.h"
+#include "runtime/operand_cache.h"
 #include "runtime/options.h"
 #include "runtime/stream.h"
 
 namespace bpntt::runtime {
 
-using job = std::variant<ntt_job, polymul_job, rlwe_encrypt_job>;
+using job = std::variant<ntt_job, polymul_job, rlwe_encrypt_job, rns_rescale_job>;
 
 // Cumulative scheduling counters across the context's lifetime.
 struct scheduler_stats {
@@ -84,6 +85,11 @@ struct scheduler_stats {
   u64 wall_cycles = 0;
   u64 deadline_misses = 0;  // jobs that completed past their stream's deadline
   double energy_nj = 0.0;
+  // NTT-domain operand cache counters (cumulative): transforms served from
+  // the cache vs computed fresh on ring-overridden (RNS limb) dispatches.
+  // Both stay 0 when the cache is disabled (operand_cache_entries == 0).
+  u64 operand_cache_hits = 0;
+  u64 operand_cache_misses = 0;
 };
 
 class context {
@@ -108,6 +114,21 @@ class context {
   [[nodiscard]] scheduler_stats stats() const;
   // Jobs enqueued on any stream and not yet handed to the scheduler.
   [[nodiscard]] std::size_t pending() const noexcept;
+
+  // NTT-domain operand cache surface.  Entries currently held (0 when the
+  // cache is disabled via runtime_options::operand_cache_entries == 0).
+  [[nodiscard]] std::size_t operand_cache_size() const noexcept;
+  // Drop the cached transforms of one operand (across every limb prime and
+  // direction) — for callers that mutate or retire a polynomial the cache
+  // may hold (a rotated key, a freed ciphertext).
+  void invalidate_operand(const std::vector<u64>& coeffs) noexcept;
+  // Drop every cached transform (counters are cumulative and survive).
+  void invalidate_operand_cache() noexcept;
+  // The backend's lazy per-modulus retarget cache occupancy (LRU-bounded
+  // by runtime_options::retarget_cache_limit).
+  [[nodiscard]] std::size_t retarget_cache_size() const noexcept {
+    return backend_->retarget_cache_size();
+  }
 
   // Open an independent in-order submission lane.  Bank placement is
   // topology-aware unless sopts.bank_set pins it explicitly; the handle
@@ -167,10 +188,11 @@ class context {
 
   // One stream flush, partitioned by job kind.
   struct flush_plan {
-    std::vector<job_id> fwd_ids, inv_ids, mul_ids, rlwe_ids;
+    std::vector<job_id> fwd_ids, inv_ids, mul_ids, rlwe_ids, rescale_ids;
     std::vector<ntt_job> fwd, inv;
     std::vector<polymul_job> muls;
     std::vector<rlwe_encrypt_job> rlwes;
+    std::vector<rns_rescale_job> rescales;
   };
 
   // A flushed stream queue waiting for (or holding) its bank reservation.
@@ -195,6 +217,7 @@ class context {
   job_id submit_ntt(unsigned sid, ntt_job j);
   job_id submit_polymul(unsigned sid, polymul_job j);
   job_id submit_rlwe(unsigned sid, rlwe_encrypt_job j);
+  job_id submit_rescale(unsigned sid, rns_rescale_job j);
   void flush_stream(unsigned sid);
   void close_stream(unsigned sid);
   [[nodiscard]] std::size_t stream_pending(unsigned sid) const;
@@ -225,11 +248,16 @@ class context {
                           std::vector<ntt_job>&& jobs, transform_dir dir);
   void dispatch_polymul_group(const dispatch_group& g, const std::vector<job_id>& ids,
                               std::vector<polymul_job>&& jobs);
+  void dispatch_rescale_group(const dispatch_group& g, const std::vector<job_id>& ids,
+                              std::vector<rns_rescale_job>&& jobs);
   void run_rlwe_group(const dispatch_group& g, const std::vector<job_id>& ids,
                       std::vector<rlwe_encrypt_job>&& jobs);
 
   runtime_options opts_;
   std::unique_ptr<backend> backend_;
+  // The NTT-domain operand cache backends consult on ring-overridden
+  // dispatches; null when disabled (operand_cache_entries == 0).
+  std::unique_ptr<operand_cache> ocache_;
   backend_caps caps_;
   // Client-thread state: per-stream queues and the id counters.
   std::map<unsigned, stream_state> streams_;

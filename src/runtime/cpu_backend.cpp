@@ -6,11 +6,15 @@
 
 #include "nttmath/poly.h"
 #include "runtime/executor.h"
+#include "runtime/operand_cache.h"
 
 namespace bpntt::runtime {
 
 cpu_backend::cpu_backend(const runtime_options& opts)
-    : params_(opts.params), freq_ghz_(opts.cpu_freq_ghz), power_w_(opts.cpu_power_w) {
+    : params_(opts.params),
+      freq_ghz_(opts.cpu_freq_ghz),
+      power_w_(opts.cpu_power_w),
+      retarget_(opts.retarget_cache_limit) {
   if (params_.incomplete) {
     itables_ = std::make_unique<math::incomplete_ntt_tables>(params_.n, params_.q);
   } else {
@@ -21,16 +25,13 @@ cpu_backend::cpu_backend(const runtime_options& opts)
   }
 }
 
-const cpu_backend::limb_ring& cpu_backend::ring_for(u64 ring_q) {
-  std::lock_guard<std::mutex> lk(retarget_mu_);
-  auto it = retarget_.find(ring_q);
-  if (it == retarget_.end()) {
+std::shared_ptr<const cpu_backend::limb_ring> cpu_backend::ring_for(u64 ring_q) {
+  return retarget_.get(ring_q, [&] {
     limb_ring ring;
     ring.tables = std::make_unique<math::ntt_tables>(params_.n, ring_q, /*negacyclic=*/true);
     ring.fast = std::make_unique<math::fast_ntt>(*ring.tables);
-    it = retarget_.emplace(ring_q, std::move(ring)).first;
-  }
-  return it->second;
+    return ring;
+  });
 }
 
 void cpu_backend::transform(std::vector<u64>& a, transform_dir dir,
@@ -48,13 +49,23 @@ void cpu_backend::transform(std::vector<u64>& a, transform_dir dir,
   }
 }
 
-std::vector<u64> cpu_backend::multiply(const core::polymul_pair& pair,
+std::vector<u64> cpu_backend::multiply(const core::polymul_pair& pair, u64 ring_q,
                                        const limb_ring* limb) const {
   if (limb != nullptr) {
-    std::vector<u64> a = pair.a;
-    std::vector<u64> b = pair.b;
-    limb->fast->forward(a);
-    limb->fast->forward(b);
+    // Operand transforms come from (or feed) the NTT-domain cache: a
+    // repeated multiplicand skips its forward Montgomery NTT entirely.
+    const auto fresh = [&](const std::vector<u64>& p) {
+      std::vector<u64> f = p;
+      limb->fast->forward(f);
+      return f;
+    };
+    const auto forward_of = [&](const std::vector<u64>& p) {
+      return ocache_ != nullptr
+                 ? ocache_->transformed_or(ring_q, transform_dir::forward, p, fresh)
+                 : fresh(p);
+    };
+    const std::vector<u64> a = forward_of(pair.a);
+    const std::vector<u64> b = forward_of(pair.b);
     std::vector<u64> c(a.size());
     math::ntt_pointwise(a, b, c, limb->tables->q());
     limb->fast->inverse(c);
@@ -103,23 +114,36 @@ batch_result cpu_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
                                   transform_dir dir, const dispatch_hints& hints) {
   // Resolve a ring override before the clock starts: retarget table
   // construction is setup, not per-batch work.
-  const limb_ring* limb = hints.ring_q != 0 ? &ring_for(hints.ring_q) : nullptr;
+  const std::shared_ptr<const limb_ring> limb =
+      hints.ring_q != 0 ? ring_for(hints.ring_q) : nullptr;
   std::vector<std::vector<u64>> outputs = polys;
   const auto start = std::chrono::steady_clock::now();
   // Tables are immutable after construction, so jobs chunk freely across
   // the pool; each task owns its output slot.
-  parallel_for(pool_, outputs.size(), [&](std::size_t i) { transform(outputs[i], dir, limb); });
+  parallel_for(pool_, outputs.size(), [&](std::size_t i) {
+    auto& a = outputs[i];
+    if (limb != nullptr && ocache_ != nullptr) {
+      a = ocache_->transformed_or(hints.ring_q, dir, a, [&](const std::vector<u64>& p) {
+        std::vector<u64> t = p;
+        transform(t, dir, limb.get());
+        return t;
+      });
+      return;
+    }
+    transform(a, dir, limb.get());
+  });
   const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
   return finish(std::move(outputs), elapsed.count());
 }
 
 batch_result cpu_backend::run_polymul(const std::vector<core::polymul_pair>& pairs,
                                       const dispatch_hints& hints) {
-  const limb_ring* limb = hints.ring_q != 0 ? &ring_for(hints.ring_q) : nullptr;
+  const std::shared_ptr<const limb_ring> limb =
+      hints.ring_q != 0 ? ring_for(hints.ring_q) : nullptr;
   std::vector<std::vector<u64>> outputs(pairs.size());
   const auto start = std::chrono::steady_clock::now();
   parallel_for(pool_, pairs.size(),
-               [&](std::size_t i) { outputs[i] = multiply(pairs[i], limb); });
+               [&](std::size_t i) { outputs[i] = multiply(pairs[i], hints.ring_q, limb.get()); });
   const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
   return finish(std::move(outputs), elapsed.count());
 }

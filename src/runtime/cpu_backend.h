@@ -9,14 +9,13 @@
 // methodology baselines::measure_cpu_ntt uses for the Table I row.
 #pragma once
 
-#include <map>
 #include <memory>
-#include <mutex>
 
 #include "nttmath/fast_ntt.h"
 #include "nttmath/incomplete_ntt.h"
 #include "runtime/backend.h"
 #include "runtime/options.h"
+#include "runtime/retarget_cache.h"
 
 namespace bpntt::runtime {
 
@@ -39,19 +38,22 @@ class cpu_backend final : public backend {
   batch_result run_polymul(const std::vector<core::polymul_pair>& pairs,
                            const dispatch_hints& hints) override;
 
+  [[nodiscard]] std::size_t retarget_cache_size() const override { return retarget_.size(); }
+
  private:
   // Montgomery fast path for one ring-override modulus (RNS limb
   // dispatches) — the same competitive software path the primary ring
-  // uses, built lazily and cached for the backend's lifetime.
+  // uses, built lazily and LRU-bounded per runtime_options; a dispatch
+  // holds its shared_ptr, so eviction mid-flight is safe.
   struct limb_ring {
     std::unique_ptr<math::ntt_tables> tables;
     std::unique_ptr<math::fast_ntt> fast;
   };
-  [[nodiscard]] const limb_ring& ring_for(u64 ring_q);
+  [[nodiscard]] std::shared_ptr<const limb_ring> ring_for(u64 ring_q);
 
   // `limb` selects a retargeted ring; nullptr = the primary configured ring.
   void transform(std::vector<u64>& a, transform_dir dir, const limb_ring* limb) const;
-  [[nodiscard]] std::vector<u64> multiply(const core::polymul_pair& pair,
+  [[nodiscard]] std::vector<u64> multiply(const core::polymul_pair& pair, u64 ring_q,
                                           const limb_ring* limb) const;
   [[nodiscard]] batch_result finish(std::vector<std::vector<u64>> outputs,
                                     double seconds) const;
@@ -62,9 +64,7 @@ class cpu_backend final : public backend {
   std::unique_ptr<math::ntt_tables> tables_;
   std::unique_ptr<math::incomplete_ntt_tables> itables_;
   std::unique_ptr<math::fast_ntt> fast_;
-  // Concurrent dispatch groups may fault in different limb moduli at once.
-  std::mutex retarget_mu_;
-  std::map<u64, limb_ring> retarget_;
+  retarget_lru<limb_ring> retarget_;
 };
 
 }  // namespace bpntt::runtime

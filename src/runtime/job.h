@@ -61,6 +61,26 @@ struct rns_submission {
   std::vector<job_id> limb_ids;
 };
 
+// One limb's share of an RNS modulus switch (rescale): given this limb's
+// residues x_i of a big coefficient vector x and the dropped limb's
+// residues r = x mod q_drop, produce the residues of round(x / q_drop) in
+// this limb's channel:
+//
+//   out[j] = ((x[j] - r[j]) * q_drop^{-1} + round_up(r[j])) mod prime,
+//
+// where round_up is 1 when 2*r[j] > q_drop (ties cannot occur — q_drop is
+// odd).  x - r is divisible by q_drop, so the per-limb correction is exact:
+// the k-1 outputs of a rescale are precisely round(x / q_drop) mod each
+// kept prime.  The job rides the limb's dedicated stream (`prime` must
+// match the stream's ring modulus), so a multi-limb rescale fans out and
+// overlaps exactly like a multi-limb product.
+struct rns_rescale_job {
+  u64 prime = 0;              // this limb's modulus q_i (= the stream's ring)
+  u64 drop_prime = 0;         // the chain's dropped last limb q_drop
+  std::vector<u64> x;         // n residues, canonical mod prime
+  std::vector<u64> dropped;   // n residues of the dropped limb, canonical mod drop_prime
+};
+
 // End-to-end R-LWE public-key encryption of a {0,1} message polynomial.
 // Key generation, encryption and a decryption round-trip all run with ring
 // products routed through the executing backend.  Randomness is derived

@@ -1,0 +1,94 @@
+#include "runtime/operand_cache.h"
+
+namespace bpntt::runtime {
+
+core::u64 operand_cache::digest_of(const std::vector<core::u64>& coeffs) noexcept {
+  // FNV-1a over the coefficient words plus the length, 64-bit.
+  core::u64 h = 1469598103934665603ULL;
+  const auto mix = [&h](core::u64 word) {
+    for (unsigned byte = 0; byte < 8; ++byte) {
+      h ^= (word >> (8 * byte)) & 0xFFULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<core::u64>(coeffs.size()));
+  for (const core::u64 c : coeffs) mix(c);
+  return h;
+}
+
+void operand_cache::touch_locked(entry& e, const key& k) {
+  order_.erase(e.lru);
+  order_.push_front(k);
+  e.lru = order_.begin();
+}
+
+std::optional<std::vector<core::u64>> operand_cache::lookup(
+    core::u64 ring_q, core::transform_dir dir, const std::vector<core::u64>& coeffs) {
+  const key k{ring_q, static_cast<int>(dir), digest_of(coeffs)};
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(k);
+  if (it == entries_.end() || it->second.coeffs != coeffs) {
+    ++misses_;
+    return std::nullopt;
+  }
+  touch_locked(it->second, k);
+  ++hits_;
+  return it->second.transformed;
+}
+
+void operand_cache::insert(core::u64 ring_q, core::transform_dir dir,
+                           const std::vector<core::u64>& coeffs,
+                           std::vector<core::u64> transformed) {
+  if (capacity_ == 0) return;
+  const key k{ring_q, static_cast<int>(dir), digest_of(coeffs)};
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(k);
+  if (it != entries_.end()) {
+    it->second.coeffs = coeffs;
+    it->second.transformed = std::move(transformed);
+    touch_locked(it->second, k);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(k);
+  entries_.emplace(k, entry{coeffs, std::move(transformed), order_.begin()});
+}
+
+void operand_cache::invalidate(const std::vector<core::u64>& coeffs) {
+  const core::u64 digest = digest_of(coeffs);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.digest == digest && it->second.coeffs == coeffs) {
+      order_.erase(it->second.lru);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void operand_cache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+  order_.clear();
+}
+
+std::size_t operand_cache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+core::u64 operand_cache::hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hits_;
+}
+
+core::u64 operand_cache::misses() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return misses_;
+}
+
+}  // namespace bpntt::runtime

@@ -1,0 +1,107 @@
+// NTT-domain operand cache: memoized transforms of repeated operands.
+//
+// RNS workloads re-transform the same polynomials constantly — a fixed
+// RLWE key multiplies every ciphertext, a reused multiplicand rides every
+// level of a leveled walk — and the forward NTT is the bulk of a product's
+// cost.  This cache remembers the transformed image of an operand per
+// (operand digest, limb prime, direction) so a repeated operand skips the
+// transform entirely: backends consult it on every ring-overridden (RNS
+// limb) dispatch, serve hits from host memory at zero modelled array cost,
+// and insert fresh transforms on misses.
+//
+// Keying: a 64-bit FNV-1a digest of the coefficient words, qualified by
+// the ring modulus and transform direction (forward entries double as the
+// operand transforms inside a polymul — the in-array, Montgomery-software
+// and golden pipelines all produce the standard bit-reversed image an
+// explicit forward ntt_job would).  Digest collisions are handled, not
+// assumed away: every entry keeps the originating coefficients and a hit
+// requires an exact match, so a collision reads as a miss, never as wrong
+// data.
+//
+// The cache is LRU-bounded (entries, not bytes) and thread-safe — limb
+// dispatch groups on disjoint banks genuinely run concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "bpntt/bank.h"
+
+namespace bpntt::runtime {
+
+class operand_cache {
+ public:
+  // Capacity in entries; 0 disables (every lookup misses, nothing stored).
+  explicit operand_cache(std::size_t capacity) : capacity_(capacity) {}
+
+  operand_cache(const operand_cache&) = delete;
+  operand_cache& operator=(const operand_cache&) = delete;
+
+  // The transformed image of `coeffs` under (ring_q, dir), bumping the
+  // entry to most-recently-used — or std::nullopt (counted as a miss).
+  [[nodiscard]] std::optional<std::vector<core::u64>> lookup(
+      core::u64 ring_q, core::transform_dir dir, const std::vector<core::u64>& coeffs);
+
+  // Remember transformed = NTT_{ring_q,dir}(coeffs), evicting the least
+  // recently used entry past capacity.  Inserting an already-present key
+  // refreshes its recency and (on a digest collision) its payload.
+  void insert(core::u64 ring_q, core::transform_dir dir, const std::vector<core::u64>& coeffs,
+              std::vector<core::u64> transformed);
+
+  // The lookup-or-compute-and-insert step every backend shares: the cached
+  // image of `coeffs` under (ring_q, dir), or `compute(coeffs)` inserted
+  // and returned.  One definition keeps miss counting and insert ordering
+  // identical across every consult site.
+  template <typename Compute>
+  [[nodiscard]] std::vector<core::u64> transformed_or(core::u64 ring_q,
+                                                      core::transform_dir dir,
+                                                      const std::vector<core::u64>& coeffs,
+                                                      Compute&& compute) {
+    if (auto cached = lookup(ring_q, dir, coeffs)) return std::move(*cached);
+    std::vector<core::u64> t = compute(coeffs);
+    insert(ring_q, dir, coeffs, t);
+    return t;
+  }
+
+  // Drop every entry derived from `coeffs`, across all rings and
+  // directions — the invalidation hook for callers that mutate or retire
+  // an operand (a rotated key, a freed ciphertext).
+  void invalidate(const std::vector<core::u64>& coeffs);
+  // Drop everything (counters survive; they are cumulative).
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] core::u64 hits() const;
+  [[nodiscard]] core::u64 misses() const;
+
+ private:
+  struct key {
+    core::u64 ring_q = 0;
+    int dir = 0;
+    core::u64 digest = 0;
+    auto operator<=>(const key&) const = default;
+  };
+  struct entry {
+    std::vector<core::u64> coeffs;       // exact-match guard against digest collisions
+    std::vector<core::u64> transformed;  // the cached NTT image
+    std::list<key>::iterator lru;        // position in order_ (front = most recent)
+  };
+
+  [[nodiscard]] static core::u64 digest_of(const std::vector<core::u64>& coeffs) noexcept;
+  void touch_locked(entry& e, const key& k);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::map<key, entry> entries_;
+  std::list<key> order_;  // most recently used first
+  core::u64 hits_ = 0;
+  core::u64 misses_ = 0;
+};
+
+}  // namespace bpntt::runtime

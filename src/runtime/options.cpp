@@ -66,6 +66,11 @@ void runtime_options::validate() const {
         "sweeps for performance-only runs");
   }
   validate_threads(threads);
+  if (retarget_cache_limit < 1) {
+    throw std::invalid_argument(
+        "runtime_options: retarget_cache_limit must be >= 1 — a zero-capacity cache would "
+        "rebuild the per-modulus retarget state on every ring-overridden dispatch");
+  }
   // The cpu model constants feed cycle/energy accounting; a non-positive
   // value would silently produce nonsense (infinite cycles, negative
   // energy), so they are rejected for every backend, not just cpu.

@@ -64,6 +64,18 @@ struct runtime_options {
   // with respect to the submitting thread).
   unsigned threads = 0;
 
+  // Bound (in moduli) on each backend's lazy per-modulus retarget cache —
+  // the ring-overridden dispatch state (sram: retargeted bank arrays, cpu:
+  // Montgomery fast paths, reference: golden tables).  Least-recently-
+  // dispatched moduli are evicted and rebuilt on next use; must be >= 1.
+  unsigned retarget_cache_limit = 16;
+
+  // Capacity (in entries) of the NTT-domain operand cache: memoized
+  // forward/inverse transforms of repeated operands on ring-overridden
+  // (RNS limb) dispatches, keyed by operand digest x limb prime x
+  // direction.  0 disables caching entirely.
+  unsigned operand_cache_entries = 64;
+
   runtime_options& with_backend(backend_kind k) {
     backend = k;
     return *this;
@@ -118,6 +130,14 @@ struct runtime_options {
   }
   runtime_options& with_threads(unsigned t) {
     threads = t;
+    return *this;
+  }
+  runtime_options& with_retarget_cache(unsigned moduli) {
+    retarget_cache_limit = moduli;
+    return *this;
+  }
+  runtime_options& with_operand_cache(unsigned entries) {
+    operand_cache_entries = entries;
     return *this;
   }
 

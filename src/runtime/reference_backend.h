@@ -5,14 +5,13 @@
 // need answers.
 #pragma once
 
-#include <map>
 #include <memory>
-#include <mutex>
 
 #include "nttmath/incomplete_ntt.h"
 #include "nttmath/ntt.h"
 #include "runtime/backend.h"
 #include "runtime/options.h"
+#include "runtime/retarget_cache.h"
 
 namespace bpntt::runtime {
 
@@ -33,17 +32,18 @@ class reference_backend final : public backend {
   batch_result run_polymul(const std::vector<core::polymul_pair>& pairs,
                            const dispatch_hints& hints) override;
 
+  [[nodiscard]] std::size_t retarget_cache_size() const override { return retarget_.size(); }
+
  private:
   // The full-negacyclic tables for one ring-override modulus (RNS limb
-  // dispatches), built lazily and cached for the backend's lifetime.
-  [[nodiscard]] const math::ntt_tables& tables_for(u64 ring_q);
+  // dispatches), built lazily and LRU-bounded per runtime_options; a
+  // dispatch holds its shared_ptr, so eviction mid-flight is safe.
+  [[nodiscard]] std::shared_ptr<const math::ntt_tables> tables_for(u64 ring_q);
 
   core::ntt_params params_;
   std::unique_ptr<math::ntt_tables> tables_;
   std::unique_ptr<math::incomplete_ntt_tables> itables_;
-  // Concurrent dispatch groups may fault in different limb moduli at once.
-  std::mutex retarget_mu_;
-  std::map<u64, std::unique_ptr<math::ntt_tables>> retarget_;
+  retarget_lru<math::ntt_tables> retarget_;
 };
 
 }  // namespace bpntt::runtime

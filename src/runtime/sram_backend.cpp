@@ -1,15 +1,21 @@
 #include "runtime/sram_backend.h"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "runtime/executor.h"
+#include "runtime/operand_cache.h"
 
 namespace bpntt::runtime {
 
 sram_backend::sram_backend(const runtime_options& opts)
-    : channels_(opts.topo.channels), bank_cfg_(opts.bank()), params_(opts.params) {
+    : channels_(opts.topo.channels),
+      bank_cfg_(opts.bank()),
+      params_(opts.params),
+      retarget_(opts.retarget_cache_limit) {
   const unsigned total = opts.topo.total_banks();
   banks_.reserve(total);
   for (unsigned b = 0; b < total; ++b) {
@@ -17,16 +23,19 @@ sram_backend::sram_backend(const runtime_options& opts)
   }
 }
 
-std::vector<core::bp_ntt_bank>& sram_backend::banks_for(u64 ring_q) {
-  if (ring_q == 0) return banks_;
+std::shared_ptr<std::vector<core::bp_ntt_bank>> sram_backend::banks_for(u64 ring_q) {
+  // The primary array is a member, not a cache entry: alias it into a
+  // non-owning shared_ptr so both paths hand dispatches the same handle
+  // type (the member outlives every dispatch by construction).
+  const auto primary = std::shared_ptr<std::vector<core::bp_ntt_bank>>(
+      std::shared_ptr<void>(), &banks_);
+  if (ring_q == 0) return primary;
   // The primary banks satisfy a same-modulus override only when they
   // already run the full negacyclic transform — an incomplete or cyclic
   // primary ring must still retarget, or a ring-overridden dispatch would
   // execute a different transform here than on the cpu/reference backends.
-  if (ring_q == params_.q && params_.negacyclic && !params_.incomplete) return banks_;
-  std::lock_guard<std::mutex> lk(retarget_mu_);
-  auto it = retarget_.find(ring_q);
-  if (it == retarget_.end()) {
+  if (ring_q == params_.q && params_.negacyclic && !params_.incomplete) return primary;
+  return retarget_.get(ring_q, [&] {
     // Retarget: same chip, same tile width, twiddles/constants recompiled
     // for the limb prime.  The limb ring is always a full negacyclic ring
     // (the context validated 2n | q-1 at stream creation).
@@ -37,9 +46,8 @@ std::vector<core::bp_ntt_bank>& sram_backend::banks_for(u64 ring_q) {
     std::vector<core::bp_ntt_bank> retargeted;
     retargeted.reserve(banks_.size());
     for (std::size_t b = 0; b < banks_.size(); ++b) retargeted.emplace_back(bank_cfg_, limb);
-    it = retarget_.emplace(ring_q, std::move(retargeted)).first;
-  }
-  return it->second;
+    return retargeted;
+  });
 }
 
 backend_caps sram_backend::capabilities() const {
@@ -76,16 +84,15 @@ std::vector<unsigned> sram_backend::resolve_bank_set(const dispatch_hints& hints
 }
 
 template <typename RunSlice>
-batch_result sram_backend::shard(std::size_t njobs, const dispatch_hints& hints,
-                                 RunSlice&& run_slice) {
+batch_result sram_backend::shard(std::vector<core::bp_ntt_bank>& banks, std::size_t njobs,
+                                 const dispatch_hints& hints, RunSlice&& run_slice) {
   batch_result out;
   out.outputs.resize(njobs);
-  if (njobs == 0 || banks_.empty()) return out;
+  if (njobs == 0 || banks.empty()) return out;
 
   // Wave-width blocks round-robin over the subset: block b -> subset bank
   // b mod |subset|.  The assignment depends only on the subset, so a given
   // (jobs, bank_set) dispatch is deterministic at any pool size.
-  std::vector<core::bp_ntt_bank>& banks = banks_for(hints.ring_q);
   const std::vector<unsigned> set = resolve_bank_set(hints);
   const unsigned block_width = std::max(1u, banks[set.front()].lanes_per_wave());
   std::vector<std::vector<std::size_t>> assigned(set.size());
@@ -124,7 +131,11 @@ batch_result sram_backend::shard(std::size_t njobs, const dispatch_hints& hints,
 
 batch_result sram_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
                                    transform_dir dir, const dispatch_hints& hints) {
-  return shard(polys.size(), hints,
+  const auto banks = banks_for(hints.ring_q);
+  if (hints.ring_q != 0 && ocache_ != nullptr) {
+    return run_ntt_cached(polys, dir, hints, *banks);
+  }
+  return shard(*banks, polys.size(), hints,
                [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
                  std::vector<std::vector<u64>> slice;
                  slice.reserve(idx.size());
@@ -133,15 +144,123 @@ batch_result sram_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
                });
 }
 
+batch_result sram_backend::run_ntt_cached(const std::vector<std::vector<u64>>& polys,
+                                          transform_dir dir, const dispatch_hints& hints,
+                                          std::vector<core::bp_ntt_bank>& banks) {
+  // Cache-hit transforms skip the array entirely; only the misses ride a
+  // bank batch, so a fully-warm dispatch costs zero array cycles.
+  batch_result out;
+  out.outputs.resize(polys.size());
+  std::vector<std::size_t> miss;
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    if (auto cached = ocache_->lookup(hints.ring_q, dir, polys[i])) {
+      out.outputs[i] = std::move(*cached);
+    } else {
+      miss.push_back(i);
+    }
+  }
+  if (miss.empty()) return out;
+  std::vector<std::vector<u64>> pending;
+  pending.reserve(miss.size());
+  for (const auto i : miss) pending.push_back(polys[i]);
+  batch_result fresh = shard(banks, pending.size(), hints,
+                             [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
+                               std::vector<std::vector<u64>> slice;
+                               slice.reserve(idx.size());
+                               for (const auto i : idx) slice.push_back(pending[i]);
+                               return bank.run_ntt_batch(slice, dir);
+                             });
+  for (std::size_t k = 0; k < miss.size(); ++k) {
+    ocache_->insert(hints.ring_q, dir, pending[k], fresh.outputs[k]);
+    out.outputs[miss[k]] = std::move(fresh.outputs[k]);
+  }
+  out.wall_cycles = fresh.wall_cycles;
+  out.waves = fresh.waves;
+  out.stats = fresh.stats;
+  return out;
+}
+
 batch_result sram_backend::run_polymul(const std::vector<core::polymul_pair>& pairs,
                                        const dispatch_hints& hints) {
-  return shard(pairs.size(), hints,
+  const auto banks = banks_for(hints.ring_q);
+  if (hints.ring_q != 0 && ocache_ != nullptr) {
+    return run_polymul_cached(pairs, hints, *banks);
+  }
+  return shard(*banks, pairs.size(), hints,
                [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
                  std::vector<core::polymul_pair> slice;
                  slice.reserve(idx.size());
                  for (const auto i : idx) slice.push_back(pairs[i]);
                  return bank.run_polymul_batch(slice);
                });
+}
+
+batch_result sram_backend::run_polymul_cached(const std::vector<core::polymul_pair>& pairs,
+                                              const dispatch_hints& hints,
+                                              std::vector<core::bp_ntt_bank>& banks) {
+  // Split the in-array pipeline at its natural seam: (1) forward-transform
+  // exactly the distinct operands the cache does not hold, (2) run
+  // pointwise + inverse on transformed operands.  Identical kernels to the
+  // fused run_polymul_batch — only where the forward images come from
+  // changes — so outputs stay bit-identical whether the cache is cold,
+  // warm, or disabled.
+  // Dedup by operand *value* without copying operands into map keys: keys
+  // are pointers into `pairs` (stable for this call), ordered by the
+  // pointed-to coefficients, so equal-valued operands share one entry.
+  const auto by_value = [](const std::vector<u64>* a, const std::vector<u64>* b) {
+    return *a < *b;
+  };
+  std::map<const std::vector<u64>*, std::vector<u64>, decltype(by_value)> transformed(
+      by_value);  // operand -> forward image
+  std::vector<const std::vector<u64>*> miss;
+  for (const auto& pr : pairs) {
+    for (const auto* op : {&pr.a, &pr.b}) {
+      if (transformed.count(op) != 0) continue;
+      if (auto cached = ocache_->lookup(hints.ring_q, transform_dir::forward, *op)) {
+        transformed.emplace(op, std::move(*cached));
+      } else {
+        transformed.emplace(op, std::vector<u64>{});  // placeholder, filled below
+        miss.push_back(op);
+      }
+    }
+  }
+
+  batch_result fwd;
+  if (!miss.empty()) {
+    std::vector<std::vector<u64>> pending;
+    pending.reserve(miss.size());
+    for (const auto* op : miss) pending.push_back(*op);
+    fwd = shard(banks, pending.size(), hints,
+                [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
+                  std::vector<std::vector<u64>> slice;
+                  slice.reserve(idx.size());
+                  for (const auto i : idx) slice.push_back(pending[i]);
+                  return bank.run_ntt_batch(slice, transform_dir::forward);
+                });
+    for (std::size_t k = 0; k < miss.size(); ++k) {
+      ocache_->insert(hints.ring_q, transform_dir::forward, pending[k], fwd.outputs[k]);
+      transformed[miss[k]] = std::move(fwd.outputs[k]);
+    }
+  }
+
+  std::vector<core::polymul_pair> staged(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    staged[i] = {transformed.at(&pairs[i].a), transformed.at(&pairs[i].b)};
+  }
+  batch_result out = shard(banks, staged.size(), hints,
+                           [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
+                             std::vector<core::polymul_pair> slice;
+                             slice.reserve(idx.size());
+                             for (const auto i : idx) slice.push_back(staged[i]);
+                             return bank.run_transformed_polymul_batch(slice);
+                           });
+  // The two phases run back-to-back on the same bank subset: cycles add,
+  // waves and op counts accumulate.
+  out.wall_cycles += fwd.wall_cycles;
+  out.waves += fwd.waves;
+  out.stats += fwd.stats;
+  out.stats.cycles = out.wall_cycles;
+  return out;
 }
 
 }  // namespace bpntt::runtime

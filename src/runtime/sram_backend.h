@@ -10,14 +10,21 @@
 // Banks are independent cycle-level models, so dispatches confined to
 // disjoint bank subsets (dispatch_hints::bank_set) are safe to run
 // concurrently — that is how the context overlaps independent streams.
+//
+// Ring-overridden (RNS limb) dispatches additionally consult the runtime's
+// NTT-domain operand cache: transforms whose operand digest is cached skip
+// the array entirely (zero cycles — the modelled win of operand reuse), and
+// a limb product splits into "forward-transform the missing operands" +
+// "pointwise and inverse on transformed operands" so repeated multiplicands
+// pay the forward NTT exactly once.
 #pragma once
 
-#include <map>
-#include <mutex>
+#include <memory>
 #include <vector>
 
 #include "runtime/backend.h"
 #include "runtime/options.h"
+#include "runtime/retarget_cache.h"
 
 namespace bpntt::runtime {
 
@@ -35,13 +42,15 @@ class sram_backend final : public backend {
 
   [[nodiscard]] unsigned banks() const noexcept { return static_cast<unsigned>(banks_.size()); }
   [[nodiscard]] const core::bp_ntt_bank& bank(unsigned i) const { return banks_.at(i); }
+  [[nodiscard]] std::size_t retarget_cache_size() const override { return retarget_.size(); }
 
  private:
   // Shard `njobs` into wave-width blocks round-robin over the dispatch's
   // bank subset; `run_slice(bank, job_indices)` executes one bank's slice
   // and the per-job outputs are stitched back into submission order.
   template <typename RunSlice>
-  batch_result shard(std::size_t njobs, const dispatch_hints& hints, RunSlice&& run_slice);
+  batch_result shard(std::vector<core::bp_ntt_bank>& banks, std::size_t njobs,
+                     const dispatch_hints& hints, RunSlice&& run_slice);
 
   // The dispatch's bank subset: hints.bank_set when non-empty (validated),
   // every bank otherwise.
@@ -51,18 +60,26 @@ class sram_backend final : public backend {
   // ring-overridden (RNS limb) dispatch — the retargeted bank array for
   // that modulus.  Retargeting models reloading the CTRL/CMD subarray's
   // twiddle words for a different prime: same geometry, same tile width,
-  // different microcode constants.  Built lazily per modulus and cached;
-  // the scheduler's disjoint bank-id reservations keep a bank id exclusive
-  // across every array, so retargeted banks never run concurrently with
-  // their primary twin.
-  [[nodiscard]] std::vector<core::bp_ntt_bank>& banks_for(u64 ring_q);
+  // different microcode constants.  Built lazily per modulus, LRU-bounded
+  // per runtime_options (the shared_ptr keeps an array alive across a
+  // concurrent eviction); the scheduler's disjoint bank-id reservations
+  // keep a bank id exclusive across every array, so retargeted banks never
+  // run concurrently with their primary twin.
+  [[nodiscard]] std::shared_ptr<std::vector<core::bp_ntt_bank>> banks_for(u64 ring_q);
+
+  // The operand-cache-aware limb paths (hints.ring_q != 0, cache attached).
+  batch_result run_ntt_cached(const std::vector<std::vector<u64>>& polys, transform_dir dir,
+                              const dispatch_hints& hints,
+                              std::vector<core::bp_ntt_bank>& banks);
+  batch_result run_polymul_cached(const std::vector<core::polymul_pair>& pairs,
+                                  const dispatch_hints& hints,
+                                  std::vector<core::bp_ntt_bank>& banks);
 
   unsigned channels_ = 1;
   core::bank_config bank_cfg_;
   core::ntt_params params_;
   std::vector<core::bp_ntt_bank> banks_;
-  std::mutex retarget_mu_;
-  std::map<u64, std::vector<core::bp_ntt_bank>> retarget_;
+  retarget_lru<std::vector<core::bp_ntt_bank>> retarget_;
 };
 
 }  // namespace bpntt::runtime

@@ -73,6 +73,26 @@ TEST(Params, RnsPresetsCarryValidCoprimeChains) {
   EXPECT_GE(p.modulus_bits(), 58u);
 }
 
+TEST(Params, RnsLevelChainConsumesOneLimbPerLevel) {
+  const auto top = he_rns_level(20, 4, 256);
+  const auto chain = rns_level_chain(top);
+  ASSERT_EQ(chain.size(), 4u);  // levels 0..3, ending at the one-limb floor
+  EXPECT_EQ(chain[0].primes, top.primes);
+  for (std::size_t level = 0; level < chain.size(); ++level) {
+    SCOPED_TRACE(level);
+    EXPECT_EQ(chain[level].n, top.n);
+    EXPECT_EQ(chain[level].primes.size(), top.primes.size() - level);
+    // Each level is the previous one minus its last limb.
+    for (std::size_t i = 0; i < chain[level].primes.size(); ++i) {
+      EXPECT_EQ(chain[level].primes[i], top.primes[i]);
+    }
+    // The tile width stays the top level's (same tiles all the way down).
+    EXPECT_EQ(chain[level].min_tile_bits, top.min_tile_bits);
+    EXPECT_EQ(chain[level].name, top.name + "-L" + std::to_string(level));
+  }
+  EXPECT_THROW((void)rns_level_chain(rns_param_set{}), std::invalid_argument);
+}
+
 TEST(Params, PaperCapacityClaimCoverage) {
   // §I: BP-NTT covers PQC (256/1024-point, 14-32 bit) and HE (1024-point,
   // 16/21/29-bit) — every set must fit a 256x256 array's 16 tile columns

@@ -225,6 +225,59 @@ TEST(WideUint, DivmodWithTopBitSetDivisor) {
   EXPECT_EQ(dm.rem.low64(), (1ULL << 63) - 1);
 }
 
+// ---- divround (the rescale round-division helper) --------------------------
+
+TEST(WideUint, DivroundMatchesU128OracleIncludingTies) {
+  common::xoshiro256ss rng(111);
+  for (int i = 0; i < 200; ++i) {
+    const u64 x = rng();
+    const u64 d = (rng() % 1000) + 1;  // small divisors make ties common
+    const wide_uint got = wide_uint(128, x).divround(wide_uint(64, d));
+    // round-half-up at 128-bit working width: floor((2x + d) / 2d).
+    const u128 expect = (static_cast<u128>(x) * 2 + d) / (static_cast<u128>(d) * 2);
+    EXPECT_EQ(got.low64(), static_cast<u64>(expect)) << x << " / " << d;
+  }
+}
+
+TEST(WideUint, DivroundRoundsExactHalvesUp) {
+  // 2r == d is only reachable with an even divisor; the tie must round up.
+  EXPECT_EQ(wide_uint(64, 5).divround(wide_uint(64, 2)).low64(), 3u);    // 2.5 -> 3
+  EXPECT_EQ(wide_uint(64, 7).divround(wide_uint(64, 2)).low64(), 4u);    // 3.5 -> 4
+  EXPECT_EQ(wide_uint(64, 50).divround(wide_uint(64, 100)).low64(), 1u); // 0.5 -> 1
+  EXPECT_EQ(wide_uint(64, 49).divround(wide_uint(64, 100)).low64(), 0u); // below half
+  EXPECT_EQ(wide_uint(64, 51).divround(wide_uint(64, 100)).low64(), 1u); // above half
+  // Odd divisor (the rescale case): no ties exist, nearest wins.
+  EXPECT_EQ(wide_uint(64, 8).divround(wide_uint(64, 5)).low64(), 2u);    // 1.6 -> 2
+  EXPECT_EQ(wide_uint(64, 7).divround(wide_uint(64, 5)).low64(), 1u);    // 1.4 -> 1
+}
+
+TEST(WideUint, DivroundWithDividendNarrowerThanDivisor) {
+  // A 32-bit value against divisors at (and beyond) much wider widths:
+  // quotient rounds on the remainder alone.
+  const wide_uint x(32, 3);
+  EXPECT_EQ(x.divround(wide_uint(128, 5)).low64(), 1u);  // 0.6 rounds up
+  EXPECT_EQ(x.divround(wide_uint(128, 7)).low64(), 0u);  // 3/7 rounds down
+  // Divisor value itself wider than the dividend's width: quotient 0, and
+  // the half comparison still sees the full divisor.
+  wide_uint huge(256);
+  huge.set_bit(200, true);
+  EXPECT_TRUE(wide_uint(64, ~0ULL).divround(huge).is_zero());
+}
+
+TEST(WideUint, DivroundAliasingAndZeroInputs) {
+  // x.divround(x) aliases dividend and divisor: exactly 1 for non-zero x.
+  wide_uint a(192);
+  a.set_bit(150, true);
+  a.set_bit(3, true);
+  EXPECT_EQ(a.divround(a).low64(), 1u);
+  // Zero dividend (including one whose limbs are all zero at wide widths).
+  EXPECT_TRUE(wide_uint(256).divround(a).is_zero());
+  const wide_uint zero_low(128);  // both limbs zero
+  EXPECT_TRUE(zero_low.divround(wide_uint(64, 3)).is_zero());
+  // Division by zero throws, as divmod does.
+  EXPECT_THROW((void)a.divround(wide_uint(64)), std::domain_error);
+}
+
 TEST(WideUint, ModU64MatchesScalarOracle) {
   common::xoshiro256ss rng(99);
   for (int i = 0; i < 100; ++i) {

@@ -1,0 +1,149 @@
+// Runtime cache tests: the operand_cache unit surface (LRU bound, exact
+// keying, invalidation) and the LRU-bounded per-modulus retarget caches of
+// all three backends (eviction, rebuild-on-reuse, the probe).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/xoshiro.h"
+#include "nttmath/primes.h"
+#include "runtime/context.h"
+#include "runtime/operand_cache.h"
+
+namespace bpntt::runtime {
+namespace {
+
+constexpr u64 kOrder = 32;
+
+runtime_options small_options(backend_kind kind) {
+  return runtime_options()
+      .with_ring(kOrder, 3137, 13)
+      .with_backend(kind)
+      .with_array(64, 39)
+      .with_banks(2)
+      .with_threads(2);
+}
+
+std::vector<u64> poly_of(u64 seed) {
+  common::xoshiro256ss rng(seed);
+  std::vector<u64> p(kOrder);
+  for (auto& c : p) c = rng.below(3137);
+  return p;
+}
+
+// ---- operand_cache unit ----------------------------------------------------
+
+TEST(OperandCacheUnit, LookupInsertAndCounters) {
+  operand_cache cache(4);
+  const auto a = poly_of(1);
+  const auto fa = poly_of(2);
+
+  EXPECT_FALSE(cache.lookup(97, core::transform_dir::forward, a).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.insert(97, core::transform_dir::forward, a, fa);
+  const auto hit = cache.lookup(97, core::transform_dir::forward, a);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, fa);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // The key is (operand, ring, direction): same operand under another ring
+  // or direction is a distinct entry.
+  EXPECT_FALSE(cache.lookup(193, core::transform_dir::forward, a).has_value());
+  EXPECT_FALSE(cache.lookup(97, core::transform_dir::inverse, a).has_value());
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(OperandCacheUnit, LruEvictsTheColdestEntry) {
+  operand_cache cache(2);
+  const auto a = poly_of(1), b = poly_of(2), c = poly_of(3);
+  cache.insert(97, core::transform_dir::forward, a, poly_of(11));
+  cache.insert(97, core::transform_dir::forward, b, poly_of(12));
+  // Touch a so b becomes the LRU victim.
+  (void)cache.lookup(97, core::transform_dir::forward, a);
+  cache.insert(97, core::transform_dir::forward, c, poly_of(13));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(97, core::transform_dir::forward, a).has_value());
+  EXPECT_TRUE(cache.lookup(97, core::transform_dir::forward, c).has_value());
+  EXPECT_FALSE(cache.lookup(97, core::transform_dir::forward, b).has_value());
+}
+
+TEST(OperandCacheUnit, InvalidateAndClear) {
+  operand_cache cache(8);
+  const auto a = poly_of(1), b = poly_of(2);
+  cache.insert(97, core::transform_dir::forward, a, poly_of(11));
+  cache.insert(193, core::transform_dir::forward, a, poly_of(12));
+  cache.insert(97, core::transform_dir::inverse, a, poly_of(13));
+  cache.insert(97, core::transform_dir::forward, b, poly_of(14));
+  ASSERT_EQ(cache.size(), 4u);
+
+  // One operand, every ring and direction.
+  cache.invalidate(a);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.lookup(97, core::transform_dir::forward, b).has_value());
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_GT(cache.hits() + cache.misses(), 0u) << "counters are cumulative across clear()";
+}
+
+TEST(OperandCacheUnit, ZeroCapacityNeverStores) {
+  operand_cache cache(0);
+  const auto a = poly_of(1);
+  cache.insert(97, core::transform_dir::forward, a, poly_of(11));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(97, core::transform_dir::forward, a).has_value());
+}
+
+// ---- retarget cache bound --------------------------------------------------
+
+class RetargetCacheBound : public ::testing::TestWithParam<backend_kind> {};
+
+TEST_P(RetargetCacheBound, EvictsLeastRecentlyDispatchedModulus) {
+  // A bound of 2 with three limb primes cycling through: the cache never
+  // exceeds its limit, every dispatch still answers correctly (evicted
+  // moduli rebuild), and the probe observes the occupancy.
+  auto opts = small_options(GetParam()).with_retarget_cache(2);
+  context ctx(opts);
+  // Three 12-bit NTT-friendly primes for n = 32 (q == 1 mod 64).
+  const std::vector<u64> primes = math::first_k_ntt_primes(12, kOrder, 3, true);
+  const auto poly = poly_of(42);
+
+  std::vector<std::vector<u64>> cold(primes.size());
+  for (std::size_t i = 0; i < primes.size(); ++i) {
+    std::vector<u64> in = poly;
+    for (auto& c : in) c %= primes[i];
+    const auto id = ctx.rns_stream(primes[i]).submit(ntt_job{.coeffs = in});
+    cold[i] = ctx.wait(id).outputs.front();
+    EXPECT_LE(ctx.retarget_cache_size(), 2u) << "after cold dispatch " << i;
+  }
+  EXPECT_EQ(ctx.retarget_cache_size(), 2u);
+
+  // Re-dispatching the evicted first prime rebuilds it bit-identically and
+  // stays inside the bound.
+  std::vector<u64> in = poly;
+  for (auto& c : in) c %= primes[0];
+  const auto id = ctx.rns_stream(primes[0]).submit(ntt_job{.coeffs = in});
+  EXPECT_EQ(ctx.wait(id).outputs.front(), cold[0]);
+  EXPECT_EQ(ctx.retarget_cache_size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, RetargetCacheBound,
+                         ::testing::Values(backend_kind::sram, backend_kind::cpu,
+                                           backend_kind::reference),
+                         [](const auto& info) { return std::string(to_string(info.param)); });
+
+TEST(RetargetCacheBound, ZeroLimitIsRejectedUpFront) {
+  auto opts = small_options(backend_kind::sram).with_retarget_cache(0);
+  EXPECT_THROW(context ctx(opts), std::invalid_argument);
+}
+
+TEST(RetargetCacheBound, PrimaryRingDispatchesDoNotOccupyTheCache) {
+  context ctx(small_options(backend_kind::sram));
+  const auto id = ctx.submit(ntt_job{.coeffs = poly_of(7)});
+  (void)ctx.wait(id);
+  EXPECT_EQ(ctx.retarget_cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace bpntt::runtime

@@ -444,6 +444,101 @@ TEST(RuntimeStreams, DeadlineMissesAreAccountedNotPreempted) {
   EXPECT_EQ(ctx.stats().deadline_misses, 1u);
 }
 
+TEST(RuntimeStreams, FinishingExactlyAtTheDeadlineIsAMeetNotAMiss) {
+  // Regression for the boundary the two dispatch paths must agree on: a
+  // group whose completion lands *exactly* on deadline_cycles has met its
+  // budget.  The stub reports a fixed 1000-cycle batch, so the boundary is
+  // exact by construction — and the second stream flushes after the first
+  // completed, pinning the "measured from the stream's flush" reference.
+  recording_backend::config cfg;
+  cfg.ntt_cost = 1000;
+  auto owned = std::make_unique<recording_backend>(cfg);
+  context ctx(small_sram().with_threads(1), std::move(owned));
+  common::xoshiro256ss rng(31);
+
+  auto exact = ctx.stream({.deadline_cycles = 1000});
+  const auto met = exact.submit(ntt_job{.coeffs = random_poly(32, 193, rng)});
+  exact.flush();
+  ctx.sync();
+  const auto r_met = ctx.wait(met);
+  EXPECT_FALSE(r_met.deadline_missed) << "end - ref == deadline must be a meet";
+  EXPECT_EQ(ctx.stats().deadline_misses, 0u);
+
+  // One cycle less of budget on a later flush (non-zero reference vtime):
+  // the identical batch now misses — on the same dispatch path.
+  auto tight = ctx.stream({.deadline_cycles = 999});
+  const auto missed = tight.submit(ntt_job{.coeffs = random_poly(32, 193, rng)});
+  tight.flush();
+  ctx.sync();
+  const auto r_missed = ctx.wait(missed);
+  EXPECT_TRUE(r_missed.deadline_missed);
+  EXPECT_EQ(ctx.stats().deadline_misses, 1u);
+}
+
+TEST(RuntimeStreams, RlwePathSharesTheExactDeadlineBoundary) {
+  // The staged R-LWE flow accounts its deadline at its last product stage
+  // through the same helper as plain dispatches: three 1000-cycle product
+  // stages finish at exactly 3000 — a meet at 3000, a miss at 2999.
+  common::xoshiro256ss rng(32);
+  std::vector<u64> message(32, 0);
+  for (auto& b : message) b = rng() & 1ULL;
+
+  const auto run_with_deadline = [&](u64 deadline) {
+    recording_backend::config cfg;
+    cfg.ntt_cost = 1000;
+    auto owned = std::make_unique<recording_backend>(cfg);
+    context ctx(small_sram().with_threads(1), std::move(owned));
+    auto s = ctx.stream({.deadline_cycles = deadline});
+    const auto id = s.submit(rlwe_encrypt_job{.message = message});
+    s.flush();
+    ctx.sync();
+    return ctx.wait(id).deadline_missed;
+  };
+  EXPECT_FALSE(run_with_deadline(3000)) << "exactly at the deadline is a meet";
+  EXPECT_TRUE(run_with_deadline(2999));
+}
+
+// ---- limb-stream lifecycle -------------------------------------------------
+
+TEST(RuntimeStreams, RnsStreamReopensFreshSlotWhileFlushIsStillInFlight) {
+  // Close the dedicated limb stream while its flushed group is still
+  // blocked inside the backend, then ask for the limb stream again: the
+  // context must hand out a fresh, fully-usable slot — never the stale
+  // closed handle — and both the in-flight job and work on the reopened
+  // slot must complete.
+  recording_backend::config cfg;
+  cfg.block_first = true;
+  auto owned = std::make_unique<recording_backend>(cfg);
+  auto* be = owned.get();
+  context ctx(small_sram().with_threads(2), std::move(owned));
+  common::xoshiro256ss rng(33);
+
+  constexpr u64 kLimb = 257;  // 257 == 1 (mod 64): negacyclic at n = 32
+  auto s = ctx.rns_stream(kLimb);
+  const auto stale_id = s.id();
+  const auto inflight =
+      s.submit(ntt_job{.coeffs = random_poly(32, kLimb, rng)});
+  s.flush();
+  // The group is dispatched (and the backend is now blocked inside it).
+  EXPECT_EQ(ctx.stats().jobs_in_flight, 1u);
+
+  s.close();  // close during the in-flight flush; must not deadlock
+
+  auto reopened = ctx.rns_stream(kLimb);
+  EXPECT_NE(reopened.id(), stale_id) << "a closed limb stream must not be resurrected";
+  EXPECT_EQ(ctx.rns_stream(kLimb).id(), reopened.id()) << "the fresh slot is the new home";
+  const auto later = reopened.submit(ntt_job{.coeffs = random_poly(32, kLimb, rng)});
+  reopened.flush();
+
+  be->release();
+  const auto r1 = ctx.wait(inflight);
+  EXPECT_EQ(r1.status, job_status::ok);
+  EXPECT_EQ(r1.stream, stale_id) << "the in-flight job still reports its original stream";
+  const auto r2 = ctx.wait(later);
+  EXPECT_EQ(r2.status, job_status::ok);
+  EXPECT_EQ(r2.stream, reopened.id());
+}
+
 // ---- virtual-timeline accounting -------------------------------------------
 
 TEST(RuntimeStreams, MakespanAccountingOverlapsDisjointBanksOnly) {
