@@ -1,39 +1,45 @@
 #!/usr/bin/env python3
-"""Advisory perf-trend check for the bench JSON artifacts.
+"""Perf-trend gate for the bench JSON artifacts.
 
-Compares the current run's measured rows against the previous successful
-run's artifacts and emits GitHub warning annotations when a cycle-derived
-metric regresses by more than the threshold:
+Every gated metric is cycle-derived from the SRAM model's virtual timeline,
+so it is deterministic and host-independent:
 
   * BENCH_table1.json     — measured in-SRAM rows, latency_us per row
   * BENCH_rns_bigmul.json — RNS limb sweep, makespan_cycles per limb count
+  * BENCH_rescale.json    — rescale limb sweep, cold_cycles per limb count
 
-Strictly non-fatal: every path — missing previous artifact, schema drift,
-genuine regression — exits 0; the signal is the annotation, not the job
-status.
+Each current value is compared against two references: the committed
+baseline (bench/baselines/, updated deliberately when a change is supposed
+to shift cycles) and the previous successful run's artifact.  A metric
+fails the job only on a SUSTAINED regression — more than the threshold
+past the committed baseline AND past the previous run, i.e. regressed
+twice in a row.  One noisy or deliberately-rebaselined run therefore
+warns; a regression that persists across two runs fails.
 
-Usage: perf_trend.py <previous_table1.json> <current_table1.json>
-                     [<previous_rns_bigmul.json> <current_rns_bigmul.json>]
+BENCH_soak.json wall-clock metrics (throughput, latency quantiles) measure
+the host, not the model: they are always advisory.  The soak's own
+correctness gates (lost/duplicated results, EDF-beats-FIFO) are enforced
+by the bench binary's exit code, not here.
+
+Usage: perf_trend.py --baseline <dir> --current <dir> [--previous <dir>]
 """
+import argparse
 import json
+import os
 import sys
 
-THRESHOLD = 0.10  # warn past +10%
+THRESHOLD = 0.10  # fail past +10%, sustained
 
 
-def load(path, required):
+def load(path):
     try:
         with open(path) as f:
             return json.load(f)
-    except (OSError, ValueError) as e:
-        if required:
-            print(f"::warning::perf-trend: current bench JSON unreadable ({e})")
-        else:
-            print(f"perf-trend: no usable previous artifact ({e}); skipping comparison")
+    except (OSError, ValueError):
         return None
 
 
-def sram_rows(doc):
+def table1_metrics(doc):
     """name -> latency_us for the measured in-SRAM rows (latency is cycles
     at the model's fixed array clock, so a latency ratio is a cycle ratio)."""
     rows = {}
@@ -45,8 +51,7 @@ def sram_rows(doc):
     return rows
 
 
-def rns_rows(doc):
-    """'N limbs' -> makespan_cycles for the RNS big-modulus limb sweep."""
+def rns_metrics(doc):
     rows = {}
     for row in doc.get("rows", []):
         makespan = row.get("makespan_cycles")
@@ -56,47 +61,118 @@ def rns_rows(doc):
     return rows
 
 
-def compare(label, unit, prev_rows, cur_rows):
-    """Print the per-row trend, emitting a warning annotation per regression."""
-    if not prev_rows or not cur_rows:
-        print(f"perf-trend[{label}]: no comparable rows; skipping")
-        return
-    regressions = 0
-    for name, cur in sorted(cur_rows.items()):
-        prev = prev_rows.get(name)
-        if prev is None:
-            print(f"perf-trend[{label}]: new row '{name}' ({cur:.4g} {unit}), no baseline")
+def rescale_metrics(doc):
+    rows = {}
+    for row in doc.get("rows", []):
+        cold = row.get("cold_cycles")
+        limbs = row.get("limbs")
+        if isinstance(cold, (int, float)) and cold > 0 and limbs is not None:
+            rows[f"{limbs} limbs cold"] = float(cold)
+    return rows
+
+
+def soak_metrics(doc):
+    """Advisory wall-clock view of the service-layer soak."""
+    totals = doc.get("totals", {})
+    rows = {}
+    for key in ("throughput_jobs_per_s", "p99_ns"):
+        val = totals.get(key)
+        if isinstance(val, (int, float)) and val > 0:
+            rows[key] = float(val)
+    return rows
+
+
+GATED = [
+    ("sram table1", "BENCH_table1.json", table1_metrics, "us"),
+    ("rns bigmul", "BENCH_rns_bigmul.json", rns_metrics, "cyc"),
+    ("rns rescale", "BENCH_rescale.json", rescale_metrics, "cyc"),
+]
+ADVISORY = [
+    ("service soak", "BENCH_soak.json", soak_metrics, ""),
+]
+
+
+def ratio(cur, ref):
+    return cur / ref - 1.0
+
+
+def check_file(label, extract, unit, base_doc, prev_doc, cur_doc, gating):
+    """Compare one bench file; return the number of sustained regressions."""
+    if cur_doc is None:
+        print(f"::warning title=perf-trend::{label}: current bench JSON missing/unreadable")
+        return 0
+    cur = extract(cur_doc)
+    base = extract(base_doc) if base_doc is not None else {}
+    prev = extract(prev_doc) if prev_doc is not None else {}
+    if not base:
+        print(f"perf-trend[{label}]: no committed baseline rows; skipping")
+        return 0
+
+    sustained = 0
+    for name, cur_val in sorted(cur.items()):
+        base_val = base.get(name)
+        if base_val is None:
+            print(f"perf-trend[{label}]: new row '{name}' ({cur_val:.4g} {unit}), "
+                  "no baseline — commit one in bench/baselines/")
             continue
-        delta = cur / prev - 1.0
-        verdict = "regressed" if delta > THRESHOLD else "ok"
-        print(f"perf-trend[{label}]: {name}: {prev:.4g} -> {cur:.4g} {unit} "
-              f"({delta:+.1%}) {verdict}")
-        if delta > THRESHOLD:
-            regressions += 1
+        d_base = ratio(cur_val, base_val)
+        line = (f"perf-trend[{label}]: {name}: baseline {base_val:.4g} -> "
+                f"{cur_val:.4g} {unit} ({d_base:+.1%})")
+        # "Twice in a row" means the PREVIOUS run was also past the
+        # committed baseline — not that current moved vs previous (a
+        # persisting regression is flat run-to-run).
+        prev_val = prev.get(name)
+        if prev_val is not None:
+            d_prev = ratio(prev_val, base_val)
+            line += f", prev run {prev_val:.4g} ({d_prev:+.1%} vs baseline)"
+        else:
+            d_prev = None
+        regressed_base = d_base > THRESHOLD
+        regressed_prev = d_prev is not None and d_prev > THRESHOLD
+
+        if not gating:
+            print(line + (" [advisory]" if regressed_base else ""))
+            continue
+        if regressed_base and regressed_prev:
+            sustained += 1
+            print(line + " SUSTAINED REGRESSION")
+            print(f"::error title={label} sustained cycle regression::{name}: "
+                  f"{cur_val:.4g} {unit} is {d_base:+.1%} past the committed baseline, "
+                  f"and the previous run was already {d_prev:+.1%} past it (threshold "
+                  f"+{THRESHOLD:.0%} twice in a row). Fix the regression or "
+                  "deliberately update bench/baselines/.")
+        elif regressed_base:
+            print(line + " regressed vs baseline (first occurrence — warning)")
             print(f"::warning title={label} cycle regression::{name}: "
-                  f"{prev:.4g} {unit} -> {cur:.4g} {unit} ({delta:+.1%}, threshold "
-                  f"+{THRESHOLD:.0%}) vs the previous run's artifact")
-    if regressions == 0:
-        print(f"perf-trend[{label}]: all rows within threshold")
+                  f"{cur_val:.4g} {unit} is {d_base:+.1%} past the committed baseline; "
+                  "fails the next run if it persists.")
+        else:
+            print(line + " ok")
+    return sustained
 
 
 def main():
-    if len(sys.argv) not in (3, 5):
-        print("usage: perf_trend.py <previous_table1> <current_table1> "
-              "[<previous_rns_bigmul> <current_rns_bigmul>]")
-        return 0
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True, help="committed baseline dir")
+    ap.add_argument("--current", required=True, help="dir with this run's bench JSONs")
+    ap.add_argument("--previous", default=None,
+                    help="dir with the previous run's artifacts (optional)")
+    args = ap.parse_args()
 
-    prev = load(sys.argv[1], required=False)
-    cur = load(sys.argv[2], required=True)
-    if prev is not None and cur is not None:
-        compare("sram table1", "us", sram_rows(prev), sram_rows(cur))
+    failures = 0
+    for gating, group in ((True, GATED), (False, ADVISORY)):
+        for label, fname, extract, unit in group:
+            base_doc = load(os.path.join(args.baseline, fname))
+            cur_doc = load(os.path.join(args.current, fname))
+            prev_doc = load(os.path.join(args.previous, fname)) if args.previous else None
+            failures += check_file(label, extract, unit, base_doc, prev_doc, cur_doc,
+                                   gating)
 
-    if len(sys.argv) == 5:
-        prev_rns = load(sys.argv[3], required=False)
-        cur_rns = load(sys.argv[4], required=True)
-        if prev_rns is not None and cur_rns is not None:
-            compare("rns bigmul", "cyc", rns_rows(prev_rns), rns_rows(cur_rns))
-    return 0  # advisory by design
+    if failures:
+        print(f"perf-trend: {failures} sustained regression(s) — failing the job")
+        return 1
+    print("perf-trend: no sustained regressions")
+    return 0
 
 
 if __name__ == "__main__":

@@ -162,7 +162,10 @@ stream context::stream(stream_options sopts) {
     ss.resources = auto_bank_set(sid);
   }
   ss.sopts = std::move(sopts);
-  streams_.emplace(sid, std::move(ss));
+  {
+    std::lock_guard<std::mutex> lk(smu_);
+    streams_.emplace(sid, std::move(ss));
+  }
   return runtime::stream(this, sid);
 }
 
@@ -188,7 +191,10 @@ void context::close_stream(unsigned sid) {
   }
   (void)state_of(sid);  // precise throw for foreign/already-closed handles
   flush_stream(sid);    // nothing of the stream's may stay stuck in a queue
-  streams_.erase(sid);  // in-flight groups carry their own hints; ids stay waitable
+  {
+    std::lock_guard<std::mutex> lk(smu_);
+    streams_.erase(sid);  // in-flight groups carry their own hints; ids stay waitable
+  }
   // If this was a dedicated limb stream, forget it so rns_stream() opens a
   // fresh one instead of handing out a dangling id.
   for (auto it = rns_streams_.begin(); it != rns_streams_.end(); ++it) {
@@ -243,7 +249,10 @@ void require_ring_poly(const std::vector<u64>& coeffs, u64 n, u64 q, const char*
 
 job_id context::enqueue(unsigned sid, job j) {
   const job_id id = next_id_++;
-  state_of(sid).queue.emplace_back(id, std::move(j));
+  {
+    std::lock_guard<std::mutex> lk(smu_);
+    state_of(sid).queue.emplace_back(id, std::move(j));
+  }
   std::lock_guard<std::mutex> lk(mu_);
   ++stats_.jobs_submitted;
   return id;
@@ -374,9 +383,15 @@ rns_submission context::submit_rns(rns_polymul_job j) {
 }
 
 std::size_t context::pending() const noexcept {
+  std::lock_guard<std::mutex> lk(smu_);
   std::size_t n = 0;
   for (const auto& [sid, ss] : streams_) n += ss.queue.size();
   return n;
+}
+
+std::size_t context::open_streams() const noexcept {
+  std::lock_guard<std::mutex> lk(smu_);
+  return streams_.size();
 }
 
 scheduler_stats context::stats() const {
@@ -408,6 +423,7 @@ void context::invalidate_operand_cache() noexcept {
 // ---- scheduler -------------------------------------------------------------
 
 std::shared_ptr<context::dispatch_group> context::build_group(unsigned sid) {
+  std::lock_guard<std::mutex> lk(smu_);
   stream_state& ss = state_of(sid);
   if (ss.queue.empty()) return nullptr;
   // Jobs of one stream are independent, so its pending set is partitioned
@@ -445,10 +461,32 @@ std::shared_ptr<context::dispatch_group> context::build_group(unsigned sid) {
   return g;
 }
 
+bool context::group_before(const dispatch_group& a, const dispatch_group& b) const {
+  // Aged groups jump every non-aged group and order among themselves in
+  // flush order — the starvation escape hatch of both policies.
+  if (a.aged != b.aged) return a.aged;
+  if (a.aged) return a.seq < b.seq;
+  if (opts_.sched == schedule_policy::edf && a.deadline_abs != b.deadline_abs) {
+    return a.deadline_abs < b.deadline_abs;  // no_deadline sorts after all finite
+  }
+  if (a.hints.priority != b.hints.priority) return a.hints.priority > b.hints.priority;
+  return a.seq < b.seq;
+}
+
 void context::enqueue_group_locked(std::shared_ptr<dispatch_group> g) {
   g->seq = next_group_seq_++;
   for (const unsigned r : g->resources) {
     g->ref_vtime = std::max(g->ref_vtime, bank_free_at_[r]);
+  }
+  // The absolute deadline the edf policy orders by: the stream's completion
+  // budget measured from its flush frontier.  Saturated so an astronomic
+  // budget stays a *finite* deadline (only deadline_cycles == 0 means
+  // none).
+  if (g->hints.deadline_cycles != 0) {
+    const u64 abs = g->ref_vtime + g->hints.deadline_cycles;
+    g->deadline_abs =
+        abs < g->ref_vtime ? dispatch_group::no_deadline - 1
+                           : std::min<u64>(abs, dispatch_group::no_deadline - 1);
   }
   // Jobs become in-flight before the group can run, so a wait() racing the
   // pool can never mistake a dispatched job for a claimed one.
@@ -457,12 +495,11 @@ void context::enqueue_group_locked(std::shared_ptr<dispatch_group> g) {
     in_flight_.insert(ids->begin(), ids->end());
   }
   ++stats_.groups;
-  const auto later = [](const std::shared_ptr<dispatch_group>& a,
-                        const std::shared_ptr<dispatch_group>& b) {
-    return a->hints.priority != b->hints.priority ? a->hints.priority > b->hints.priority
-                                                  : a->seq < b->seq;
+  const auto before = [this](const std::shared_ptr<dispatch_group>& a,
+                             const std::shared_ptr<dispatch_group>& b) {
+    return group_before(*a, *b);
   };
-  ready_.insert(std::upper_bound(ready_.begin(), ready_.end(), g, later), std::move(g));
+  ready_.insert(std::upper_bound(ready_.begin(), ready_.end(), g, before), std::move(g));
 }
 
 void context::flush_stream(unsigned sid) {
@@ -508,6 +545,27 @@ void context::schedule_locked() {
       for (const unsigned r : g.resources) claimed[r] = 1;
       ++it;
     }
+  }
+
+  // Priority aging: every group still in the queue was passed over this
+  // round; one that has waited aging_limit rounds is promoted ahead of all
+  // non-aged groups (group_before orders aged groups first, in flush
+  // order), so persistent contention cannot starve a late-deadline or
+  // low-priority tenant forever.
+  if (opts_.aging_limit == 0 || ready_.empty()) return;
+  bool promoted = false;
+  for (auto& gp : ready_) {
+    if (!gp->aged && ++gp->waits >= opts_.aging_limit) {
+      gp->aged = true;
+      promoted = true;
+    }
+  }
+  if (promoted) {
+    std::stable_sort(ready_.begin(), ready_.end(),
+                     [this](const std::shared_ptr<dispatch_group>& a,
+                            const std::shared_ptr<dispatch_group>& b) {
+                       return group_before(*a, *b);
+                     });
   }
 }
 
@@ -731,6 +789,7 @@ void context::run_rlwe_group(const dispatch_group& g, const std::vector<job_id>&
 // ---- retrieval -------------------------------------------------------------
 
 std::optional<unsigned> context::queued_on(job_id id) const noexcept {
+  std::lock_guard<std::mutex> lk(smu_);
   for (const auto& [sid, ss] : streams_) {
     for (const auto& [qid, j] : ss.queue) {
       if (qid == id) return sid;

@@ -47,8 +47,23 @@
 // complete.  wait() throws job_failed_error for a failed job;
 // try_wait()/wait_all() return the failed job_result instead.
 //
-// Threading contract: one client thread submits/waits; the pool threads
-// are internal.  A context is not a multi-producer queue.
+// Ready-queue ordering is a policy (runtime_options::sched): the default
+// orders contended groups by priority (flush order breaking ties); edf
+// orders them earliest-absolute-deadline first (a stream's flush frontier
+// plus its deadline_cycles; no deadline sorts last, ties fall back to
+// priority then flush order).  Either policy composes with priority aging
+// (runtime_options::aging_limit): a group passed over that many scheduling
+// rounds is promoted ahead of every non-aged group, so starved tenants
+// eventually dispatch.
+//
+// Threading contract: one client thread submits/flushes/waits; the pool
+// threads are internal.  A context is not a multi-producer queue — the
+// multi-tenant front door over it is service::service (src/service/),
+// whose single drainer thread is the one client of the context while any
+// number of application threads submit through lock-free session handles.
+// Exception: stats(), pending() and the cache/stream observability probes
+// are safe to call from any thread (a stats or monitoring thread can watch
+// a live context).
 #pragma once
 
 #include <condition_variable>
@@ -110,10 +125,15 @@ class context {
   // Jobs one scheduling round absorbs at full utilisation (0 = unbounded).
   [[nodiscard]] unsigned wave_width() const noexcept { return caps_.wave_width; }
   [[nodiscard]] unsigned executor_threads() const noexcept { return pool_.thread_count(); }
-  // Counter snapshot (jobs_in_flight is the instantaneous gauge).
+  // Counter snapshot (jobs_in_flight is the instantaneous gauge).  Safe
+  // from any thread.
   [[nodiscard]] scheduler_stats stats() const;
-  // Jobs enqueued on any stream and not yet handed to the scheduler.
+  // Jobs enqueued on any stream and not yet handed to the scheduler.  Safe
+  // from any thread.
   [[nodiscard]] std::size_t pending() const noexcept;
+  // Streams currently open (the default stream included).  Safe from any
+  // thread — the probe a stream pool sizes itself against.
+  [[nodiscard]] std::size_t open_streams() const noexcept;
 
   // NTT-domain operand cache surface.  Entries currently held (0 when the
   // cache is disabled via runtime_options::operand_cache_entries == 0).
@@ -201,6 +221,12 @@ class context {
     dispatch_hints hints;             // stream id, priority, deadline, bank subset
     std::vector<unsigned> resources;  // scheduler resource ids (= bank ids, or {0})
     u64 ref_vtime = 0;                // bank frontier at flush; deadline reference
+    // Absolute virtual-timeline deadline (ref_vtime + deadline_cycles).
+    // no_deadline sorts after every finite deadline under edf.
+    static constexpr u64 no_deadline = ~0ULL;
+    u64 deadline_abs = no_deadline;
+    unsigned waits = 0;  // scheduling rounds this group was passed over
+    bool aged = false;   // waits hit aging_limit: promoted ahead of non-aged
     flush_plan plan;
   };
 
@@ -228,6 +254,10 @@ class context {
   // Partition one stream's queue into a dispatch group (nullptr if empty).
   [[nodiscard]] std::shared_ptr<dispatch_group> build_group(unsigned sid);
   void enqueue_group_locked(std::shared_ptr<dispatch_group> g);
+  // The ready-queue ordering relation of the configured policy ("a
+  // dispatches before b"): aged groups first (among themselves, flush
+  // order), then edf/priority as configured.
+  [[nodiscard]] bool group_before(const dispatch_group& a, const dispatch_group& b) const;
 
   job_id enqueue(unsigned sid, job j);
   // The stream a still-queued job sits on, if any.
@@ -259,7 +289,11 @@ class context {
   // dispatches; null when disabled (operand_cache_entries == 0).
   std::unique_ptr<operand_cache> ocache_;
   backend_caps caps_;
-  // Client-thread state: per-stream queues and the id counters.
+  // Client-thread state: per-stream queues and the id counters.  Only the
+  // client thread mutates streams_ (always under smu_); smu_ exists so a
+  // non-client observer (stats thread) reading pending()/open_streams()
+  // sees a consistent map.  Never held while acquiring mu_.
+  mutable std::mutex smu_;
   std::map<unsigned, stream_state> streams_;
   // Dedicated RNS limb streams, keyed by limb prime (lazily created).
   std::map<u64, unsigned> rns_streams_;

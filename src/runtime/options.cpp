@@ -17,6 +17,16 @@ const char* to_string(backend_kind k) noexcept {
   return "?";
 }
 
+const char* to_string(schedule_policy p) noexcept {
+  switch (p) {
+    case schedule_policy::priority:
+      return "priority";
+    case schedule_policy::edf:
+      return "edf";
+  }
+  return "?";
+}
+
 void device_topology::validate() const {
   if (channels < 1 || channels > 16) {
     throw std::invalid_argument("device_topology: channels must be in [1, 16]");

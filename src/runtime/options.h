@@ -26,6 +26,23 @@ enum class backend_kind {
 
 [[nodiscard]] const char* to_string(backend_kind k) noexcept;
 
+// Ordering policy of the scheduler's ready queue — which dispatch group a
+// contended bank goes to next:
+//   priority  — priority descending, flush order breaking ties (the
+//               original policy; deadlines are accounting only).
+//   edf       — earliest deadline first on the absolute virtual-timeline
+//               deadline (the stream's flush frontier + deadline_cycles).
+//               deadline_cycles == 0 means "no deadline" and sorts after
+//               every finite deadline; equal deadlines fall back to
+//               priority descending, then flush order.
+// Both policies compose with aging (runtime_options::aging_limit): a group
+// passed over `aging_limit` scheduling rounds is promoted ahead of every
+// non-aged group (aged groups order among themselves in flush order), so a
+// starved low-priority / late-deadline tenant eventually dispatches.
+enum class schedule_policy { priority, edf };
+
+[[nodiscard]] const char* to_string(schedule_policy p) noexcept;
+
 // Chip-shaped view of the sram backend's compute resources (Fig. 4):
 // channels -> banks -> subarrays.  Channels are the placement domains the
 // scheduler prefers when spreading independent streams; banks are the unit
@@ -75,6 +92,14 @@ struct runtime_options {
   // (RNS limb) dispatches, keyed by operand digest x limb prime x
   // direction.  0 disables caching entirely.
   unsigned operand_cache_entries = 64;
+
+  // Ready-queue ordering under bank contention (see schedule_policy).
+  schedule_policy sched = schedule_policy::priority;
+
+  // Starvation bound: a ready group passed over this many scheduling
+  // rounds is promoted ahead of all non-aged groups.  0 disables aging
+  // (byte-identical to the pre-aging scheduler).
+  unsigned aging_limit = 0;
 
   runtime_options& with_backend(backend_kind k) {
     backend = k;
@@ -138,6 +163,11 @@ struct runtime_options {
   }
   runtime_options& with_operand_cache(unsigned entries) {
     operand_cache_entries = entries;
+    return *this;
+  }
+  runtime_options& with_schedule(schedule_policy p, unsigned aging = 0) {
+    sched = p;
+    aging_limit = aging;
     return *this;
   }
 

@@ -13,8 +13,11 @@
 // execute in submission order.  Different streams are independent — the
 // scheduler places them on disjoint bank subsets of a banked backend so
 // their dispatch groups genuinely overlap, and orders contended dispatches
-// by priority.  A stream handle is a lightweight view; copying it does not
-// copy the queue.  Thread contract matches the context: one client thread.
+// by priority (or earliest deadline first under schedule_policy::edf).  A
+// stream handle is a lightweight view; copying it does not copy the queue.
+// Thread contract matches the context: one client thread drives every
+// handle — multi-threaded tenants go through the service layer
+// (src/service/), whose drainer is that one client.
 #pragma once
 
 #include <cstddef>

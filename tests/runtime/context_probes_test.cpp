@@ -1,0 +1,118 @@
+// Observability-probe thread-safety tests: the context's threading
+// contract says stats(), pending(), open_streams() and the cache probes
+// are callable from any thread while the single client thread runs the
+// full stream lifecycle.  This suite runs under TSan in CI — a data race
+// between an observer and the client/pool threads fails the build, which
+// is the whole point.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/xoshiro.h"
+#include "nttmath/primes.h"
+#include "runtime/context.h"
+
+namespace bpntt::runtime {
+namespace {
+
+// A 13-bit envelope so limb streams over 12-bit RNS primes validate.
+runtime_options small_sram() {
+  return runtime_options()
+      .with_ring(32, 3137, 13)
+      .with_backend(backend_kind::sram)
+      .with_array(64, 39)
+      .with_subarrays(4);
+}
+
+std::vector<u64> random_poly(u64 n, u64 q, common::xoshiro256ss& rng) {
+  std::vector<u64> p(n);
+  for (auto& c : p) c = rng.below(q);
+  return p;
+}
+
+TEST(RuntimeContextProbes, ObserverThreadsAreSafeAcrossTheStreamLifecycle) {
+  context ctx(small_sram().with_topology(2, 1, 2).with_threads(2));
+  std::atomic<bool> stop{false};
+
+  // Two observers: one hammers the scheduler-side probes, one the
+  // stream/cache-side probes, both against every phase of the client's
+  // lifecycle below (open, submit, flush, wait, close).
+  std::thread scheduler_observer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto s = ctx.stats();
+      EXPECT_LE(s.jobs_completed + s.jobs_failed, s.jobs_submitted);
+      (void)ctx.pending();
+    }
+  });
+  std::thread stream_observer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)ctx.open_streams();
+      (void)ctx.operand_cache_size();
+      (void)ctx.retarget_cache_size();
+    }
+  });
+
+  // The client lifecycle runs guarded so a failure can never unwind past
+  // the joinable observer threads (that would turn a test failure into a
+  // process abort).
+  std::string client_error;
+  try {
+    const u64 limb = math::first_k_ntt_primes(12, 32, 1, true).front();
+    common::xoshiro256ss rng(91);
+    for (unsigned round = 0; round < 40; ++round) {
+      auto a = ctx.stream({.priority = static_cast<int>(round % 3)});
+      auto b = ctx.rns_stream(limb);  // exercises the ring-override path too
+      std::vector<job_id> ids;
+      for (unsigned i = 0; i < 4; ++i) {
+        ids.push_back(a.submit(ntt_job{.coeffs = random_poly(32, 3137, rng)}));
+        ids.push_back(b.submit(ntt_job{.coeffs = random_poly(32, limb, rng)}));
+      }
+      a.flush();
+      b.flush();
+      for (const auto id : ids) EXPECT_EQ(ctx.wait(id).status, job_status::ok);
+      a.close();
+      b.close();
+    }
+    ctx.sync();
+  } catch (const std::exception& e) {
+    client_error = e.what();
+  }
+  stop.store(true, std::memory_order_release);
+  scheduler_observer.join();
+  stream_observer.join();
+  EXPECT_EQ(client_error, "");
+
+  const auto s = ctx.stats();
+  EXPECT_EQ(s.jobs_submitted, 40u * 8u);
+  EXPECT_EQ(s.jobs_completed, 40u * 8u);
+  EXPECT_EQ(ctx.pending(), 0u);
+}
+
+TEST(RuntimeContextProbes, StatsSnapshotIsConsistentUnderLoad) {
+  // A stats() snapshot taken mid-flight must be internally coherent: the
+  // terminal counters never exceed submissions, and in-flight never
+  // exceeds what is unaccounted for.
+  context ctx(small_sram().with_threads(2));
+  std::atomic<bool> stop{false};
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto s = ctx.stats();
+      EXPECT_LE(s.jobs_completed + s.jobs_failed + s.jobs_in_flight, s.jobs_submitted);
+    }
+  });
+
+  common::xoshiro256ss rng(92);
+  for (unsigned i = 0; i < 200; ++i) {
+    (void)ctx.submit(ntt_job{.coeffs = random_poly(32, 3137, rng)});
+    if (i % 8 == 7) ctx.sync();
+  }
+  ctx.sync();
+  stop.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_EQ(ctx.stats().jobs_completed, 200u);
+}
+
+}  // namespace
+}  // namespace bpntt::runtime

@@ -1,0 +1,126 @@
+// mpsc_queue tests: FIFO semantics, bounded-backpressure behavior, payload
+// lifetime, and a multi-producer stress that checks every pushed item is
+// popped exactly once and in per-producer order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "service/mpsc_queue.h"
+
+namespace bpntt::service {
+namespace {
+
+TEST(MpscQueue, FifoWithinCapacity) {
+  mpsc_queue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(int(i)));
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));  // empty again
+}
+
+TEST(MpscQueue, CapacityRoundsUpToPowerOfTwoWithAFloorOfTwo) {
+  EXPECT_EQ(mpsc_queue<int>(1).capacity(), 2u);  // a 1-cell ring is degenerate
+  EXPECT_EQ(mpsc_queue<int>(3).capacity(), 4u);
+  EXPECT_EQ(mpsc_queue<int>(8).capacity(), 8u);
+  EXPECT_EQ(mpsc_queue<int>(1000).capacity(), 1024u);
+  EXPECT_THROW(mpsc_queue<int>(0), std::invalid_argument);
+}
+
+TEST(MpscQueue, FullRingRejectsUntilAPopFreesASlot) {
+  mpsc_queue<int> q(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.try_push(int(i)));
+  EXPECT_FALSE(q.try_push(99));
+  EXPECT_EQ(q.size_approx(), 4u);
+
+  int out = -1;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(q.try_push(99));  // the freed slot is reusable (lap arithmetic)
+  for (const int want : {1, 2, 3, 99}) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, want);
+  }
+}
+
+TEST(MpscQueue, WrapsAroundManyLaps) {
+  mpsc_queue<int> q(4);
+  int out = -1;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(q.try_push(int(i)));
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(MpscQueue, PopReleasesThePayloadImmediately) {
+  // A popped cell must not keep the payload alive until the slot's next
+  // lap — the service's submissions hold tickets and session refs.
+  mpsc_queue<std::shared_ptr<int>> q(4);
+  auto p = std::make_shared<int>(42);
+  ASSERT_TRUE(q.try_push(std::shared_ptr<int>(p)));
+  EXPECT_EQ(p.use_count(), 2);
+  std::shared_ptr<int> out;
+  ASSERT_TRUE(q.try_pop(out));
+  out.reset();
+  EXPECT_EQ(p.use_count(), 1) << "the ring must not retain a popped payload";
+}
+
+TEST(MpscQueue, MoveOnlyPayloadsWork) {
+  mpsc_queue<std::unique_ptr<int>> q(2);
+  ASSERT_TRUE(q.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(MpscQueue, ManyProducersOneConsumerLosesNothing) {
+  // Encode (producer, sequence) into each item; the consumer must see every
+  // item exactly once and each producer's items in its push order, through
+  // a ring far smaller than the item count (constant wrap pressure).
+  constexpr unsigned kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 20000;
+  mpsc_queue<std::uint64_t> q(64);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        std::uint64_t item = (std::uint64_t(p) << 32) | i;
+        while (!q.try_push(std::move(item))) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::uint64_t> next_seq(kProducers, 0);
+  std::uint64_t popped = 0;
+  while (popped < kProducers * kPerProducer) {
+    std::uint64_t item = 0;
+    if (!q.try_pop(item)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ++popped;
+    const auto p = static_cast<unsigned>(item >> 32);
+    const std::uint64_t seq = item & 0xffffffffULL;
+    ASSERT_LT(p, kProducers);
+    ASSERT_EQ(seq, next_seq[p]) << "producer " << p << " item out of order or lost";
+    ++next_seq[p];
+  }
+  for (auto& t : producers) t.join();
+
+  std::uint64_t leftover = 0;
+  EXPECT_FALSE(q.try_pop(leftover)) << "more items popped out than were pushed";
+  for (unsigned p = 0; p < kProducers; ++p) EXPECT_EQ(next_seq[p], kPerProducer);
+}
+
+}  // namespace
+}  // namespace bpntt::service
