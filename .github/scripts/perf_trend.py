@@ -21,7 +21,13 @@ the host, not the model: they are always advisory.  The soak's own
 correctness gates (lost/duplicated results, EDF-beats-FIFO) are enforced
 by the bench binary's exit code, not here.
 
+With --report <path>, the same comparison is also rendered as a Markdown
+trend report (one table per bench file: baseline, previous run, current,
+delta, verdict) for upload as a CI artifact.  The report is purely a view
+of the artifact history — it never changes what gates.
+
 Usage: perf_trend.py --baseline <dir> --current <dir> [--previous <dir>]
+                     [--report <path>]
 """
 import argparse
 import json
@@ -72,11 +78,18 @@ def rescale_metrics(doc):
 
 
 def soak_metrics(doc):
-    """Advisory wall-clock view of the service-layer soak."""
+    """Advisory view of the service-layer soak: wall-clock totals plus the
+    deterministic merge-trace makespans (the strict merged-beats-unmerged
+    inequality itself is enforced by the bench binary's exit code)."""
     totals = doc.get("totals", {})
     rows = {}
     for key in ("throughput_jobs_per_s", "p99_ns"):
         val = totals.get(key)
+        if isinstance(val, (int, float)) and val > 0:
+            rows[key] = float(val)
+    merge = doc.get("merge_trace", {})
+    for key in ("unmerged_makespan_cycles", "merged_makespan_cycles"):
+        val = merge.get(key)
         if isinstance(val, (int, float)) and val > 0:
             rows[key] = float(val)
     return rows
@@ -96,8 +109,21 @@ def ratio(cur, ref):
     return cur / ref - 1.0
 
 
-def check_file(label, extract, unit, base_doc, prev_doc, cur_doc, gating):
-    """Compare one bench file; return the number of sustained regressions."""
+def check_file(label, extract, unit, base_doc, prev_doc, cur_doc, gating,
+               report_rows=None):
+    """Compare one bench file; return the number of sustained regressions.
+
+    When report_rows is a list, every compared metric also appends a row
+    dict for the Markdown report (reporting only — gating is unaffected).
+    """
+    def record(name, base_val, prev_val, cur_val, verdict):
+        if report_rows is not None:
+            report_rows.append({
+                "label": label, "gating": gating, "unit": unit, "name": name,
+                "baseline": base_val, "previous": prev_val, "current": cur_val,
+                "verdict": verdict,
+            })
+
     if cur_doc is None:
         print(f"::warning title=perf-trend::{label}: current bench JSON missing/unreadable")
         return 0
@@ -106,6 +132,8 @@ def check_file(label, extract, unit, base_doc, prev_doc, cur_doc, gating):
     prev = extract(prev_doc) if prev_doc is not None else {}
     if not base:
         print(f"perf-trend[{label}]: no committed baseline rows; skipping")
+        for name, cur_val in sorted(cur.items()):
+            record(name, None, prev.get(name), cur_val, "no baseline")
         return 0
 
     sustained = 0
@@ -114,6 +142,7 @@ def check_file(label, extract, unit, base_doc, prev_doc, cur_doc, gating):
         if base_val is None:
             print(f"perf-trend[{label}]: new row '{name}' ({cur_val:.4g} {unit}), "
                   "no baseline — commit one in bench/baselines/")
+            record(name, None, prev.get(name), cur_val, "new row")
             continue
         d_base = ratio(cur_val, base_val)
         line = (f"perf-trend[{label}]: {name}: baseline {base_val:.4g} -> "
@@ -132,6 +161,8 @@ def check_file(label, extract, unit, base_doc, prev_doc, cur_doc, gating):
 
         if not gating:
             print(line + (" [advisory]" if regressed_base else ""))
+            record(name, base_val, prev_val, cur_val,
+                   "advisory" if regressed_base else "ok")
             continue
         if regressed_base and regressed_prev:
             sustained += 1
@@ -141,14 +172,59 @@ def check_file(label, extract, unit, base_doc, prev_doc, cur_doc, gating):
                   f"and the previous run was already {d_prev:+.1%} past it (threshold "
                   f"+{THRESHOLD:.0%} twice in a row). Fix the regression or "
                   "deliberately update bench/baselines/.")
+            record(name, base_val, prev_val, cur_val, "SUSTAINED REGRESSION")
         elif regressed_base:
             print(line + " regressed vs baseline (first occurrence — warning)")
             print(f"::warning title={label} cycle regression::{name}: "
                   f"{cur_val:.4g} {unit} is {d_base:+.1%} past the committed baseline; "
                   "fails the next run if it persists.")
+            record(name, base_val, prev_val, cur_val, "regressed (warning)")
         else:
             print(line + " ok")
+            record(name, base_val, prev_val, cur_val, "ok")
     return sustained
+
+
+def fmt_val(val, unit):
+    if val is None:
+        return "—"
+    suffix = f" {unit}" if unit else ""
+    return f"{val:.4g}{suffix}"
+
+
+def write_report(path, report_rows, failures):
+    """Render the collected comparison rows as a Markdown trend report."""
+    lines = ["# Perf trend report", ""]
+    lines.append("Cycle-derived metrics vs the committed baseline "
+                 "(`bench/baselines/`) and the previous successful run's "
+                 f"artifact. Gating threshold: +{THRESHOLD:.0%} past baseline, "
+                 "sustained over two consecutive runs.")
+    lines.append("")
+    verdict = (f"**{failures} sustained regression(s) — job failed.**"
+               if failures else "**No sustained regressions.**")
+    lines.append(verdict)
+
+    by_label = {}
+    for row in report_rows:
+        by_label.setdefault(row["label"], []).append(row)
+    for label, rows in by_label.items():
+        kind = "gated" if rows[0]["gating"] else "advisory"
+        lines += ["", f"## {label} ({kind})", "",
+                  "| metric | baseline | previous run | current | Δ vs baseline | verdict |",
+                  "|---|---|---|---|---|---|"]
+        for r in rows:
+            delta = ("—" if r["baseline"] is None
+                     else f"{ratio(r['current'], r['baseline']):+.1%}")
+            lines.append(
+                f"| {r['name']} | {fmt_val(r['baseline'], r['unit'])} "
+                f"| {fmt_val(r['previous'], r['unit'])} "
+                f"| {fmt_val(r['current'], r['unit'])} | {delta} | {r['verdict']} |")
+    if not report_rows:
+        lines += ["", "No bench rows were available to compare."]
+    lines.append("")
+    with open(path, "w") as f:
+        f.write("\n".join(lines))
+    print(f"perf-trend: wrote Markdown report to {path}")
 
 
 def main():
@@ -157,17 +233,22 @@ def main():
     ap.add_argument("--current", required=True, help="dir with this run's bench JSONs")
     ap.add_argument("--previous", default=None,
                     help="dir with the previous run's artifacts (optional)")
+    ap.add_argument("--report", default=None,
+                    help="also write a Markdown trend report to this path")
     args = ap.parse_args()
 
     failures = 0
+    report_rows = [] if args.report else None
     for gating, group in ((True, GATED), (False, ADVISORY)):
         for label, fname, extract, unit in group:
             base_doc = load(os.path.join(args.baseline, fname))
             cur_doc = load(os.path.join(args.current, fname))
             prev_doc = load(os.path.join(args.previous, fname)) if args.previous else None
             failures += check_file(label, extract, unit, base_doc, prev_doc, cur_doc,
-                                   gating)
+                                   gating, report_rows)
 
+    if args.report:
+        write_report(args.report, report_rows, failures)
     if failures:
         print(f"perf-trend: {failures} sustained regression(s) — failing the job")
         return 1

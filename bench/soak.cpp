@@ -8,11 +8,19 @@
 // fails (exit 1) if a single result was lost or double-delivered, or if
 // the service's own counters disagree with the clients' books.
 //
-// A second, deterministic section replays one contended trace — T
-// deadline tenants piled up behind a blocked group, flushed loosest-first
-// (FIFO's trap) — under the default priority/FIFO policy and under EDF,
-// on a fixed-cost backend.  EDF must strictly reduce deadline misses on
-// that trace; the run fails otherwise.
+// A second, deterministic section replays contended traces on a
+// fixed-cost backend:
+//   * EDF vs FIFO — T deadline tenants piled up behind a blocked group,
+//     flushed loosest-first (FIFO's trap).  EDF must strictly reduce
+//     deadline misses.
+//   * merged vs unmerged — a mixed 8-tenant trace replayed with
+//     cross-stream batching off and on.  The merged replay must absorb
+//     groups (groups_merged > 0) and finish at a strictly lower virtual
+//     makespan with bit-identical outputs.
+//   * preemptive vs non-preemptive EDF — a bulk group with a chunk budget
+//     must yield its banks to a deadline tenant mid-plan, turning that
+//     tenant's miss into a hit.
+// Any of these inequalities failing exits non-zero.
 //
 // Usage: bench_soak [--json <path>] [--threads <N>] [--millis <M>]
 //   --json     also emit the run as JSON (CI perf artifact, conventionally
@@ -90,7 +98,8 @@ soak_result run_soak(unsigned threads, unsigned millis) {
   const tenant_class classes[] = {
       {"latency", {.priority = 8, .deadline_cycles = 20'000, .max_queued = 64,
                    .max_in_flight = 64}},
-      {"bulk", {.priority = 0, .max_queued = 512, .max_in_flight = 512}},
+      {"bulk", {.priority = 0, .chunk_budget = 32, .max_queued = 512,
+                .max_in_flight = 512}},
       {"rns-limb", {.priority = 4, .ring_q = limb}},
       {"crypto", {.priority = 2}},
   };
@@ -103,7 +112,8 @@ soak_result run_soak(unsigned threads, unsigned millis) {
                            .with_subarrays(4)
                            .with_topology(2, 1, 4)
                            .with_threads(2)
-                           .with_schedule(runtime::schedule_policy::edf, /*aging=*/8));
+                           .with_schedule(runtime::schedule_policy::edf, /*aging=*/8)
+                           .with_cross_stream_batching());
 
   std::vector<service::session> sessions;
   sessions.reserve(threads);
@@ -209,12 +219,15 @@ soak_result run_soak(unsigned threads, unsigned millis) {
 // ---- EDF vs FIFO on one deterministic contended trace ----------------------
 
 // Fixed-cost backend: every dispatch costs exactly kGroupCost on the
-// virtual timeline, and the first dispatch blocks until released so the
-// whole trace piles into the ready queue before anything is ordered.
+// virtual timeline (or, with a per-job cost, kGroupCost per job — the
+// shape the preemption trace needs), and the first dispatch blocks until
+// released so the whole trace piles into the ready queue before anything
+// is ordered.
 constexpr u64 kGroupCost = 1000;
 
 class fixed_cost_backend final : public runtime::backend {
  public:
+  explicit fixed_cost_backend(u64 cost_per_job = 0) : cost_per_job_(cost_per_job) {}
   [[nodiscard]] std::string_view name() const noexcept override { return "fixed-cost"; }
   [[nodiscard]] runtime::backend_caps capabilities() const override {
     runtime::backend_caps caps;
@@ -228,7 +241,7 @@ class fixed_cost_backend final : public runtime::backend {
     runtime::batch_result r;
     r.outputs = polys;
     r.waves = 1;
-    r.wall_cycles = kGroupCost;
+    r.wall_cycles = dispatch_cost(polys.size());
     return r;
   }
   runtime::batch_result run_polymul(const std::vector<core::polymul_pair>& pairs,
@@ -237,7 +250,7 @@ class fixed_cost_backend final : public runtime::backend {
     runtime::batch_result r;
     for (const auto& pr : pairs) r.outputs.push_back(pr.a);
     r.waves = 1;
-    r.wall_cycles = kGroupCost;
+    r.wall_cycles = dispatch_cost(pairs.size());
     return r;
   }
   void release() {
@@ -247,12 +260,16 @@ class fixed_cost_backend final : public runtime::backend {
   }
 
  private:
+  [[nodiscard]] u64 dispatch_cost(std::size_t jobs) const {
+    return cost_per_job_ == 0 ? kGroupCost : cost_per_job_ * jobs;
+  }
   void maybe_block() {
     std::unique_lock<std::mutex> lk(mu_);
     if (blocked_once_) return;
     blocked_once_ = true;
     cv_.wait(lk, [&] { return released_; });
   }
+  const u64 cost_per_job_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool blocked_once_ = false;
@@ -291,10 +308,118 @@ u64 trace_misses_under(runtime::schedule_policy policy, unsigned tenants) {
   return ctx.stats().deadline_misses;
 }
 
+// ---- merged vs unmerged on one mixed tenant trace --------------------------
+
+struct merge_trace_result {
+  u64 makespan = 0;       // virtual-timeline makespan of the whole trace
+  u64 groups_merged = 0;  // ready groups absorbed into a merged dispatch
+  std::vector<std::vector<u64>> outputs;  // all job outputs, submission order
+};
+
+// T tenants — transforms and ring products alternating — pile up behind a
+// blocked group, so the whole trace is in the ready queue when the
+// scheduler first orders it.  With cross-stream batching off the groups
+// serialize on the pseudo-resource, one fixed-cost dispatch each; with it
+// on, the first runnable group absorbs every compatible peer and the
+// trace collapses to one merged dispatch per job kind.
+merge_trace_result trace_merge_under(bool merge_on, unsigned tenants) {
+  auto owned = std::make_unique<fixed_cost_backend>();
+  auto* gate = owned.get();
+  auto opts = runtime::runtime_options()
+                  .with_ring(kOrder, kRingQ, kRingBits)
+                  .with_array(64, 39)
+                  .with_subarrays(4)
+                  .with_threads(2);
+  if (merge_on) opts.with_cross_stream_batching();
+  runtime::context ctx(std::move(opts), std::move(owned));
+  common::xoshiro256ss rng(11);
+
+  (void)ctx.submit(runtime::ntt_job{.coeffs = random_poly(kRingQ, rng)});
+  ctx.flush();  // the blocker: holds the pseudo-resource until released
+
+  std::vector<runtime::stream> streams;
+  std::vector<runtime::job_id> ids;
+  streams.reserve(tenants);
+  for (unsigned t = 0; t < tenants; ++t) {
+    streams.push_back(ctx.stream({}));
+    if ((t & 1) != 0) {
+      ids.push_back(streams.back().submit(runtime::polymul_job{
+          .a = random_poly(kRingQ, rng), .b = random_poly(kRingQ, rng)}));
+    } else {
+      ids.push_back(
+          streams.back().submit(runtime::ntt_job{.coeffs = random_poly(kRingQ, rng)}));
+    }
+    streams.back().flush();
+  }
+  gate->release();
+  ctx.sync();
+
+  merge_trace_result out;
+  for (const runtime::job_id id : ids) {
+    auto r = ctx.wait(id);
+    for (auto& o : r.outputs) out.outputs.push_back(std::move(o));
+  }
+  const auto st = ctx.stats();
+  out.makespan = st.wall_cycles;
+  out.groups_merged = st.groups_merged;
+  return out;
+}
+
+// ---- preemptive vs non-preemptive EDF --------------------------------------
+
+struct preempt_trace_result {
+  u64 misses = 0;
+  u64 yields = 0;
+};
+
+// A bulk stream's 8-job group holds the pseudo-resource (per-job cost, so
+// running it whole takes 8 * kGroupCost) while a deadline tenant with a
+// 4 * kGroupCost budget queues behind it.  Without a chunk budget the
+// tenant waits out the whole bulk group and misses; with one, the bulk
+// group yields at its first chunk boundary and the tenant makes it.
+preempt_trace_result trace_preempt_under(u64 bulk_chunk_budget) {
+  auto owned = std::make_unique<fixed_cost_backend>(/*cost_per_job=*/kGroupCost);
+  auto* gate = owned.get();
+  runtime::context ctx(runtime::runtime_options()
+                           .with_ring(kOrder, kRingQ, kRingBits)
+                           .with_array(64, 39)
+                           .with_subarrays(4)
+                           .with_schedule(runtime::schedule_policy::edf)
+                           .with_threads(2),
+                       std::move(owned));
+  common::xoshiro256ss rng(13);
+
+  auto bulk = ctx.stream({.chunk_budget = bulk_chunk_budget});
+  for (unsigned i = 0; i < 8; ++i) {
+    (void)bulk.submit(runtime::ntt_job{.coeffs = random_poly(kRingQ, rng)});
+  }
+  bulk.flush();  // claims the pseudo-resource; first dispatch blocks
+
+  auto urgent = ctx.stream({.deadline_cycles = 4 * kGroupCost});
+  (void)urgent.submit(runtime::ntt_job{.coeffs = random_poly(kRingQ, rng)});
+  urgent.flush();
+
+  gate->release();
+  ctx.sync();
+  const auto st = ctx.stats();
+  return {st.deadline_misses, st.preemption_yields};
+}
+
 // ---- reporting --------------------------------------------------------------
 
-void write_json(const std::string& path, const soak_result& soak, u64 fifo_misses,
-                u64 edf_misses, unsigned trace_tenants) {
+// Deterministic scheduler traces, bundled for reporting and gating.
+struct trace_results {
+  unsigned tenants = 0;
+  u64 fifo_misses = 0;
+  u64 edf_misses = 0;
+  merge_trace_result unmerged;
+  merge_trace_result merged;
+  preempt_trace_result nonpreemptive;
+  preempt_trace_result preemptive;
+};
+
+void write_json(const std::string& path, const soak_result& soak,
+                const trace_results& tr) {
   std::string out = "{\n  \"bench\": \"soak\",\n";
   char buf[512];
   std::snprintf(buf, sizeof buf,
@@ -340,11 +465,32 @@ void write_json(const std::string& path, const soak_result& soak, u64 fifo_misse
     out += buf;
   }
   out += "  ],\n";
+  // Service-wide scheduler counters from the soak itself (merging is on
+  // for the soak service, so groups_merged reflects live contention).
+  std::snprintf(buf, sizeof buf,
+                "  \"scheduler\": {\"groups_merged\": %llu, \"preemption_yields\": %llu},\n",
+                static_cast<unsigned long long>(soak.rt.groups_merged),
+                static_cast<unsigned long long>(soak.rt.preemption_yields));
+  out += buf;
   std::snprintf(buf, sizeof buf,
                 "  \"edf_vs_fifo\": {\"trace_tenants\": %u, \"fifo_deadline_misses\": "
-                "%llu, \"edf_deadline_misses\": %llu}\n}\n",
-                trace_tenants, static_cast<unsigned long long>(fifo_misses),
-                static_cast<unsigned long long>(edf_misses));
+                "%llu, \"edf_deadline_misses\": %llu},\n",
+                tr.tenants, static_cast<unsigned long long>(tr.fifo_misses),
+                static_cast<unsigned long long>(tr.edf_misses));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"merge_trace\": {\"trace_tenants\": %u, \"unmerged_makespan_cycles\": "
+                "%llu, \"merged_makespan_cycles\": %llu, \"groups_merged\": %llu},\n",
+                tr.tenants, static_cast<unsigned long long>(tr.unmerged.makespan),
+                static_cast<unsigned long long>(tr.merged.makespan),
+                static_cast<unsigned long long>(tr.merged.groups_merged));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"preempt_trace\": {\"nonpreemptive_misses\": %llu, "
+                "\"preemptive_misses\": %llu, \"preemption_yields\": %llu}\n}\n",
+                static_cast<unsigned long long>(tr.nonpreemptive.misses),
+                static_cast<unsigned long long>(tr.preemptive.misses),
+                static_cast<unsigned long long>(tr.preemptive.yields));
   out += buf;
 
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -415,20 +561,41 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(soak.lost),
               static_cast<unsigned long long>(soak.duplicated));
 
-  constexpr unsigned kTraceTenants = 8;
-  const u64 fifo_misses = trace_misses_under(runtime::schedule_policy::priority,
-                                             kTraceTenants);
-  const u64 edf_misses = trace_misses_under(runtime::schedule_policy::edf, kTraceTenants);
+  trace_results tr;
+  tr.tenants = 8;
+  tr.fifo_misses = trace_misses_under(runtime::schedule_policy::priority, tr.tenants);
+  tr.edf_misses = trace_misses_under(runtime::schedule_policy::edf, tr.tenants);
   std::printf("\nedf vs fifo on one contended %u-tenant trace (fixed-cost backend): "
               "fifo %llu misses, edf %llu misses\n",
-              kTraceTenants, static_cast<unsigned long long>(fifo_misses),
-              static_cast<unsigned long long>(edf_misses));
+              tr.tenants, static_cast<unsigned long long>(tr.fifo_misses),
+              static_cast<unsigned long long>(tr.edf_misses));
 
-  if (!json_path.empty()) write_json(json_path, soak, fifo_misses, edf_misses, kTraceTenants);
+  tr.unmerged = trace_merge_under(false, tr.tenants);
+  tr.merged = trace_merge_under(true, tr.tenants);
+  std::printf("cross-stream batching on the mixed %u-tenant trace: makespan %llu -> "
+              "%llu cycles, %llu groups merged\n",
+              tr.tenants, static_cast<unsigned long long>(tr.unmerged.makespan),
+              static_cast<unsigned long long>(tr.merged.makespan),
+              static_cast<unsigned long long>(tr.merged.groups_merged));
+
+  tr.nonpreemptive = trace_preempt_under(0);
+  tr.preemptive = trace_preempt_under(2);
+  std::printf("preemptive vs non-preemptive edf on the chunked bulk trace: misses "
+              "%llu -> %llu, %llu yields\n",
+              static_cast<unsigned long long>(tr.nonpreemptive.misses),
+              static_cast<unsigned long long>(tr.preemptive.misses),
+              static_cast<unsigned long long>(tr.preemptive.yields));
+  std::printf("soak service scheduler counters: %llu groups merged, %llu preemption "
+              "yields\n",
+              static_cast<unsigned long long>(soak.rt.groups_merged),
+              static_cast<unsigned long long>(soak.rt.preemption_yields));
+
+  if (!json_path.empty()) write_json(json_path, soak, tr);
 
   // The gates that make the soak a test: a lost or double-delivered result
-  // is a service-layer bug, and EDF failing to beat FIFO on the trap trace
-  // means deadline ordering stopped working.
+  // is a service-layer bug; EDF failing to beat FIFO on the trap trace
+  // means deadline ordering stopped working; and the batching/preemption
+  // inequalities pin the new scheduler capabilities end to end.
   bool ok = true;
   if (soak.lost != 0 || soak.duplicated != 0) {
     std::fprintf(stderr, "soak: FAILED — results lost (%llu) or duplicated (%llu)\n",
@@ -436,10 +603,36 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(soak.duplicated));
     ok = false;
   }
-  if (edf_misses >= fifo_misses) {
+  if (tr.edf_misses >= tr.fifo_misses) {
     std::fprintf(stderr, "soak: FAILED — edf (%llu misses) must strictly beat fifo (%llu)\n",
-                 static_cast<unsigned long long>(edf_misses),
-                 static_cast<unsigned long long>(fifo_misses));
+                 static_cast<unsigned long long>(tr.edf_misses),
+                 static_cast<unsigned long long>(tr.fifo_misses));
+    ok = false;
+  }
+  if (tr.merged.groups_merged == 0) {
+    std::fprintf(stderr, "soak: FAILED — the mixed %u-tenant trace must merge groups\n",
+                 tr.tenants);
+    ok = false;
+  }
+  if (tr.merged.makespan >= tr.unmerged.makespan) {
+    std::fprintf(stderr,
+                 "soak: FAILED — merged makespan (%llu) must strictly beat unmerged "
+                 "(%llu)\n",
+                 static_cast<unsigned long long>(tr.merged.makespan),
+                 static_cast<unsigned long long>(tr.unmerged.makespan));
+    ok = false;
+  }
+  if (tr.merged.outputs != tr.unmerged.outputs) {
+    std::fprintf(stderr, "soak: FAILED — merged outputs diverge from unmerged outputs\n");
+    ok = false;
+  }
+  if (tr.preemptive.misses >= tr.nonpreemptive.misses || tr.preemptive.yields == 0) {
+    std::fprintf(stderr,
+                 "soak: FAILED — preemptive edf (%llu misses, %llu yields) must "
+                 "strictly beat non-preemptive (%llu misses)\n",
+                 static_cast<unsigned long long>(tr.preemptive.misses),
+                 static_cast<unsigned long long>(tr.preemptive.yields),
+                 static_cast<unsigned long long>(tr.nonpreemptive.misses));
     ok = false;
   }
   return ok ? 0 : 1;

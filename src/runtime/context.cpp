@@ -68,8 +68,8 @@ void context::finish_construction() {
   // Scheduler resources: the backend's banks, or one pseudo-resource for
   // non-banked backends (whose dispatches therefore serialize).
   const unsigned resources = std::max(1u, caps_.banks());
-  bank_busy_.assign(resources, 0);
-  bank_free_at_.assign(resources, 0);
+  sched_ = std::make_unique<scheduler>(
+      scheduler::policy_config{opts_.sched, opts_.aging_limit, opts_.merge_streams}, resources);
 
   // The default stream (id 0) owns every bank — the legacy single-queue
   // behaviour.
@@ -400,6 +400,8 @@ scheduler_stats context::stats() const {
     std::lock_guard<std::mutex> lk(mu_);
     s = stats_;
     s.jobs_in_flight = in_flight_.size();
+    s.groups_merged = sched_->counters().groups_merged;
+    s.preemption_yields = sched_->counters().preemption_yields;
   }
   if (ocache_) {
     s.operand_cache_hits = ocache_->hits();
@@ -420,9 +422,9 @@ void context::invalidate_operand_cache() noexcept {
   if (ocache_) ocache_->clear();
 }
 
-// ---- scheduler -------------------------------------------------------------
+// ---- group building and admission ------------------------------------------
 
-std::shared_ptr<context::dispatch_group> context::build_group(unsigned sid) {
+std::shared_ptr<dispatch_group> context::build_group(unsigned sid) {
   std::lock_guard<std::mutex> lk(smu_);
   stream_state& ss = state_of(sid);
   if (ss.queue.empty()) return nullptr;
@@ -454,40 +456,18 @@ std::shared_ptr<context::dispatch_group> context::build_group(unsigned sid) {
   g->hints.priority = ss.sopts.priority;
   g->hints.deadline_cycles = ss.sopts.deadline_cycles;
   g->hints.ring_q = ss.sopts.ring_q;
+  g->hints.chunk_budget = ss.sopts.chunk_budget;
   // Non-banked backends get no bank subset (the pseudo-resource is a
   // scheduler fiction); banked backends are confined to the stream's banks.
   if (caps_.banks() != 0) g->hints.bank_set = ss.resources;
   g->resources = ss.resources;
+  // Merge eligibility: R-LWE groups run a staged multi-dispatch flow that
+  // cannot share a dispatch, and a stream may opt out wholesale.
+  g->mergeable = !ss.sopts.no_merge && g->plan.rlwe_ids.empty();
   return g;
 }
 
-bool context::group_before(const dispatch_group& a, const dispatch_group& b) const {
-  // Aged groups jump every non-aged group and order among themselves in
-  // flush order — the starvation escape hatch of both policies.
-  if (a.aged != b.aged) return a.aged;
-  if (a.aged) return a.seq < b.seq;
-  if (opts_.sched == schedule_policy::edf && a.deadline_abs != b.deadline_abs) {
-    return a.deadline_abs < b.deadline_abs;  // no_deadline sorts after all finite
-  }
-  if (a.hints.priority != b.hints.priority) return a.hints.priority > b.hints.priority;
-  return a.seq < b.seq;
-}
-
-void context::enqueue_group_locked(std::shared_ptr<dispatch_group> g) {
-  g->seq = next_group_seq_++;
-  for (const unsigned r : g->resources) {
-    g->ref_vtime = std::max(g->ref_vtime, bank_free_at_[r]);
-  }
-  // The absolute deadline the edf policy orders by: the stream's completion
-  // budget measured from its flush frontier.  Saturated so an astronomic
-  // budget stays a *finite* deadline (only deadline_cycles == 0 means
-  // none).
-  if (g->hints.deadline_cycles != 0) {
-    const u64 abs = g->ref_vtime + g->hints.deadline_cycles;
-    g->deadline_abs =
-        abs < g->ref_vtime ? dispatch_group::no_deadline - 1
-                           : std::min<u64>(abs, dispatch_group::no_deadline - 1);
-  }
+void context::admit_group_locked(std::shared_ptr<dispatch_group> g) {
   // Jobs become in-flight before the group can run, so a wait() racing the
   // pool can never mistake a dispatched job for a claimed one.
   for (const auto* ids : {&g->plan.fwd_ids, &g->plan.inv_ids, &g->plan.mul_ids,
@@ -495,19 +475,21 @@ void context::enqueue_group_locked(std::shared_ptr<dispatch_group> g) {
     in_flight_.insert(ids->begin(), ids->end());
   }
   ++stats_.groups;
-  const auto before = [this](const std::shared_ptr<dispatch_group>& a,
-                             const std::shared_ptr<dispatch_group>& b) {
-    return group_before(*a, *b);
-  };
-  ready_.insert(std::upper_bound(ready_.begin(), ready_.end(), g, before), std::move(g));
+  sched_->enqueue(std::move(g));
+}
+
+void context::kick_locked() {
+  for (auto& gp : sched_->take_runnable()) {
+    pool_.enqueue([this, gp] { run_group(gp); });
+  }
 }
 
 void context::flush_stream(unsigned sid) {
   auto g = build_group(sid);
   if (!g) return;
   std::lock_guard<std::mutex> lk(mu_);
-  enqueue_group_locked(std::move(g));
-  schedule_locked();
+  admit_group_locked(std::move(g));
+  kick_locked();
 }
 
 void context::flush() {
@@ -521,60 +503,33 @@ void context::flush() {
   }
   if (groups.empty()) return;
   std::lock_guard<std::mutex> lk(mu_);
-  for (auto& g : groups) enqueue_group_locked(std::move(g));
-  schedule_locked();
+  for (auto& g : groups) admit_group_locked(std::move(g));
+  kick_locked();
 }
 
-void context::schedule_locked() {
-  // Walk the ready queue in priority order.  A group starts when every one
-  // of its banks is free *and unclaimed*: a blocked higher-priority group
-  // claims its banks so later (lower-priority) groups cannot slip onto
-  // banks it is waiting for, while groups on disjoint banks still start —
-  // that is the overlap.
-  std::vector<char> claimed = bank_busy_;
-  for (auto it = ready_.begin(); it != ready_.end();) {
-    auto& g = **it;
-    bool runnable = true;
-    for (const unsigned r : g.resources) runnable = runnable && !claimed[r];
-    if (runnable) {
-      for (const unsigned r : g.resources) bank_busy_[r] = claimed[r] = 1;
-      auto gp = *it;
-      it = ready_.erase(it);
-      pool_.enqueue([this, gp] { run_group(gp); });
-    } else {
-      for (const unsigned r : g.resources) claimed[r] = 1;
-      ++it;
-    }
-  }
-
-  // Priority aging: every group still in the queue was passed over this
-  // round; one that has waited aging_limit rounds is promoted ahead of all
-  // non-aged groups (group_before orders aged groups first, in flush
-  // order), so persistent contention cannot starve a late-deadline or
-  // low-priority tenant forever.
-  if (opts_.aging_limit == 0 || ready_.empty()) return;
-  bool promoted = false;
-  for (auto& gp : ready_) {
-    if (!gp->aged && ++gp->waits >= opts_.aging_limit) {
-      gp->aged = true;
-      promoted = true;
-    }
-  }
-  if (promoted) {
-    std::stable_sort(ready_.begin(), ready_.end(),
-                     [this](const std::shared_ptr<dispatch_group>& a,
-                            const std::shared_ptr<dispatch_group>& b) {
-                       return group_before(*a, *b);
-                     });
-  }
-}
+// ---- group execution --------------------------------------------------------
 
 void context::run_group(const std::shared_ptr<dispatch_group>& g) {
+  bool yielded = false;
+  if (!g->absorbed.empty()) {
+    run_merged_group(g);
+  } else {
+    yielded = run_solo_group(g);
+  }
+  // A yielded group released its banks and re-entered the ready queue
+  // inside the yield decision; everything else releases here and lets the
+  // next contender in.
+  if (yielded) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  sched_->release(*g);
+  kick_locked();
+}
+
+bool context::run_solo_group(const std::shared_ptr<dispatch_group>& g) {
   // Dispatches within a group run in submission order; a backend exception
-  // fails exactly its own dispatch — sibling dispatches of the same group,
-  // and other streams' groups, still run.
+  // fails exactly its own dispatch (or chunk) — sibling dispatches of the
+  // same group, and other streams' groups, still run.
   const auto guarded = [&](const std::vector<job_id>& ids, auto&& fn) {
-    if (ids.empty()) return;
     try {
       fn();
     } catch (const std::exception& e) {
@@ -583,34 +538,157 @@ void context::run_group(const std::shared_ptr<dispatch_group>& g) {
       fail_group(*g, ids, "unknown backend error");
     }
   };
-  flush_plan& plan = g->plan;
-  guarded(plan.fwd_ids,
-          [&] { dispatch_ntt_group(*g, plan.fwd_ids, std::move(plan.fwd), transform_dir::forward); });
-  guarded(plan.inv_ids,
-          [&] { dispatch_ntt_group(*g, plan.inv_ids, std::move(plan.inv), transform_dir::inverse); });
-  guarded(plan.mul_ids,
-          [&] { dispatch_polymul_group(*g, plan.mul_ids, std::move(plan.muls)); });
-  guarded(plan.rescale_ids,
-          [&] { dispatch_rescale_group(*g, plan.rescale_ids, std::move(plan.rescales)); });
-  guarded(plan.rlwe_ids, [&] { run_rlwe_group(*g, plan.rlwe_ids, std::move(plan.rlwes)); });
 
-  // Release the bank reservation and let the next contender in.
-  std::lock_guard<std::mutex> lk(mu_);
-  for (const unsigned r : g->resources) bank_busy_[r] = 0;
-  schedule_locked();
+  // Chunked per-kind dispatch: a stream with a chunk_budget hands its jobs
+  // to the backend at most budget at a time and offers its banks to any
+  // earlier-ordered ready group between chunks (scheduler::should_yield).
+  // Budget 0 dispatches each kind whole with no yield points — the legacy
+  // path, bit-identical in outputs, dispatch counts and accounting.
+  const u64 budget = g->hints.chunk_budget;
+  const auto chunked = [&](std::vector<job_id>& ids, auto& jobs, auto&& dispatch_chunk) {
+    while (!ids.empty()) {
+      const std::size_t take =
+          budget == 0 ? ids.size() : std::min<std::size_t>(ids.size(), budget);
+      std::vector<job_id> cids(ids.begin(), ids.begin() + take);
+      std::decay_t<decltype(jobs)> cjobs(std::make_move_iterator(jobs.begin()),
+                                         std::make_move_iterator(jobs.begin() + take));
+      ids.erase(ids.begin(), ids.begin() + take);
+      jobs.erase(jobs.begin(), jobs.begin() + take);
+      guarded(cids, [&] { dispatch_chunk(cids, std::move(cjobs)); });
+      if (budget != 0 && !g->plan.empty()) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (sched_->should_yield(*g)) {
+          // Give the banks to the earlier-ordered group: release the claim,
+          // re-enqueue the remainder at its original policy position, and
+          // schedule — the urgent group claims the banks on this pass.
+          sched_->release(*g);
+          sched_->requeue_preempted(g);
+          kick_locked();
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  flush_plan& plan = g->plan;
+  if (chunked(plan.fwd_ids, plan.fwd, [&](const std::vector<job_id>& ids, auto&& js) {
+        dispatch_ntt_group(*g, ids, std::move(js), transform_dir::forward);
+      })) {
+    return true;
+  }
+  if (chunked(plan.inv_ids, plan.inv, [&](const std::vector<job_id>& ids, auto&& js) {
+        dispatch_ntt_group(*g, ids, std::move(js), transform_dir::inverse);
+      })) {
+    return true;
+  }
+  if (chunked(plan.mul_ids, plan.muls, [&](const std::vector<job_id>& ids, auto&& js) {
+        dispatch_polymul_group(*g, ids, std::move(js));
+      })) {
+    return true;
+  }
+  if (chunked(plan.rescale_ids, plan.rescales, [&](const std::vector<job_id>& ids, auto&& js) {
+        dispatch_rescale_group(*g, ids, std::move(js));
+      })) {
+    return true;
+  }
+  // R-LWE runs a staged three-dispatch flow over shared intermediates;
+  // it always dispatches whole (and is never merge-eligible).
+  if (!plan.rlwe_ids.empty()) {
+    std::vector<job_id> ids = std::move(plan.rlwe_ids);
+    plan.rlwe_ids.clear();
+    guarded(ids, [&] { run_rlwe_group(*g, ids, std::move(plan.rlwes)); });
+  }
+  return false;
+}
+
+void context::run_merged_group(const std::shared_ptr<dispatch_group>& g) {
+  // One dispatch per job kind over every member's jobs (host first, then
+  // absorbed groups in absorption order), sharded over the claimed bank
+  // union.  Per-job math is independent, so the concatenated dispatch is
+  // bit-identical to running the members separately — only the makespan
+  // and per-dispatch amortization change.
+  std::vector<dispatch_group*> members;
+  members.reserve(1 + g->absorbed.size());
+  members.push_back(g.get());
+  for (const auto& m : g->absorbed) members.push_back(m.get());
+
+  dispatch_hints hints = g->hints;
+  hints.chunk_budget = 0;  // merged dispatches run whole
+  if (caps_.banks() != 0) hints.bank_set = g->resources;
+
+  const auto guarded = [&](const std::vector<member_slice>& slices, auto&& fn) {
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      for (const auto& s : slices) fail_group(*s.g, *s.ids, e.what());
+    } catch (...) {
+      for (const auto& s : slices) fail_group(*s.g, *s.ids, "unknown backend error");
+    }
+  };
+
+  // Forward and inverse transforms.
+  for (const transform_dir dir : {transform_dir::forward, transform_dir::inverse}) {
+    std::vector<member_slice> slices;
+    std::vector<std::vector<u64>> polys;
+    std::size_t total = 0;
+    for (auto* m : members) {
+      auto& ids = dir == transform_dir::forward ? m->plan.fwd_ids : m->plan.inv_ids;
+      auto& jobs = dir == transform_dir::forward ? m->plan.fwd : m->plan.inv;
+      if (ids.empty()) continue;
+      slices.push_back({m, &ids, total});
+      total += ids.size();
+      for (auto& j : jobs) polys.push_back(std::move(j.coeffs));
+    }
+    if (slices.empty()) continue;
+    guarded(slices, [&] {
+      distribute_merged(*g, slices, total, backend_->run_ntt(polys, dir, hints));
+    });
+  }
+
+  // Ring products.
+  {
+    std::vector<member_slice> slices;
+    std::vector<core::polymul_pair> pairs;
+    std::size_t total = 0;
+    for (auto* m : members) {
+      if (m->plan.mul_ids.empty()) continue;
+      slices.push_back({m, &m->plan.mul_ids, total});
+      total += m->plan.mul_ids.size();
+      for (auto& j : m->plan.muls) pairs.push_back({std::move(j.a), std::move(j.b)});
+    }
+    if (!slices.empty()) {
+      guarded(slices, [&] {
+        distribute_merged(*g, slices, total, backend_->run_polymul(pairs, hints));
+      });
+    }
+  }
+
+  // Rescale corrections.  Members may sit on different limb streams only
+  // when their ring modulus matches (merge eligibility), so one dispatch
+  // covers them all; each job still names its own limb prime.
+  {
+    std::vector<member_slice> slices;
+    std::vector<rns_rescale_job> jobs;
+    std::size_t total = 0;
+    for (auto* m : members) {
+      if (m->plan.rescale_ids.empty()) continue;
+      slices.push_back({m, &m->plan.rescale_ids, total});
+      total += m->plan.rescale_ids.size();
+      for (auto& j : m->plan.rescales) jobs.push_back(std::move(j));
+    }
+    if (!slices.empty()) {
+      guarded(slices,
+              [&] { distribute_merged(*g, slices, total, backend_->run_rescale(jobs, hints)); });
+    }
+  }
+  // Merge eligibility excludes R-LWE plans, so nothing else remains.
 }
 
 // ---- accounting and completion ---------------------------------------------
 
 u64 context::account_locked(const dispatch_group& g, const batch_result& r) {
-  // Virtual timeline: the batch starts at its bank subset's frontier and
-  // advances it.  Disjoint subsets advance independently — overlap; the
-  // default stream owns every bank, so its batches run back-to-back
-  // exactly as the legacy accounting did.
-  u64 start = 0;
-  for (const unsigned res : g.resources) start = std::max(start, bank_free_at_[res]);
-  const u64 end = start + r.wall_cycles;
-  for (const unsigned res : g.resources) bank_free_at_[res] = end;
+  const u64 end = sched_->account(g, r.wall_cycles);
   ++stats_.batches;
   stats_.waves += r.waves;
   stats_.wall_cycles = std::max(stats_.wall_cycles, end);
@@ -659,6 +737,35 @@ void context::distribute(const dispatch_group& g, const std::vector<job_id>& ids
     in_flight_.erase(ids[i]);
   }
   stats_.jobs_completed += ids.size();
+  cv_.notify_all();
+}
+
+void context::distribute_merged(const dispatch_group& host,
+                                const std::vector<member_slice>& slices, std::size_t total_jobs,
+                                batch_result&& r) {
+  require_output_count(r.outputs.size(), total_jobs, "a merged dispatch");
+  std::lock_guard<std::mutex> lk(mu_);
+  // One accounting event on the claimed union: every member's jobs finish
+  // at the merged batch's end, but each member's deadline is judged from
+  // its *own* flush frontier — per-tenant accounting survives the merge.
+  const u64 end = account_locked(host, r);
+  for (const auto& s : slices) {
+    const bool missed = past_deadline(s.g->hints, s.g->ref_vtime, end);
+    if (missed) stats_.deadline_misses += s.ids->size();
+    for (std::size_t i = 0; i < s.ids->size(); ++i) {
+      job_result res;
+      res.outputs.push_back(std::move(r.outputs[s.offset + i]));
+      res.op_stats = r.stats;
+      res.wall_cycles = r.wall_cycles;
+      res.jobs_in_batch = total_jobs;
+      res.stream = s.g->hints.stream;
+      res.finish_cycles = end;
+      res.deadline_missed = missed;
+      done_.emplace((*s.ids)[i], std::move(res));
+      in_flight_.erase((*s.ids)[i]);
+    }
+    stats_.jobs_completed += s.ids->size();
+  }
   cv_.notify_all();
 }
 

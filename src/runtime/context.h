@@ -22,16 +22,17 @@
 // partitioned by job kind — forward transforms with forward transforms,
 // ring products with ring products, R-LWE flows staged together — and the
 // partitions become one *dispatch group* carrying the stream's
-// dispatch_hints (stream id, priority, deadline, bank subset).
+// dispatch_hints (stream id, priority, deadline, bank subset, chunk
+// budget).
 //
-// Scheduling: every stream owns a bank subset of the backend's bank map
-// (topology-aware: one channel per stream on multi-channel devices, one
-// bank on flat multi-bank ones; the default stream owns all banks).
-// Dispatch groups whose subsets are disjoint run concurrently on the
-// executor pool — that is how independent streams genuinely overlap on a
-// multi-bank sram topology; groups contending for a bank are ordered by
-// priority (flush order breaks ties), and a lower-priority group never
-// steals a bank a blocked higher-priority group is waiting for.
+// Scheduling is the scheduler module's job (src/runtime/scheduler.h):
+// group ordering (priority / EDF + aging behind one comparator), bank
+// claiming and placement, cross-stream merging of compatible groups, and
+// the yield decision of chunked dispatch all live there.  The context is
+// job bookkeeping and result distribution: it builds groups at flush,
+// executes the backend dispatches the scheduler hands back, accounts them
+// on the scheduler's virtual timeline, and routes per-job results —
+// including each merged member's slice — to completion state.
 //
 // Accounting runs on a virtual timeline of per-bank frontiers: a batch on
 // subset S starts at S's frontier and advances it by the batch's
@@ -39,7 +40,7 @@
 // to the old back-to-back sum when nothing overlaps, strictly smaller when
 // streams overlap.  A stream deadline is checked against completion minus
 // the frontier at flush; misses mark job_result::deadline_missed and count
-// into deadline_misses (accounting, not preemption).
+// into deadline_misses.
 //
 // Failure model: a backend exception fails exactly the jobs of the
 // dispatch it occurred in (job_status::failed + the backend's message);
@@ -47,14 +48,21 @@
 // complete.  wait() throws job_failed_error for a failed job;
 // try_wait()/wait_all() return the failed job_result instead.
 //
-// Ready-queue ordering is a policy (runtime_options::sched): the default
-// orders contended groups by priority (flush order breaking ties); edf
-// orders them earliest-absolute-deadline first (a stream's flush frontier
-// plus its deadline_cycles; no deadline sorts last, ties fall back to
-// priority then flush order).  Either policy composes with priority aging
-// (runtime_options::aging_limit): a group passed over that many scheduling
-// rounds is promoted ahead of every non-aged group, so starved tenants
-// eventually dispatch.
+// Cross-stream batching (runtime_options::merge_streams, default off):
+// when the scheduler picks a runnable group it absorbs merge-compatible
+// ready groups — same ring modulus, no rlwe jobs, streams that did not opt
+// out (stream_options::no_merge), banks disjoint-or-shareable — and the
+// context runs one dispatch per job kind over every member's jobs,
+// distributing each member's outputs back to its own stream with that
+// member's deadline accounting.  Outputs are bit-identical to unmerged
+// execution; only the makespan and the per-dispatch amortization change.
+//
+// Preemptive yielding (stream_options::chunk_budget, default unbounded):
+// a group dispatches in chunks of at most chunk_budget jobs; between
+// chunks the scheduler may order an arriving finite-deadline group ahead,
+// in which case the running group releases its banks and re-enters the
+// ready queue with its original flush position — budget-based preemption
+// without killing in-flight work.
 //
 // Threading contract: one client thread submits/flushes/waits; the pool
 // threads are internal.  A context is not a multi-producer queue — the
@@ -80,6 +88,7 @@
 #include "runtime/job.h"
 #include "runtime/operand_cache.h"
 #include "runtime/options.h"
+#include "runtime/scheduler.h"
 #include "runtime/stream.h"
 
 namespace bpntt::runtime {
@@ -105,6 +114,12 @@ struct scheduler_stats {
   // Both stay 0 when the cache is disabled (operand_cache_entries == 0).
   u64 operand_cache_hits = 0;
   u64 operand_cache_misses = 0;
+  // Cross-stream batching: ready groups absorbed into another group's
+  // merged dispatch (0 unless runtime_options::merge_streams is on).
+  u64 groups_merged = 0;
+  // Chunked groups that yielded their banks to an earlier-ordered group
+  // mid-plan (0 unless a stream sets a chunk_budget).
+  u64 preemption_yields = 0;
 };
 
 class context {
@@ -206,35 +221,19 @@ class context {
  private:
   friend class runtime::stream;
 
-  // One stream flush, partitioned by job kind.
-  struct flush_plan {
-    std::vector<job_id> fwd_ids, inv_ids, mul_ids, rlwe_ids, rescale_ids;
-    std::vector<ntt_job> fwd, inv;
-    std::vector<polymul_job> muls;
-    std::vector<rlwe_encrypt_job> rlwes;
-    std::vector<rns_rescale_job> rescales;
-  };
-
-  // A flushed stream queue waiting for (or holding) its bank reservation.
-  struct dispatch_group {
-    u64 seq = 0;                      // flush order; priority tiebreak
-    dispatch_hints hints;             // stream id, priority, deadline, bank subset
-    std::vector<unsigned> resources;  // scheduler resource ids (= bank ids, or {0})
-    u64 ref_vtime = 0;                // bank frontier at flush; deadline reference
-    // Absolute virtual-timeline deadline (ref_vtime + deadline_cycles).
-    // no_deadline sorts after every finite deadline under edf.
-    static constexpr u64 no_deadline = ~0ULL;
-    u64 deadline_abs = no_deadline;
-    unsigned waits = 0;  // scheduling rounds this group was passed over
-    bool aged = false;   // waits hit aging_limit: promoted ahead of non-aged
-    flush_plan plan;
-  };
-
   // Per-stream client state: policy, placement, and the pre-flush FIFO.
   struct stream_state {
     stream_options sopts;
     std::vector<unsigned> resources;
     std::vector<std::pair<job_id, job>> queue;
+  };
+
+  // One merged member's share of a concatenated dispatch: the member group
+  // (hints + ref_vtime for distribution) and its contiguous output range.
+  struct member_slice {
+    const dispatch_group* g = nullptr;
+    const std::vector<job_id>* ids = nullptr;
+    std::size_t offset = 0;
   };
 
   void finish_construction();
@@ -253,25 +252,35 @@ class context {
   [[nodiscard]] std::vector<unsigned> auto_bank_set(unsigned sid) const;
   // Partition one stream's queue into a dispatch group (nullptr if empty).
   [[nodiscard]] std::shared_ptr<dispatch_group> build_group(unsigned sid);
-  void enqueue_group_locked(std::shared_ptr<dispatch_group> g);
-  // The ready-queue ordering relation of the configured policy ("a
-  // dispatches before b"): aged groups first (among themselves, flush
-  // order), then edf/priority as configured.
-  [[nodiscard]] bool group_before(const dispatch_group& a, const dispatch_group& b) const;
+  // Job bookkeeping around scheduler::enqueue: jobs become in-flight before
+  // the group can run, the flush counts into stats_.groups.  Requires mu_.
+  void admit_group_locked(std::shared_ptr<dispatch_group> g);
+  // Pull every runnable group off the scheduler and hand it to the pool.
+  // Requires mu_.
+  void kick_locked();
 
   job_id enqueue(unsigned sid, job j);
   // The stream a still-queued job sits on, if any.
   [[nodiscard]] std::optional<unsigned> queued_on(job_id id) const noexcept;
 
-  // Scheduler: starts every ready group whose banks are free and not
-  // claimed by a blocked higher-priority group.  Requires mu_.
-  void schedule_locked();
   void run_group(const std::shared_ptr<dispatch_group>& g);
+  // Solo path: chunked per-kind dispatch with yield points between chunks.
+  // Returns true when the group yielded (banks released, remainder
+  // re-enqueued) — the caller must not release again.
+  bool run_solo_group(const std::shared_ptr<dispatch_group>& g);
+  // Merged path: one dispatch per job kind over every member's jobs,
+  // outputs distributed back per member.
+  void run_merged_group(const std::shared_ptr<dispatch_group>& g);
 
-  // Advance the group's bank frontiers by one batch; returns the batch's
+  // Advance the group's bank frontiers by one batch (scheduler::account)
+  // and fold the batch into the cumulative counters; returns the batch's
   // completion time on the virtual timeline.  Requires mu_.
   u64 account_locked(const dispatch_group& g, const batch_result& r);
   void distribute(const dispatch_group& g, const std::vector<job_id>& ids, batch_result&& r);
+  // Merged distribution: account once on the claimed union, then route each
+  // member's slice of the outputs with that member's deadline accounting.
+  void distribute_merged(const dispatch_group& host, const std::vector<member_slice>& slices,
+                         std::size_t total_jobs, batch_result&& r);
   void fail_group(const dispatch_group& g, const std::vector<job_id>& ids,
                   const std::string& what);
   void dispatch_ntt_group(const dispatch_group& g, const std::vector<job_id>& ids,
@@ -300,16 +309,15 @@ class context {
   unsigned next_stream_id_ = 1;
   job_id next_id_ = 1;
   // Shared state, guarded by mu_: completion map, in-flight set, counters,
-  // and the scheduler (ready groups, bank reservations, bank frontiers).
+  // and the scheduler module (ready groups, bank claims, bank frontiers).
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<job_id, job_result> done_;
   std::set<job_id> in_flight_;
   scheduler_stats stats_;
-  std::vector<std::shared_ptr<dispatch_group>> ready_;  // priority desc, seq asc
-  std::vector<char> bank_busy_;
-  std::vector<u64> bank_free_at_;
-  u64 next_group_seq_ = 0;
+  // The extracted scheduling engine (src/runtime/scheduler.h); constructed
+  // once the backend's bank map is known.  Every access is under mu_.
+  std::unique_ptr<scheduler> sched_;
   // Declared last: destroyed first, joining the workers (and finishing any
   // queued dispatch group) before the members those tasks reference go away.
   executor pool_;

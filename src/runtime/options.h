@@ -101,6 +101,14 @@ struct runtime_options {
   // (byte-identical to the pre-aging scheduler).
   unsigned aging_limit = 0;
 
+  // Cross-stream batching: when the scheduler picks a runnable group it
+  // absorbs merge-compatible ready groups (same ring modulus, no rlwe
+  // jobs, streams that did not opt out, disjoint-or-shareable banks) into
+  // one dispatch, distributing results back per stream.  Outputs are
+  // bit-identical either way; off by default so dispatch counts and
+  // ordering match the pre-batching scheduler exactly.
+  bool merge_streams = false;
+
   runtime_options& with_backend(backend_kind k) {
     backend = k;
     return *this;
@@ -168,6 +176,10 @@ struct runtime_options {
   runtime_options& with_schedule(schedule_policy p, unsigned aging = 0) {
     sched = p;
     aging_limit = aging;
+    return *this;
+  }
+  runtime_options& with_cross_stream_batching(bool on = true) {
+    merge_streams = on;
     return *this;
   }
 

@@ -52,6 +52,18 @@ struct stream_options {
   // envelope) and submissions validate coefficients against it.  R-LWE
   // jobs are ring-specific and are rejected on overridden streams.
   u64 ring_q = 0;
+  // Opt this stream out of cross-stream batching
+  // (runtime_options::merge_streams): its groups are never absorbed into
+  // another stream's dispatch and never absorb others.  For tenants whose
+  // latency accounting must not share a dispatch (or whose bank residency
+  // must stay exclusive).
+  bool no_merge = false;
+  // Preemptive-yield budget: dispatch this stream's groups in chunks of at
+  // most this many jobs, offering the banks to any earlier-ordered group
+  // (under the configured policy) between chunks.  0 = unbounded — whole
+  // per-kind dispatches, the legacy behaviour.  R-LWE stages always
+  // dispatch whole.
+  u64 chunk_budget = 0;
 };
 
 class stream {

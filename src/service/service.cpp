@@ -204,7 +204,8 @@ void service::ensure_stream(const std::shared_ptr<session_state>& sess) {
                                [&](const pooled_stream& p) {
                                  return p.priority == o.priority &&
                                         p.deadline_cycles == o.deadline_cycles &&
-                                        p.ring_q == o.ring_q;
+                                        p.ring_q == o.ring_q && p.no_merge == o.no_merge &&
+                                        p.chunk_budget == o.chunk_budget;
                                });
   if (it != stream_pool_.end()) {
     sess->stream = it->stream;
@@ -215,6 +216,8 @@ void service::ensure_stream(const std::shared_ptr<session_state>& sess) {
     so.priority = o.priority;
     so.deadline_cycles = o.deadline_cycles;
     so.ring_q = o.ring_q;
+    so.no_merge = o.no_merge;
+    so.chunk_budget = o.chunk_budget;
     sess->stream = ctx_.stream(std::move(so));
   }
   sess->has_stream = true;
@@ -233,7 +236,7 @@ void service::retire_idle_streams() {
     }
     if (stream_pool_.size() < sopts_.stream_pool_limit) {
       stream_pool_.push_back({ss.opts.priority, ss.opts.deadline_cycles, ss.opts.ring_q,
-                              ss.stream});
+                              ss.opts.no_merge, ss.opts.chunk_budget, ss.stream});
       pooled_.store(stream_pool_.size(), std::memory_order_release);
     } else {
       ss.stream.close();
@@ -381,6 +384,11 @@ service_stats service::stats() const {
       s.queued += sess->queued.load(std::memory_order_acquire);
       s.in_flight += sess->in_flight.load(std::memory_order_acquire);
     }
+  }
+  {
+    const runtime::scheduler_stats rs = ctx_.stats();
+    s.groups_merged = rs.groups_merged;
+    s.preemption_yields = rs.preemption_yields;
   }
   std::lock_guard<std::mutex> lk(stats_mu_);
   s.completed = completed_;

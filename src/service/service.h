@@ -86,6 +86,15 @@ struct session_options {
   // Non-zero: an RNS limb tenant — every job runs at this ring modulus
   // (validated when the drainer opens the tenant's stream).
   u64 ring_q = 0;
+  // Opt this tenant out of cross-stream batching (see
+  // stream_options::no_merge): its dispatch groups never share a backend
+  // dispatch with another tenant's.  Irrelevant unless the wrapped context
+  // was built with runtime_options::merge_streams.
+  bool no_merge = false;
+  // Preemptive-yield budget (see stream_options::chunk_budget): this
+  // tenant's groups dispatch at most this many jobs per chunk and offer
+  // their banks to earlier-ordered tenants between chunks.  0 = unbounded.
+  u64 chunk_budget = 0;
   // Admission caps: jobs admitted but not yet dispatched to the backend
   // (backlog), and dispatched but not completed (in flight).  Submissions
   // past either cap reject with admission_error.  Both must be >= 1.
@@ -126,6 +135,12 @@ struct service_stats {
   u64 p95_ns = 0;
   u64 p99_ns = 0;
   u64 max_ns = 0;
+  // Scheduler probes of the wrapped context (service-wide only — the
+  // scheduler does not attribute merges or yields to tenants): dispatch
+  // groups absorbed into another group's merged dispatch, and chunked
+  // groups that yielded their banks mid-plan.  Both stay 0 per session.
+  u64 groups_merged = 0;
+  u64 preemption_yields = 0;
 
   [[nodiscard]] double deadline_miss_rate() const noexcept {
     const u64 done = completed + failed;
@@ -257,11 +272,16 @@ class service {
     std::chrono::steady_clock::time_point t_submit;
   };
 
-  // A parked stream a future policy-compatible session can reuse.
+  // A parked stream a future policy-compatible session can reuse.  The
+  // compatibility key is every option that shapes the stream's scheduling
+  // behaviour — a stream opened for a no-merge or chunk-budgeted tenant
+  // must not leak those semantics to a tenant that did not ask for them.
   struct pooled_stream {
     int priority;
     u64 deadline_cycles;
     u64 ring_q;
+    bool no_merge;
+    u64 chunk_budget;
     runtime::stream stream;
   };
 
