@@ -7,6 +7,7 @@ so it is deterministic and host-independent:
   * BENCH_table1.json     — measured in-SRAM rows, latency_us per row
   * BENCH_rns_bigmul.json — RNS limb sweep, makespan_cycles per limb count
   * BENCH_rescale.json    — rescale limb sweep, cold_cycles per limb count
+  * BENCH_rns_rlwe.json   — leveled RLWE sweep, warm-key multiply cycles
 
 Each current value is compared against two references: the committed
 baseline (bench/baselines/, updated deliberately when a change is supposed
@@ -77,6 +78,19 @@ def rescale_metrics(doc):
     return rows
 
 
+def rns_rlwe_metrics(doc):
+    """Warm-key relinearization cost per chain length: the fixed-evk repeat
+    multiply is the steady-state leveled workload, so its cycle count is
+    what the operand cache is supposed to keep down."""
+    rows = {}
+    for row in doc.get("rows", []):
+        warm = row.get("warm_cycles")
+        limbs = row.get("limbs")
+        if isinstance(warm, (int, float)) and warm > 0 and limbs is not None:
+            rows[f"{limbs} limbs warm"] = float(warm)
+    return rows
+
+
 def soak_metrics(doc):
     """Advisory view of the service-layer soak: wall-clock totals plus the
     deterministic merge-trace makespans (the strict merged-beats-unmerged
@@ -99,6 +113,7 @@ GATED = [
     ("sram table1", "BENCH_table1.json", table1_metrics, "us"),
     ("rns bigmul", "BENCH_rns_bigmul.json", rns_metrics, "cyc"),
     ("rns rescale", "BENCH_rescale.json", rescale_metrics, "cyc"),
+    ("rns rlwe", "BENCH_rns_rlwe.json", rns_rlwe_metrics, "cyc"),
 ]
 ADVISORY = [
     ("service soak", "BENCH_soak.json", soak_metrics, ""),

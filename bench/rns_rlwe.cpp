@@ -1,0 +1,196 @@
+// Leveled RNS-RLWE: homomorphic-multiply sweep down the level chain.
+//
+// One row per chain length: a fresh scheme (keygen included) encrypts a
+// random bit-polynomial and multiplies at the top level twice — once with
+// a cold NTT-domain operand cache, once warm.  The warm repeat is the
+// fixed-evaluation-key case every leveled workload hits: the relin
+// products' key operands are already transformed, so the makespan drops.
+// The walk then squares down to the one-limb floor, checking every level's
+// decryption against the plain GF(2) negacyclic square — a wrong
+// relinearization or rescale cannot emit a plausible row.
+//
+// Usage: bench_rns_rlwe [--json <path>] [--limbs <max>]
+//   --json   also emit the sweep as JSON (CI perf artifact, conventionally
+//            BENCH_rns_rlwe.json)
+//   --limbs  largest ciphertext chain length to sweep (default 4, min 2)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "common/xoshiro.h"
+#include "crypto/rns_rlwe/rns_rlwe.h"
+#include "runtime/context.h"
+
+namespace {
+
+using bpntt::core::u64;
+
+// 20-bit limbs leave each level a comfortable noise budget at n = 128
+// (fresh ~2^10, tensor ~2^27 against a 2^20 rescale divisor).
+constexpr unsigned kOrder = 128;
+constexpr unsigned kLimbBits = 20;
+
+std::vector<u64> negacyclic_mod2(const std::vector<u64>& a, const std::vector<u64>& b) {
+  std::vector<u64> out(a.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) out[(i + j) % a.size()] ^= a[i] & b[j];
+  }
+  return out;
+}
+
+struct sweep_row {
+  unsigned limbs = 0;
+  unsigned modulus_bits = 0;   // ciphertext chain ΠQ at the top level
+  unsigned ks_bits = 0;        // key-switching extension ΠP
+  u64 cold_cycles = 0;         // first top-level multiply, cache cold
+  u64 warm_cycles = 0;         // repeat with cached key transforms
+  u64 cache_hits = 0;          // operand-cache hits the repeat produced
+  double warm_saving = 0.0;    // 1 - warm / cold
+  int floor_noise_bits = 0;    // budget left after walking to the floor
+};
+
+sweep_row run_one(unsigned limbs) {
+  using namespace bpntt;
+  const auto params = crypto::he_rns_rlwe_level(kLimbBits, limbs, kOrder);
+  const unsigned channels =
+      static_cast<unsigned>(params.primes.size() + params.ks_primes.size());
+  const auto opts = runtime::runtime_options::for_rns_param_set(params.level_set())
+                        .with_backend(runtime::backend_kind::sram)
+                        .with_topology(channels, /*banks_per_channel=*/1, /*subarrays=*/4)
+                        .with_threads(channels);
+  runtime::context ctx(opts);
+  crypto::rns_rlwe::scheme sch(ctx, params, /*seed=*/6060 + limbs);
+
+  common::xoshiro256ss rng(17 + limbs);
+  std::vector<u64> plain(kOrder);
+  for (auto& b : plain) b = rng() & 1ULL;
+  const auto ct = sch.encrypt(plain);
+
+  const auto cold_start = ctx.stats();
+  const auto first = sch.multiply(ct, ct);
+  const auto cold_end = ctx.stats();
+
+  auto expect = negacyclic_mod2(plain, plain);
+  if (sch.decrypt(first) != expect) {
+    throw std::runtime_error("rns_rlwe: k=" + std::to_string(limbs) +
+                             " cold multiply disagrees with the GF(2) oracle");
+  }
+
+  // The repeat: identical ciphertext, same evaluation key, warm cache.
+  const auto warm_start = ctx.stats();
+  const auto second = sch.multiply(ct, ct);
+  const auto warm_end = ctx.stats();
+  if (second.c0.residues != first.c0.residues || second.c1.residues != first.c1.residues) {
+    throw std::runtime_error("rns_rlwe: k=" + std::to_string(limbs) +
+                             " warm repeat changed the ciphertext");
+  }
+
+  // Walk the rest of the chain to the floor, verifying every level.
+  auto walking = first;
+  while (walking.level + 1 < sch.levels()) {
+    walking = sch.square(walking);
+    expect = negacyclic_mod2(expect, expect);
+    if (sch.decrypt(walking) != expect) {
+      throw std::runtime_error("rns_rlwe: k=" + std::to_string(limbs) +
+                               " walk disagrees with the GF(2) oracle at level " +
+                               std::to_string(walking.level));
+    }
+  }
+
+  sweep_row row;
+  row.limbs = limbs;
+  row.modulus_bits = params.modulus_bits();
+  row.ks_bits = params.ks_modulus_bits();
+  row.cold_cycles = cold_end.wall_cycles - cold_start.wall_cycles;
+  row.warm_cycles = warm_end.wall_cycles - warm_start.wall_cycles;
+  row.cache_hits = warm_end.operand_cache_hits - warm_start.operand_cache_hits;
+  row.warm_saving = row.cold_cycles == 0
+                        ? 0.0
+                        : 1.0 - static_cast<double>(row.warm_cycles) /
+                                    static_cast<double>(row.cold_cycles);
+  row.floor_noise_bits = sch.noise_budget_bits(walking);
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<sweep_row>& rows) {
+  std::string out = "{\n  \"bench\": \"rns_rlwe\",\n  \"n\": " + std::to_string(kOrder) +
+                    ",\n  \"limb_bits\": " + std::to_string(kLimbBits) + ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"limbs\": %u, \"modulus_bits\": %u, \"ks_bits\": %u, "
+                  "\"cold_cycles\": %llu, \"warm_cycles\": %llu, \"cache_hits\": %llu, "
+                  "\"warm_saving\": %.4f, \"floor_noise_bits\": %d}",
+                  rows[i].limbs, rows[i].modulus_bits, rows[i].ks_bits,
+                  static_cast<unsigned long long>(rows[i].cold_cycles),
+                  static_cast<unsigned long long>(rows[i].warm_cycles),
+                  static_cast<unsigned long long>(rows[i].cache_hits),
+                  rows[i].warm_saving, rows[i].floor_noise_bits);
+    out += buf;
+    out += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("rns_rlwe: cannot open --json path " + path);
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %zu JSON bytes to %s\n", out.size(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  unsigned max_limbs = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--limbs") == 0 && i + 1 < argc) {
+      max_limbs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      if (max_limbs < 2 || max_limbs > 8) {
+        std::fprintf(stderr, "rns_rlwe: --limbs must be in [2, 8]\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--limbs <max>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("=== Leveled RNS-RLWE homomorphic multiply, %u-point ring, %u-bit limbs ===\n\n",
+              kOrder, kLimbBits);
+
+  std::vector<sweep_row> rows;
+  for (unsigned limbs = 2; limbs <= max_limbs; ++limbs) {
+    rows.push_back(run_one(limbs));
+  }
+
+  bpntt::common::text_table table({"Limbs", "ΠQ", "ΠP", "Cold(cyc)", "Warm(cyc)",
+                                   "Cache hits", "Warm saved", "Floor noise"});
+  for (const auto& r : rows) {
+    char saved[32];
+    std::snprintf(saved, sizeof saved, "%.1f%%", 100.0 * r.warm_saving);
+    table.add_row({std::to_string(r.limbs), std::to_string(r.modulus_bits) + "b",
+                   std::to_string(r.ks_bits) + "b", std::to_string(r.cold_cycles),
+                   std::to_string(r.warm_cycles), std::to_string(r.cache_hits), saved,
+                   std::to_string(r.floor_noise_bits) + "b"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nevery level of every walk verified against the GF(2) negacyclic oracle\n");
+
+  if (!json_path.empty()) write_json(json_path, rows);
+
+  // The acceptance gate: a fixed evaluation key must make repeat
+  // multiplies measurably cheaper than the cold-key path.
+  bool cache_won = true;
+  for (const auto& r : rows) {
+    cache_won = cache_won && r.cache_hits > 0 && r.warm_cycles < r.cold_cycles;
+  }
+  return cache_won ? 0 : 1;
+}

@@ -1,7 +1,9 @@
 // Multi-tenant service-layer soak: N client threads hammer one service
 // through session handles for a fixed wall budget, with mixed traffic —
 // forward/inverse transforms, negacyclic products, R-LWE encryptions and
-// an RNS limb tenant — under the EDF ready-queue policy.
+// an RNS-RLWE limb tenant emitting relinearization-shaped traffic (evk
+// products, base-extension lifts, congruence-preserving rescale
+// corrections) — under the EDF ready-queue policy.
 //
 // The harness is a correctness gate as much as a benchmark: every client
 // counts what it was admitted and what its tickets returned, and the run
@@ -54,8 +56,8 @@ namespace {
 using namespace bpntt;
 using runtime::u64;
 
-// The soak ring: 13-bit envelope so the RNS limb tenant's 12-bit prime
-// validates alongside the native 3137 ring.
+// The soak ring: 13-bit envelope so the RNS-RLWE tenant's 12-bit limb
+// primes validate alongside the native 3137 ring.
 constexpr unsigned kOrder = 32;
 constexpr u64 kRingQ = 3137;
 constexpr unsigned kRingBits = 13;
@@ -94,13 +96,18 @@ struct soak_result {
 };
 
 soak_result run_soak(unsigned threads, unsigned millis) {
-  const u64 limb = math::first_k_ntt_primes(12, kOrder, 1, true).front();
+  // Two 12-bit NTT primes for the RNS-RLWE tenant: its session rides the
+  // first limb's ring, the second plays the dropped / source limb of the
+  // rescale and base-extension jobs.
+  const auto limbs = math::first_k_ntt_primes(12, kOrder, 2, true);
+  const u64 limb = limbs[0];
+  const u64 partner = limbs[1];
   const tenant_class classes[] = {
       {"latency", {.priority = 8, .deadline_cycles = 20'000, .max_queued = 64,
                    .max_in_flight = 64}},
       {"bulk", {.priority = 0, .chunk_budget = 32, .max_queued = 512,
                 .max_in_flight = 512}},
-      {"rns-limb", {.priority = 4, .ring_q = limb}},
+      {"rns-rlwe", {.priority = 4, .ring_q = limb}},
       {"crypto", {.priority = 2}},
   };
   constexpr unsigned kClasses = sizeof(classes) / sizeof(classes[0]);
@@ -145,6 +152,29 @@ soak_result run_soak(unsigned threads, unsigned millis) {
                 batch.push_back(sess.submit(runtime::polymul_job{
                     .a = random_poly(q, rng), .b = random_poly(q, rng)}));
                 break;
+              case 2:  // rns-rlwe: what a leveled client's relinearization
+                       // emits on its limb stream — the evk product, the
+                       // base-extension lift, the modulus-switch correction
+                switch (i % 3) {
+                  case 0:
+                    batch.push_back(sess.submit(runtime::polymul_job{
+                        .a = random_poly(q, rng), .b = random_poly(q, rng)}));
+                    break;
+                  case 1:
+                    batch.push_back(sess.submit(runtime::rns_base_extend_job{
+                        .prime = limb,
+                        .source_primes = {partner},
+                        .residues = {random_poly(partner, rng)}}));
+                    break;
+                  default:
+                    batch.push_back(sess.submit(runtime::rns_rescale_job{
+                        .prime = limb,
+                        .drop_prime = partner,
+                        .x = random_poly(limb, rng),
+                        .dropped = random_poly(partner, rng),
+                        .congruence = 2}));
+                }
+                break;
               case 3: {  // crypto: end-to-end R-LWE encryptions
                 std::vector<u64> msg(kOrder);
                 for (auto& m : msg) m = rng() & 1;
@@ -152,7 +182,7 @@ soak_result run_soak(unsigned threads, unsigned millis) {
                     .message = std::move(msg), .eta = 2, .seed = rng()}));
                 break;
               }
-              default:  // latency / rns-limb: transforms both ways
+              default:  // latency: transforms both ways
                 batch.push_back(sess.submit(runtime::ntt_job{
                     .dir = (rng() & 1) ? core::transform_dir::forward
                                        : core::transform_dir::inverse,

@@ -4,6 +4,7 @@
 
 #include "common/bitutil.h"
 #include "nttmath/primes.h"
+#include "nttmath/wide_uint.h"
 
 namespace bpntt::crypto {
 
@@ -72,6 +73,133 @@ std::vector<rns_param_set> rns_level_chain(const rns_param_set& top) {
     chain.push_back(std::move(next));
   }
   return chain;
+}
+
+rns_param_set rns_rlwe_param_set::level_set() const {
+  rns_param_set q;
+  q.name = name;
+  q.n = n;
+  q.primes = primes;
+  q.min_tile_bits = min_tile_bits;
+  return q;
+}
+
+unsigned rns_rlwe_param_set::modulus_bits() const {
+  unsigned bits = 0;
+  for (const std::uint64_t q : primes) bits += common::bit_length(q);
+  return bits;
+}
+
+unsigned rns_rlwe_param_set::ks_modulus_bits() const {
+  unsigned bits = 0;
+  for (const std::uint64_t q : ks_primes) bits += common::bit_length(q);
+  return bits;
+}
+
+rns_rlwe_param_set he_rns_rlwe_level(unsigned limb_bits, unsigned limbs, std::uint64_t n,
+                                     unsigned ks_limbs) {
+  if (limbs == 0) {
+    throw std::invalid_argument("he_rns_rlwe_level: the ciphertext chain needs >= 1 limb");
+  }
+  if (ks_limbs == 0) ks_limbs = limbs;
+  rns_rlwe_param_set p;
+  // One ascending search supplies both chains: the first `limbs` primes are
+  // Q, the remaining `ks_limbs` are P.  Every P prime therefore exceeds
+  // every Q prime, so ks_limbs == limbs already guarantees ΠP > ΠQ.
+  const auto all = math::first_k_ntt_primes(limb_bits, n, limbs + ks_limbs,
+                                            /*negacyclic=*/true);
+  p.primes.assign(all.begin(), all.begin() + limbs);
+  p.ks_primes.assign(all.begin() + limbs, all.end());
+  p.n = n;
+  p.name = "HE-RNS-RLWE-" + std::to_string(limbs) + "+" + std::to_string(ks_limbs) + "x" +
+           std::to_string(limb_bits) + "b";
+  p.min_tile_bits = required_tile_bits(all.back());
+  validate_keyswitch_headroom(p);
+  return p;
+}
+
+void validate_keyswitch_headroom(const rns_rlwe_param_set& p) {
+  if (p.primes.empty()) {
+    throw std::invalid_argument(
+        "rns_rlwe: the ciphertext chain carries no limb primes — nothing to key-switch over");
+  }
+  if (p.ks_primes.empty()) {
+    throw std::invalid_argument(
+        "rns_rlwe: the key-switching extension chain is empty — relinearization has no "
+        "headroom to lift the tensor term into (add ks_primes with ΠP >= the ciphertext "
+        "modulus)");
+  }
+  for (std::size_t i = 0; i < p.ks_primes.size(); ++i) {
+    const std::uint64_t q = p.ks_primes[i];
+    if ((q & 1ULL) == 0 || !math::is_prime(q)) {
+      throw std::invalid_argument("rns_rlwe: extension limb " + std::to_string(i) +
+                                  " modulus " + std::to_string(q) + " is not an odd prime");
+    }
+    if ((q - 1) % (2 * p.n) != 0) {
+      throw std::invalid_argument(
+          "rns_rlwe: extension prime " + std::to_string(q) +
+          " does not support negacyclic NTTs of size n = " + std::to_string(p.n) +
+          " (needs q == 1 mod 2n) — key-switching products run on its limb stream");
+    }
+    for (std::size_t k = 0; k < i; ++k) {
+      if (p.ks_primes[k] == q) {
+        throw std::invalid_argument("rns_rlwe: extension prime " + std::to_string(q) +
+                                    " repeats at limbs " + std::to_string(k) + " and " +
+                                    std::to_string(i) +
+                                    " (the extension chain must be pairwise coprime)");
+      }
+    }
+    for (const std::uint64_t cq : p.primes) {
+      if (cq == q) {
+        throw std::invalid_argument(
+            "rns_rlwe: extension prime " + std::to_string(q) +
+            " already sits in the ciphertext chain — P must be coprime to Q, so the "
+            "base-extended tensor term stays exact");
+      }
+    }
+  }
+  if (p.plain_modulus < 2) {
+    throw std::invalid_argument("rns_rlwe: plaintext modulus t = " +
+                                std::to_string(p.plain_modulus) + " must be >= 2");
+  }
+  for (const std::uint64_t q : p.primes) {
+    if (p.plain_modulus % q == 0) {
+      throw std::invalid_argument(
+          "rns_rlwe: plaintext modulus " + std::to_string(p.plain_modulus) +
+          " is a multiple of ciphertext prime " + std::to_string(q) +
+          " (the congruence-preserving switch needs t coprime to every limb)");
+    }
+  }
+  for (const std::uint64_t q : p.ks_primes) {
+    if (p.plain_modulus % q == 0) {
+      throw std::invalid_argument(
+          "rns_rlwe: plaintext modulus " + std::to_string(p.plain_modulus) +
+          " is a multiple of extension prime " + std::to_string(q) +
+          " (the relin P-limb drops need t coprime to every extension prime)");
+    }
+  }
+  // The headroom inequality itself, checked exactly: ΠP >= ΠQ.  The
+  // relinearization accumulator carries d2_ext * evk over Q∪P and divides
+  // the noise by ΠP; with ΠP below the ciphertext modulus the surviving
+  // n·E·ΠQ/ΠP term swamps the noise budget instead of vanishing.
+  unsigned q_bits = 0;
+  for (const std::uint64_t q : p.primes) q_bits += common::bit_length(q);
+  unsigned p_bits = 0;
+  for (const std::uint64_t q : p.ks_primes) p_bits += common::bit_length(q);
+  const unsigned width = q_bits + p_bits + 1;
+  math::wide_uint prod_q(width, 1);
+  for (const std::uint64_t q : p.primes) prod_q = prod_q.mul_u64(q);
+  math::wide_uint prod_p(width, 1);
+  for (const std::uint64_t q : p.ks_primes) prod_p = prod_p.mul_u64(q);
+  if (prod_p < prod_q) {
+    throw std::invalid_argument(
+        "rns_rlwe: key-switching extension modulus ΠP (" + std::to_string(p.ks_modulus_bits()) +
+        " bits over " + std::to_string(p.ks_primes.size()) +
+        " primes) falls short of the ciphertext modulus ΠQ (" +
+        std::to_string(p.modulus_bits()) + " bits over " + std::to_string(p.primes.size()) +
+        " primes) — the relin accumulator needs ΠP >= ΠQ; add extension primes or widen "
+        "them");
+  }
 }
 
 std::vector<param_set> all_param_sets() {

@@ -55,6 +55,51 @@ struct rns_param_set {
 // an empty chain.
 [[nodiscard]] std::vector<rns_param_set> rns_level_chain(const rns_param_set& top);
 
+// Leveled RNS-RLWE parameters: the ciphertext chain Q (`primes`) plus the
+// key-switching extension chain P (`ks_primes`) hybrid relinearization
+// lifts into for multiply-accumulate headroom, the plaintext modulus t the
+// BGV-style modulus switch preserves, and the CBD noise width.  The
+// evaluation key lives over the full union Q ∪ P, which makes it valid at
+// every level of the chain — the fixed-operand shape the NTT-domain cache
+// serves warm.
+struct rns_rlwe_param_set {
+  std::string name;
+  std::uint64_t n = 0;                    // polynomial order
+  std::vector<std::uint64_t> primes;      // ciphertext chain Q, ascending, distinct
+  std::vector<std::uint64_t> ks_primes;   // extension chain P, coprime to Q
+  std::uint64_t plain_modulus = 2;        // t: the message residue the switch preserves
+  unsigned eta = 2;                       // centered-binomial noise width
+  unsigned min_tile_bits = 0;             // tile width the widest limb (Q or P) needs
+
+  // The ciphertext-chain view (Q only) — what a ciphertext's level walk
+  // sweeps; feed it to rns_level_chain / runtime_options::for_rns_param_set.
+  [[nodiscard]] rns_param_set level_set() const;
+  // Sum of Q limb bit lengths (the ciphertext modulus magnitude).
+  [[nodiscard]] unsigned modulus_bits() const;
+  // Sum of P limb bit lengths (the relin accumulator's extra headroom).
+  [[nodiscard]] unsigned ks_modulus_bits() const;
+};
+
+// A leveled RNS-RLWE preset: `limbs` ciphertext primes and `ks_limbs`
+// (default: limbs, enough for ΠP >= ΠQ) extension primes, all NTT-friendly
+// `limb_bits`-bit primes at order n drawn from one ascending search — the
+// first `limbs` become Q, the rest P, so the extension product always
+// clears the ciphertext modulus.  The result passes
+// validate_keyswitch_headroom by construction.
+[[nodiscard]] rns_rlwe_param_set he_rns_rlwe_level(unsigned limb_bits, unsigned limbs,
+                                                   std::uint64_t n = 1024,
+                                                   unsigned ks_limbs = 0);
+
+// Key-switching headroom validation: every P prime must be an NTT-friendly
+// odd prime at order n, coprime to the chain (no duplicates within P, no
+// overlap with Q), the plaintext modulus coprime to every limb, and the
+// extension product ΠP at least the ciphertext modulus ΠQ — the hybrid
+// relinearization accumulator divides its noise by ΠP, so a short
+// extension chain leaks tensor noise into the result.  Throws
+// std::invalid_argument naming the first offending prime (or the exact
+// bit shortfall) like first_k_ntt_primes does.
+void validate_keyswitch_headroom(const rns_rlwe_param_set& p);
+
 // NB: standardized Kyber (q=3329) uses an *incomplete* NTT — 3328 = 2^8*13
 // caps full negacyclic transforms at n=128.  kyber() is still exercised at
 // the modular-multiplication level and for n<=128 rings; kyber_compat()

@@ -1,5 +1,6 @@
 #include "rns/rns_basis.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -92,19 +93,22 @@ rns_basis rns_basis::switch_to(const rns_basis& other) const {
                                 std::to_string(other.n()) + ", this basis has n = " +
                                 std::to_string(n_));
   }
-  if (other.limbs() >= primes_.size()) {
-    throw std::invalid_argument(
-        "rns_basis: switch_to target carries " + std::to_string(other.limbs()) +
-        " limbs, not fewer than this chain's " + std::to_string(primes_.size()) +
-        " (modulus switching only ever shrinks the chain)");
-  }
-  for (std::size_t i = 0; i < other.limbs(); ++i) {
+  // Divergence is diagnosed before length so a wrong-chain target names the
+  // first limb that actually differs instead of a generic limb-count error.
+  const std::size_t shared = std::min(other.limbs(), primes_.size());
+  for (std::size_t i = 0; i < shared; ++i) {
     if (other.prime(i) != primes_[i]) {
       throw std::invalid_argument(
           "rns_basis: switch_to target limb " + std::to_string(i) + " is prime " +
           std::to_string(other.prime(i)) + ", this chain's is " + std::to_string(primes_[i]) +
           " (a rescale chain sheds limbs from the tail, so the target must be a prefix)");
     }
+  }
+  if (other.limbs() >= primes_.size()) {
+    throw std::invalid_argument(
+        "rns_basis: switch_to target carries " + std::to_string(other.limbs()) +
+        " limbs, not fewer than this chain's " + std::to_string(primes_.size()) +
+        " (modulus switching only ever shrinks the chain)");
   }
   return rns_basis(n_, std::vector<u64>(primes_.begin(), primes_.begin() + other.limbs()));
 }

@@ -1,5 +1,6 @@
 #include "rns/rns_engine.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -30,10 +31,15 @@ void rns_engine::require_limbs(const rns_poly& p, const char* what) const {
 }
 
 std::vector<std::vector<u64>> rns_engine::collect(const std::vector<runtime::job_id>& ids) {
+  return collect_on(basis_.primes(), ids);
+}
+
+std::vector<std::vector<u64>> rns_engine::collect_on(const std::vector<u64>& flush_primes,
+                                                     const std::vector<runtime::job_id>& ids) {
   // Flush the limb streams together so every limb group enters the ready
   // queue before scheduling starts — that is what lets disjoint-channel
   // groups overlap instead of trickling in one at a time.
-  for (const u64 q : basis_.primes()) ctx_.rns_stream(q).flush();
+  for (const u64 q : flush_primes) ctx_.rns_stream(q).flush();
   last_ = fanout_stats{};
   std::vector<std::vector<u64>> outputs;
   outputs.reserve(ids.size());
@@ -86,7 +92,7 @@ const rns_basis& rns_engine::dropped_basis() {
   return *dropped_;
 }
 
-rns_poly rns_engine::rescale(const rns_poly& p) {
+rns_poly rns_engine::rescale(const rns_poly& p, u64 congruence) {
   require_limbs(p, "rescale operand");
   if (basis_.limbs() < 2) {
     throw std::invalid_argument(
@@ -103,10 +109,54 @@ rns_poly rns_engine::rescale(const rns_poly& p) {
     j.drop_prime = q_drop;
     j.x = p.residues[i];
     j.dropped = dropped_residues;
+    j.congruence = congruence;
     ids.push_back(ctx_.rns_stream(basis_.prime(i)).submit(std::move(j)));
   }
   rns_poly out;
   out.residues = collect(ids);
+  return out;
+}
+
+rns_poly rns_engine::base_extend(const rns_poly& p, const rns_basis& target) {
+  require_limbs(p, "base_extend operand");
+  if (target.n() != basis_.n()) {
+    throw std::invalid_argument("rns_engine: base_extend target has ring order n = " +
+                                std::to_string(target.n()) + ", this basis has n = " +
+                                std::to_string(basis_.n()));
+  }
+  const std::size_t shared = std::min<std::size_t>(target.limbs(), basis_.limbs());
+  for (std::size_t i = 0; i < shared; ++i) {
+    if (target.prime(i) != basis_.prime(i)) {
+      throw std::invalid_argument(
+          "rns_engine: base_extend target limb " + std::to_string(i) + " is prime " +
+          std::to_string(target.prime(i)) + ", this chain's is " +
+          std::to_string(basis_.prime(i)) +
+          " (extension grows the chain at the tail, so this basis must be a prefix)");
+    }
+  }
+  if (target.limbs() <= basis_.limbs()) {
+    throw std::invalid_argument(
+        "rns_engine: base_extend target carries " + std::to_string(target.limbs()) +
+        " limbs, not more than this chain's " + std::to_string(basis_.limbs()) +
+        " (base extension only ever grows the chain)");
+  }
+
+  // One job per NEW limb, on that limb's dedicated stream; the source
+  // residues travel with each job so the exact lift is self-contained.
+  std::vector<u64> new_primes;
+  std::vector<runtime::job_id> ids;
+  for (std::size_t i = basis_.limbs(); i < target.limbs(); ++i) {
+    runtime::rns_base_extend_job j;
+    j.prime = target.prime(i);
+    j.source_primes = basis_.primes();
+    j.residues = p.residues;
+    new_primes.push_back(target.prime(i));
+    ids.push_back(ctx_.rns_stream(target.prime(i)).submit(std::move(j)));
+  }
+  rns_poly out;
+  out.residues = p.residues;
+  out.residues.reserve(target.limbs());
+  for (auto& limb : collect_on(new_primes, ids)) out.residues.push_back(std::move(limb));
   return out;
 }
 

@@ -66,7 +66,25 @@ class rns_engine {
   // the smaller basis; it is bit-identical to lifting x, dividing by the
   // dropped prime with wide_uint::divround, and re-decomposing.  Throws
   // std::invalid_argument on a one-limb basis or a limb-count mismatch.
-  [[nodiscard]] rns_poly rescale(const rns_poly& p);
+  //
+  // With congruence = t >= 2 (the BGV-style plaintext-preserving switch),
+  // the correction divided out is chosen congruent to 0 mod t, so the
+  // output satisfies out == x * q_drop^{-1} (mod t) — what a leveled
+  // scheme's modulus switch needs to keep the message residue intact.  t
+  // must be coprime to the dropped prime.  0 (the default) and 1 are the
+  // plain round-to-nearest.
+  [[nodiscard]] rns_poly rescale(const rns_poly& p, u64 congruence = 0);
+
+  // RNS base extension — the dual of rescale: lift p's residues from this
+  // basis Q to the larger basis `target` (Q must be a strict prefix of
+  // target), producing the residues of the exact canonical lift [x]_M mod
+  // each new limb as one rns_base_extend_job per new limb on that limb's
+  // dedicated stream.  The multiply-accumulate headroom primitive key
+  // switching builds on.  Source residues are copied through unchanged;
+  // the result carries target.limbs() residue polynomials in target's limb
+  // order.  Throws std::invalid_argument when target diverges from this
+  // chain (naming the first mismatching prime) or does not grow it.
+  [[nodiscard]] rns_poly base_extend(const rns_poly& p, const rns_basis& target);
 
   // The fused leveled-multiply step: c = rescale(a * b) as one submission
   // — the limb products fan out and overlap, their outputs feed the
@@ -96,6 +114,10 @@ class rns_engine {
   // together and can overlap), wait on the per-limb ids in chain order,
   // and collect outputs + fan-out stats.
   [[nodiscard]] std::vector<std::vector<u64>> collect(const std::vector<runtime::job_id>& ids);
+  // Same, flushing an explicit prime set (base extension flushes the new
+  // limbs' streams, which are outside this engine's basis).
+  [[nodiscard]] std::vector<std::vector<u64>> collect_on(
+      const std::vector<u64>& flush_primes, const std::vector<runtime::job_id>& ids);
   // One per-limb ntt_job fan-out in the given direction.
   [[nodiscard]] rns_poly transform(const rns_poly& p, core::transform_dir dir,
                                    const char* what);

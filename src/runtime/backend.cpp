@@ -3,7 +3,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/bitutil.h"
 #include "nttmath/modarith.h"
+#include "nttmath/wide_uint.h"
 #include "runtime/cpu_backend.h"
 #include "runtime/reference_backend.h"
 #include "runtime/sram_backend.h"
@@ -74,6 +76,19 @@ batch_result backend::run_rescale(const std::vector<rns_rescale_job>& jobs,
       throw std::logic_error("runtime: rescale drop prime " + std::to_string(j.drop_prime) +
                              " is not invertible mod limb prime " + std::to_string(j.prime));
     }
+    // Congruence-preserving switch: the correction delta = r~ + jj*q_drop
+    // must be divisible by t, so jj == -r~ * q_drop^{-1} (mod t); of the
+    // two candidates jj0 and jj0 - t the one with minimal |delta| wins.
+    const u64 t = j.congruence;
+    u64 inv_q_mod_t = 0;
+    if (t >= 2) {
+      inv_q_mod_t = math::inv_mod(j.drop_prime % t, t);
+      if (inv_q_mod_t == 0) {
+        throw std::logic_error("runtime: rescale congruence " + std::to_string(t) +
+                               " shares a factor with drop prime " +
+                               std::to_string(j.drop_prime));
+      }
+    }
     std::vector<u64> limb(j.x.size());
     for (std::size_t i = 0; i < j.x.size(); ++i) {
       const u64 r = j.dropped[i];
@@ -81,8 +96,81 @@ batch_result backend::run_rescale(const std::vector<rns_rescale_job>& jobs,
       // rounds the quotient up (2r > q_drop; q_drop is odd, so never ==).
       const u64 floor_term =
           math::mul_mod(math::sub_mod(j.x[i], r % j.prime, j.prime), inv, j.prime);
-      limb[i] = r > j.drop_prime / 2 ? math::add_mod(floor_term, 1 % j.prime, j.prime)
-                                     : floor_term;
+      u64 v = r > j.drop_prime / 2 ? math::add_mod(floor_term, 1 % j.prime, j.prime)
+                                   : floor_term;
+      if (t >= 2) {
+        // Centered remainder r~ matching the round-to-nearest above, then
+        // the minimal-|delta| multiple-of-t correction on top of it.
+        const __int128 rt = r > j.drop_prime / 2
+                                ? static_cast<__int128>(r) - static_cast<__int128>(j.drop_prime)
+                                : static_cast<__int128>(r);
+        u64 rt_mod_t = r % t;
+        if (r > j.drop_prime / 2) rt_mod_t = (rt_mod_t + t - j.drop_prime % t) % t;
+        const u64 jj0 = math::mul_mod((t - rt_mod_t) % t, inv_q_mod_t, t);
+        const __int128 d0 = rt + static_cast<__int128>(jj0) * j.drop_prime;
+        const __int128 d1 = d0 - static_cast<__int128>(t) * j.drop_prime;
+        const bool take_low = (d1 < 0 ? -d1 : d1) < (d0 < 0 ? -d0 : d0);
+        // out = (x - delta)/q_drop = round(x/q_drop) - jj  (mod q_i).
+        if (take_low) {
+          v = math::add_mod(v, (t - jj0) % j.prime, j.prime);
+        } else {
+          v = math::sub_mod(v, jj0 % j.prime, j.prime);
+        }
+      }
+      limb[i] = v;
+    }
+    out.outputs.push_back(std::move(limb));
+  }
+  return out;
+}
+
+batch_result backend::run_base_extend(const std::vector<rns_base_extend_job>& jobs,
+                                      const dispatch_hints&) {
+  batch_result out;
+  out.outputs.reserve(jobs.size());
+  out.waves = jobs.empty() ? 0 : 1;
+  for (const rns_base_extend_job& j : jobs) {
+    if (j.residues.size() != j.source_primes.size()) {
+      throw std::logic_error("runtime: base-extend job carries " +
+                             std::to_string(j.residues.size()) + " residue vectors for " +
+                             std::to_string(j.source_primes.size()) + " source primes");
+    }
+    const std::size_t n = j.residues.empty() ? 0 : j.residues.front().size();
+    // Source-chain CRT precompute: M = prod q_i at a width that holds the
+    // lazy accumulator (sum of k terms each below M), M_i = M / q_i, and
+    // the weights y_i = M_i^{-1} mod q_i.
+    unsigned sum_bits = 0;
+    for (const u64 q : j.source_primes) sum_bits += common::bit_length(q);
+    unsigned lazy_bits = 0;
+    while ((1ULL << lazy_bits) < j.source_primes.size()) ++lazy_bits;
+    const unsigned wide_bits = sum_bits + lazy_bits + 1;
+    math::wide_uint m(wide_bits, 1);
+    for (const u64 q : j.source_primes) m = m.mul_u64(q);
+    std::vector<math::wide_uint> terms;
+    std::vector<u64> weights;
+    terms.reserve(j.source_primes.size());
+    weights.reserve(j.source_primes.size());
+    for (const u64 q : j.source_primes) {
+      const math::wide_divmod dm = m.divmod(math::wide_uint(64, q));
+      const u64 w = math::inv_mod(dm.quot.mod_u64(q), q);
+      if (!dm.rem.is_zero() || w == 0) {
+        throw std::logic_error("runtime: base-extend source chain is not pairwise coprime at "
+                               "prime " + std::to_string(q));
+      }
+      terms.push_back(dm.quot);
+      weights.push_back(w);
+    }
+    std::vector<u64> limb(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      // Exact canonical lift [x]_M via lazily-reduced CRT, then one word
+      // reduction into the new limb.
+      math::wide_uint acc(wide_bits);
+      for (std::size_t i = 0; i < j.source_primes.size(); ++i) {
+        const u64 ti = math::mul_mod(j.residues[i][c], weights[i], j.source_primes[i]);
+        acc = acc.add(terms[i].mul_u64(ti));
+      }
+      while (acc >= m) acc = acc.sub(m);
+      limb[c] = acc.mod_u64(j.prime);
     }
     out.outputs.push_back(std::move(limb));
   }

@@ -120,6 +120,15 @@ class backend {
   // rescale out of the box; backends may override to attach a cost model.
   virtual batch_result run_rescale(const std::vector<rns_rescale_job>& jobs,
                                    const dispatch_hints& hints);
+  // One target limb's share of an RNS base extension per job; outputs in
+  // input order.  The base implementation computes the exact canonical CRT
+  // lift of each coefficient over the source chain and reduces it by the
+  // new limb prime, at zero modelled cost — like the rescale correction,
+  // this is scalar per-coefficient work the controller interleaves between
+  // limb dispatches — so every backend supports base extension out of the
+  // box; backends may override to attach a cost model.
+  virtual batch_result run_base_extend(const std::vector<rns_base_extend_job>& jobs,
+                                       const dispatch_hints& hints);
   // Entries currently held by the backend's lazy per-modulus retarget cache
   // (ring-overridden dispatch state); 0 for backends that never retarget.
   [[nodiscard]] virtual std::size_t retarget_cache_size() const { return 0; }

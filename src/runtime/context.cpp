@@ -223,6 +223,9 @@ job_id stream::submit(ntt_job j) { return bound().submit_ntt(id_, std::move(j));
 job_id stream::submit(polymul_job j) { return bound().submit_polymul(id_, std::move(j)); }
 job_id stream::submit(rlwe_encrypt_job j) { return bound().submit_rlwe(id_, std::move(j)); }
 job_id stream::submit(rns_rescale_job j) { return bound().submit_rescale(id_, std::move(j)); }
+job_id stream::submit(rns_base_extend_job j) {
+  return bound().submit_base_extend(id_, std::move(j));
+}
 void stream::flush() { bound().flush_stream(id_); }
 void stream::close() { bound().close_stream(id_); }
 std::size_t stream::pending() const { return bound().stream_pending(id_); }
@@ -317,8 +320,57 @@ job_id context::submit_rescale(unsigned sid, rns_rescale_job j) {
         "runtime: rns_rescale_job drops its own limb prime " + std::to_string(j.prime) +
         " (the dropped limb is excluded from the rescale fan-out)");
   }
+  if (j.congruence >= 2 && j.congruence % j.drop_prime == 0) {
+    throw std::invalid_argument(
+        "runtime: rns_rescale_job congruence " + std::to_string(j.congruence) +
+        " is a multiple of drop prime " + std::to_string(j.drop_prime) +
+        " (the plaintext modulus must be coprime to the dropped limb)");
+  }
   require_ring_poly(j.x, opts_.params.n, j.prime, "rns_rescale_job.x");
   require_ring_poly(j.dropped, opts_.params.n, j.drop_prime, "rns_rescale_job.dropped");
+  return enqueue(sid, std::move(j));
+}
+
+job_id context::submit_base_extend(unsigned sid, rns_base_extend_job j) {
+  const stream_state& ss = state_of(sid);
+  const u64 q = ss.sopts.ring_q != 0 ? ss.sopts.ring_q : opts_.params.q;
+  if (j.prime != q) {
+    throw std::invalid_argument(
+        "runtime: rns_base_extend_job names target prime " + std::to_string(j.prime) +
+        " but this stream's ring modulus is " + std::to_string(q) +
+        " (a new limb's extension rides that limb's stream)");
+  }
+  if (j.source_primes.empty()) {
+    throw std::invalid_argument(
+        "runtime: rns_base_extend_job needs at least one source limb prime");
+  }
+  if (j.residues.size() != j.source_primes.size()) {
+    throw std::invalid_argument(
+        "runtime: rns_base_extend_job carries " + std::to_string(j.residues.size()) +
+        " residue polynomials for a source chain of " +
+        std::to_string(j.source_primes.size()) + " primes");
+  }
+  for (std::size_t i = 0; i < j.source_primes.size(); ++i) {
+    const u64 p = j.source_primes[i];
+    if (p == 0 || (p & 1ULL) == 0 || !math::is_prime(p)) {
+      throw std::invalid_argument("runtime: rns_base_extend_job source prime " +
+                                  std::to_string(p) + " must be an odd prime");
+    }
+    if (p == j.prime) {
+      throw std::invalid_argument(
+          "runtime: rns_base_extend_job extends to source prime " + std::to_string(p) +
+          " (the target limb must be new — it already carries those residues)");
+    }
+    for (std::size_t k = i + 1; k < j.source_primes.size(); ++k) {
+      if (j.source_primes[k] == p) {
+        throw std::invalid_argument("runtime: rns_base_extend_job repeats source prime " +
+                                    std::to_string(p) +
+                                    " (an RNS basis needs pairwise-coprime moduli)");
+      }
+    }
+    const std::string what = "rns_base_extend_job limb " + std::to_string(i);
+    require_ring_poly(j.residues[i], opts_.params.n, p, what.c_str());
+  }
   return enqueue(sid, std::move(j));
 }
 
@@ -445,6 +497,9 @@ std::shared_ptr<dispatch_group> context::build_group(unsigned sid) {
     } else if (auto* rescale = std::get_if<rns_rescale_job>(&j)) {
       g->plan.rescale_ids.push_back(id);
       g->plan.rescales.push_back(std::move(*rescale));
+    } else if (auto* bext = std::get_if<rns_base_extend_job>(&j)) {
+      g->plan.bext_ids.push_back(id);
+      g->plan.bexts.push_back(std::move(*bext));
     } else {
       g->plan.rlwe_ids.push_back(id);
       g->plan.rlwes.push_back(std::move(std::get<rlwe_encrypt_job>(j)));
@@ -471,7 +526,7 @@ void context::admit_group_locked(std::shared_ptr<dispatch_group> g) {
   // Jobs become in-flight before the group can run, so a wait() racing the
   // pool can never mistake a dispatched job for a claimed one.
   for (const auto* ids : {&g->plan.fwd_ids, &g->plan.inv_ids, &g->plan.mul_ids,
-                          &g->plan.rlwe_ids, &g->plan.rescale_ids}) {
+                          &g->plan.rlwe_ids, &g->plan.rescale_ids, &g->plan.bext_ids}) {
     in_flight_.insert(ids->begin(), ids->end());
   }
   ++stats_.groups;
@@ -592,6 +647,11 @@ bool context::run_solo_group(const std::shared_ptr<dispatch_group>& g) {
       })) {
     return true;
   }
+  if (chunked(plan.bext_ids, plan.bexts, [&](const std::vector<job_id>& ids, auto&& js) {
+        dispatch_base_extend_group(*g, ids, std::move(js));
+      })) {
+    return true;
+  }
   // R-LWE runs a staged three-dispatch flow over shared intermediates;
   // it always dispatches whole (and is never merge-eligible).
   if (!plan.rlwe_ids.empty()) {
@@ -680,6 +740,25 @@ void context::run_merged_group(const std::shared_ptr<dispatch_group>& g) {
     if (!slices.empty()) {
       guarded(slices,
               [&] { distribute_merged(*g, slices, total, backend_->run_rescale(jobs, hints)); });
+    }
+  }
+
+  // Base extensions — same shape as the rescale section: one dispatch over
+  // every member's jobs, each job naming its own target limb prime.
+  {
+    std::vector<member_slice> slices;
+    std::vector<rns_base_extend_job> jobs;
+    std::size_t total = 0;
+    for (auto* m : members) {
+      if (m->plan.bext_ids.empty()) continue;
+      slices.push_back({m, &m->plan.bext_ids, total});
+      total += m->plan.bext_ids.size();
+      for (auto& j : m->plan.bexts) jobs.push_back(std::move(j));
+    }
+    if (!slices.empty()) {
+      guarded(slices, [&] {
+        distribute_merged(*g, slices, total, backend_->run_base_extend(jobs, hints));
+      });
     }
   }
   // Merge eligibility excludes R-LWE plans, so nothing else remains.
@@ -804,6 +883,12 @@ void context::dispatch_polymul_group(const dispatch_group& g, const std::vector<
 void context::dispatch_rescale_group(const dispatch_group& g, const std::vector<job_id>& ids,
                                      std::vector<rns_rescale_job>&& jobs) {
   distribute(g, ids, backend_->run_rescale(jobs, g.hints));
+}
+
+void context::dispatch_base_extend_group(const dispatch_group& g,
+                                         const std::vector<job_id>& ids,
+                                         std::vector<rns_base_extend_job>&& jobs) {
+  distribute(g, ids, backend_->run_base_extend(jobs, g.hints));
 }
 
 void context::run_rlwe_group(const dispatch_group& g, const std::vector<job_id>& ids,

@@ -93,7 +93,8 @@
 
 namespace bpntt::runtime {
 
-using job = std::variant<ntt_job, polymul_job, rlwe_encrypt_job, rns_rescale_job>;
+using job = std::variant<ntt_job, polymul_job, rlwe_encrypt_job, rns_rescale_job,
+                         rns_base_extend_job>;
 
 // Cumulative scheduling counters across the context's lifetime.
 struct scheduler_stats {
@@ -243,6 +244,7 @@ class context {
   job_id submit_polymul(unsigned sid, polymul_job j);
   job_id submit_rlwe(unsigned sid, rlwe_encrypt_job j);
   job_id submit_rescale(unsigned sid, rns_rescale_job j);
+  job_id submit_base_extend(unsigned sid, rns_base_extend_job j);
   void flush_stream(unsigned sid);
   void close_stream(unsigned sid);
   [[nodiscard]] std::size_t stream_pending(unsigned sid) const;
@@ -289,6 +291,8 @@ class context {
                               std::vector<polymul_job>&& jobs);
   void dispatch_rescale_group(const dispatch_group& g, const std::vector<job_id>& ids,
                               std::vector<rns_rescale_job>&& jobs);
+  void dispatch_base_extend_group(const dispatch_group& g, const std::vector<job_id>& ids,
+                                  std::vector<rns_base_extend_job>&& jobs);
   void run_rlwe_group(const dispatch_group& g, const std::vector<job_id>& ids,
                       std::vector<rlwe_encrypt_job>&& jobs);
 

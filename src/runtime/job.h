@@ -79,6 +79,28 @@ struct rns_rescale_job {
   u64 drop_prime = 0;         // the chain's dropped last limb q_drop
   std::vector<u64> x;         // n residues, canonical mod prime
   std::vector<u64> dropped;   // n residues of the dropped limb, canonical mod drop_prime
+  // Congruence-preserving variant (BGV-style modulus switching): with
+  // congruence = t >= 2, the correction delta subtracted from x before the
+  // exact division is chosen congruent to x mod q_drop AND to 0 mod t with
+  // minimal |delta|, so the output satisfies out == x * q_drop^{-1} (mod t)
+  // — the plaintext residue survives the switch.  t must be coprime to
+  // q_drop.  0 or 1 keeps the legacy plain round-to-nearest behaviour.
+  u64 congruence = 0;
+};
+
+// One target limb's share of an RNS base extension: given the residues of a
+// big coefficient vector x over the source chain q_0..q_{k-1}, produce the
+// residues of the *exact canonical lift* [x]_M (0 <= x < M = q_0...q_{k-1})
+// modulo `prime`, a new limb coprime to the chain.  This is the dual of a
+// rescale — the chain grows instead of shrinking — and the primitive key
+// switching needs for multiply-accumulate headroom.  One job per new limb
+// rides that limb's dedicated stream (`prime` must match the stream's ring
+// modulus), so a multi-limb extension fans out and overlaps exactly like a
+// multi-limb product.
+struct rns_base_extend_job {
+  u64 prime = 0;                          // the new limb's modulus (= the stream's ring)
+  std::vector<u64> source_primes;         // the source chain, ascending, distinct
+  std::vector<std::vector<u64>> residues; // residues[i]: n residues mod source_primes[i]
 };
 
 // End-to-end R-LWE public-key encryption of a {0,1} message polynomial.

@@ -68,15 +68,16 @@ namespace bpntt::runtime {
 // lanes and waves.  Results are keyed by job_id, so regrouping never
 // misroutes an output.
 struct flush_plan {
-  std::vector<job_id> fwd_ids, inv_ids, mul_ids, rlwe_ids, rescale_ids;
+  std::vector<job_id> fwd_ids, inv_ids, mul_ids, rlwe_ids, rescale_ids, bext_ids;
   std::vector<ntt_job> fwd, inv;
   std::vector<polymul_job> muls;
   std::vector<rlwe_encrypt_job> rlwes;
   std::vector<rns_rescale_job> rescales;
+  std::vector<rns_base_extend_job> bexts;
 
   [[nodiscard]] bool empty() const noexcept {
     return fwd_ids.empty() && inv_ids.empty() && mul_ids.empty() && rlwe_ids.empty() &&
-           rescale_ids.empty();
+           rescale_ids.empty() && bext_ids.empty();
   }
 };
 

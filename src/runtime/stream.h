@@ -76,11 +76,14 @@ class stream {
   // Validate and enqueue on this stream's FIFO; same contract as
   // context::submit.  An rns_rescale_job must name this stream's ring
   // modulus as its `prime` — the rescale correction of limb i rides limb
-  // i's stream.
+  // i's stream; an rns_base_extend_job likewise names this stream's ring
+  // as its target `prime` — the new limb's extension rides the new limb's
+  // stream.
   job_id submit(ntt_job j);
   job_id submit(polymul_job j);
   job_id submit(rlwe_encrypt_job j);
   job_id submit(rns_rescale_job j);
+  job_id submit(rns_base_extend_job j);
 
   // Hand this stream's pending jobs to the scheduler as one dispatch group
   // (partitioned by job kind, executed in order); returns without blocking.

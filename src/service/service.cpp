@@ -56,6 +56,14 @@ ticket session::submit(runtime::rlwe_encrypt_job j) {
   if (svc_ == nullptr) throw std::logic_error("service: session handle is not bound");
   return svc_->admit(id_, service::service_job(std::move(j)));
 }
+ticket session::submit(runtime::rns_rescale_job j) {
+  if (svc_ == nullptr) throw std::logic_error("service: session handle is not bound");
+  return svc_->admit(id_, service::service_job(std::move(j)));
+}
+ticket session::submit(runtime::rns_base_extend_job j) {
+  if (svc_ == nullptr) throw std::logic_error("service: session handle is not bound");
+  return svc_->admit(id_, service::service_job(std::move(j)));
+}
 void session::close() {
   if (svc_ == nullptr) throw std::logic_error("service: session handle is not bound");
   svc_->close_session(id_);

@@ -187,6 +187,11 @@ class session {
   ticket submit(runtime::ntt_job j);
   ticket submit(runtime::polymul_job j);
   ticket submit(runtime::rlwe_encrypt_job j);
+  // The RNS limb-tenant jobs (ring_q sessions): a modulus-switch
+  // correction and a base-extension lift on the tenant's limb stream —
+  // what a leveled RNS-RLWE client's relinearization traffic looks like.
+  ticket submit(runtime::rns_rescale_job j);
+  ticket submit(runtime::rns_base_extend_job j);
 
   // Stop admitting (idempotent).  Outstanding jobs still complete and
   // their tickets stay valid; the tenant's stream returns to the pool once
@@ -237,7 +242,8 @@ class service {
   friend class session;
 
   using service_job =
-      std::variant<runtime::ntt_job, runtime::polymul_job, runtime::rlwe_encrypt_job>;
+      std::variant<runtime::ntt_job, runtime::polymul_job, runtime::rlwe_encrypt_job,
+                   runtime::rns_rescale_job, runtime::rns_base_extend_job>;
 
   struct session_state;
 

@@ -1,0 +1,298 @@
+// Leveled RNS-RLWE scheme tests: encrypt -> multiply -> relinearize ->
+// rescale -> decrypt round trips down the level chain against a plain
+// negacyclic plaintext oracle, bit-identical across backends and limb
+// counts; key-switching headroom validation; and the evaluation key's
+// operand-cache behaviour under reuse, rotation, and eviction pressure.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "crypto/rns_rlwe/rns_rlwe.h"
+#include "runtime/context.h"
+
+namespace bpntt::crypto::rns_rlwe {
+namespace {
+
+using runtime::backend_kind;
+using runtime::runtime_options;
+
+// 20-bit limbs at n = 32 leave the noise plenty of per-level headroom
+// (fresh ~2^9 bits, tensor ~2^23 < q^2) while 2n = 64 rows and three
+// 21-bit tiles fit the small test array.
+constexpr u64 kOrder = 32;
+constexpr unsigned kLimbBits = 20;
+constexpr unsigned kTileBits = 21;
+
+runtime_options scheme_options(backend_kind kind, const rns_rlwe_param_set& p) {
+  return runtime_options()
+      .with_ring(kOrder, p.primes[0], kTileBits)
+      .with_backend(kind)
+      .with_array(64, 63)
+      .with_topology(4, 1, 4)
+      .with_threads(4);
+}
+
+std::vector<u64> random_message(u64 seed) {
+  common::xoshiro256ss rng(seed);
+  std::vector<u64> m(kOrder);
+  for (auto& b : m) b = rng() & 1ULL;
+  return m;
+}
+
+// Plaintext-space oracle: the negacyclic product over GF(2)[x]/(x^n + 1)
+// (mod 2 the wrap-around sign vanishes).
+std::vector<u64> negacyclic_mod2(const std::vector<u64>& a, const std::vector<u64>& b) {
+  const std::size_t n = a.size();
+  std::vector<u64> out(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out[(i + j) % n] ^= a[i] & b[j];
+    }
+  }
+  return out;
+}
+
+// ---- the end-to-end acceptance differential --------------------------------
+
+class RnsRlweLevelWalk
+    : public ::testing::TestWithParam<std::tuple<backend_kind, unsigned>> {};
+
+TEST_P(RnsRlweLevelWalk, SquaresWalkTheChainToTheFloor) {
+  const auto [kind, limbs] = GetParam();
+  const auto params = he_rns_rlwe_level(kLimbBits, limbs, kOrder);
+  runtime::context ctx(scheme_options(kind, params));
+  scheme sch(ctx, params, /*seed=*/41);
+  ASSERT_EQ(sch.levels(), limbs);
+
+  std::vector<u64> expect = random_message(99 + limbs);
+  ciphertext ct = sch.encrypt(expect);
+  EXPECT_EQ(sch.decrypt(ct), expect) << "fresh round trip";
+  EXPECT_GT(sch.noise_budget_bits(ct), 0);
+
+  // Square all the way down: every multiply relinearizes through Q ∪ P and
+  // sheds one level; the plaintext follows the GF(2) negacyclic square.
+  while (ct.level + 1 < sch.levels()) {
+    ct = sch.square(ct);
+    expect = negacyclic_mod2(expect, expect);
+    EXPECT_EQ(ct.c0.limbs(), sch.basis_at(ct.level).limbs());
+    EXPECT_EQ(sch.decrypt(ct), expect) << "backend " << to_string(kind) << ", level "
+                                       << ct.level << " of " << limbs;
+    EXPECT_GT(sch.noise_budget_bits(ct), 0) << "level " << ct.level;
+  }
+  EXPECT_EQ(ct.level, sch.levels() - 1);
+  // The floor is the end of the line.
+  if (sch.levels() > 1) {
+    EXPECT_THROW((void)sch.square(ct), std::invalid_argument);
+  }
+}
+
+TEST_P(RnsRlweLevelWalk, MultiplyOfDistinctMessagesMatchesTheOracle) {
+  const auto [kind, limbs] = GetParam();
+  if (limbs < 2) GTEST_SKIP();
+  const auto params = he_rns_rlwe_level(kLimbBits, limbs, kOrder);
+  runtime::context ctx(scheme_options(kind, params));
+  scheme sch(ctx, params, /*seed=*/43);
+
+  const auto ma = random_message(7);
+  const auto mb = random_message(8);
+  const ciphertext ca = sch.encrypt(ma);
+  const ciphertext cb = sch.encrypt(mb);
+  const ciphertext prod = sch.multiply(ca, cb);
+  EXPECT_EQ(prod.level, 1u);
+  EXPECT_EQ(sch.decrypt(prod), negacyclic_mod2(ma, mb));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndLimbCounts, RnsRlweLevelWalk,
+    ::testing::Combine(::testing::Values(backend_kind::sram, backend_kind::cpu,
+                                         backend_kind::reference),
+                       ::testing::Values(2u, 3u, 4u)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) + "_limbs" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---- cross-backend bit-identity --------------------------------------------
+
+TEST(RnsRlweBackends, WalksAgreeBitForBitAcrossBackends) {
+  for (const unsigned limbs : {2u, 3u, 4u}) {
+    const auto params = he_rns_rlwe_level(kLimbBits, limbs, kOrder);
+    const auto msg = random_message(123);
+    // One walk per backend, same seed everywhere; collect every level's
+    // ciphertext residues.
+    std::vector<std::vector<ciphertext>> walks;
+    for (const auto kind :
+         {backend_kind::sram, backend_kind::cpu, backend_kind::reference}) {
+      runtime::context ctx(scheme_options(kind, params));
+      scheme sch(ctx, params, /*seed=*/77);
+      std::vector<ciphertext> walk;
+      walk.push_back(sch.encrypt(msg));
+      while (walk.back().level + 1 < sch.levels()) walk.push_back(sch.square(walk.back()));
+      walks.push_back(std::move(walk));
+    }
+    for (std::size_t w = 1; w < walks.size(); ++w) {
+      ASSERT_EQ(walks[w].size(), walks[0].size());
+      for (std::size_t l = 0; l < walks[0].size(); ++l) {
+        EXPECT_EQ(walks[w][l].c0.residues, walks[0][l].c0.residues)
+            << limbs << " limbs, level " << l << ", backend index " << w << " c0 diverged";
+        EXPECT_EQ(walks[w][l].c1.residues, walks[0][l].c1.residues)
+            << limbs << " limbs, level " << l << ", backend index " << w << " c1 diverged";
+      }
+    }
+  }
+}
+
+// ---- the evaluation key in the operand cache -------------------------------
+
+TEST(RnsRlweOperandCache, FixedEvaluationKeyServesRepeatMultipliesWarm) {
+  const auto params = he_rns_rlwe_level(kLimbBits, 3, kOrder);
+  runtime::context ctx(scheme_options(backend_kind::sram, params));
+  scheme sch(ctx, params, /*seed=*/5);
+
+  const auto msg = random_message(11);
+  const ciphertext ct = sch.encrypt(msg);
+  const auto before = ctx.stats();
+  const ciphertext first = sch.multiply(ct, ct);
+  const auto cold = ctx.stats();
+  EXPECT_GT(cold.operand_cache_misses, before.operand_cache_misses)
+      << "the first multiply must populate the cache";
+
+  // Same level, same evaluation key: the relin products' evk side is
+  // served from the cache.
+  const ciphertext second = sch.multiply(ct, ct);
+  const auto warm = ctx.stats();
+  EXPECT_GT(warm.operand_cache_hits, cold.operand_cache_hits)
+      << "a repeat multiply with a fixed evaluation key must hit the NTT-domain cache";
+  // And caching never changes the math.
+  EXPECT_EQ(second.c0.residues, first.c0.residues);
+  EXPECT_EQ(second.c1.residues, first.c1.residues);
+}
+
+TEST(RnsRlweOperandCache, RotationInvalidatesTheOldKeyImages) {
+  const auto params = he_rns_rlwe_level(kLimbBits, 2, kOrder);
+  runtime::context ctx(scheme_options(backend_kind::sram, params));
+  scheme sch(ctx, params, /*seed=*/6);
+
+  const auto msg = random_message(21);
+  ciphertext ct = sch.encrypt(msg);
+  (void)sch.multiply(ct, ct);
+  const auto size_before = ctx.operand_cache_size();
+  EXPECT_GT(size_before, 0u);
+
+  sch.rotate_evaluation_key();
+  EXPECT_LT(ctx.operand_cache_size(), size_before)
+      << "rotating the key must drop its cached NTT images";
+
+  // The next multiply pays cold transforms for the new key, and the scheme
+  // still decrypts correctly under it.
+  const auto misses_before = ctx.stats().operand_cache_misses;
+  const ciphertext prod = sch.multiply(ct, ct);
+  EXPECT_GT(ctx.stats().operand_cache_misses, misses_before)
+      << "the rotated key's first multiply must re-miss";
+  EXPECT_EQ(sch.decrypt(prod), negacyclic_mod2(msg, msg));
+}
+
+TEST(RnsRlweOperandCache, EvictionPressureKeepsTheMathIntact) {
+  const auto params = he_rns_rlwe_level(kLimbBits, 2, kOrder);
+  // Two entries total: the walk's operands churn through constantly, so
+  // most lookups evict something — correctness must not care.
+  auto opts = scheme_options(backend_kind::sram, params).with_operand_cache(2);
+  runtime::context ctx(opts);
+  scheme sch(ctx, params, /*seed=*/7);
+
+  const auto msg = random_message(31);
+  for (int round = 0; round < 3; ++round) {
+    const ciphertext ct = sch.encrypt(msg);
+    const ciphertext prod = sch.multiply(ct, ct);
+    EXPECT_EQ(sch.decrypt(prod), negacyclic_mod2(msg, msg)) << "round " << round;
+    EXPECT_LE(ctx.operand_cache_size(), 2u) << "the cache must respect its entry budget";
+  }
+  EXPECT_GT(ctx.stats().operand_cache_misses, 0u);
+}
+
+// ---- parameter validation and scheme surface -------------------------------
+
+TEST(RnsRlweParams, PresetCarriesCoprimeHeadroom) {
+  const auto params = he_rns_rlwe_level(kLimbBits, 3, kOrder);
+  EXPECT_EQ(params.primes.size(), 3u);
+  EXPECT_EQ(params.ks_primes.size(), 3u);
+  // One ascending search split in two: every extension prime exceeds every
+  // chain prime, which is what guarantees ΠP >= ΠQ.
+  EXPECT_GT(params.ks_primes.front(), params.primes.back());
+  EXPECT_GE(params.ks_modulus_bits(), params.modulus_bits());
+  EXPECT_NO_THROW(validate_keyswitch_headroom(params));
+}
+
+TEST(RnsRlweParams, HeadroomValidationNamesTheShortfall) {
+  auto params = he_rns_rlwe_level(kLimbBits, 3, kOrder);
+
+  auto no_p = params;
+  no_p.ks_primes.clear();
+  EXPECT_THROW(validate_keyswitch_headroom(no_p), std::invalid_argument);
+
+  auto overlap = params;
+  overlap.ks_primes[0] = params.primes[0];
+  try {
+    validate_keyswitch_headroom(overlap);
+    FAIL() << "P overlapping Q must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(std::to_string(params.primes[0])),
+              std::string::npos)
+        << e.what();
+  }
+
+  auto hostile_n = params;
+  hostile_n.ks_primes[0] = 23;  // odd prime, but 22 % 2n != 0: no negacyclic NTT at n = 32
+  EXPECT_THROW(validate_keyswitch_headroom(hostile_n), std::invalid_argument);
+
+  auto short_p = params;
+  short_p.ks_primes.resize(1);
+  try {
+    validate_keyswitch_headroom(short_p);
+    FAIL() << "ΠP < ΠQ must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("falls short"), std::string::npos) << e.what();
+  }
+
+  auto bad_t = params;
+  bad_t.plain_modulus = 1;
+  EXPECT_THROW(validate_keyswitch_headroom(bad_t), std::invalid_argument);
+  auto t_in_chain = params;
+  t_in_chain.plain_modulus = params.primes[0];
+  EXPECT_THROW(validate_keyswitch_headroom(t_in_chain), std::invalid_argument);
+}
+
+TEST(RnsRlweSurface, RejectsMalformedInputs) {
+  const auto params = he_rns_rlwe_level(kLimbBits, 2, kOrder);
+  runtime::context ctx(scheme_options(backend_kind::reference, params));
+  scheme sch(ctx, params, /*seed=*/9);
+
+  // Message shape and alphabet.
+  EXPECT_THROW((void)sch.encrypt(std::vector<u64>(kOrder - 1, 0)), std::invalid_argument);
+  EXPECT_THROW((void)sch.encrypt(std::vector<u64>(kOrder, 2)), std::invalid_argument);
+
+  const auto msg = random_message(1);
+  ciphertext ct = sch.encrypt(msg);
+  // Mismatched levels and truncated residues.
+  ciphertext other = sch.multiply(ct, ct);
+  EXPECT_THROW((void)sch.multiply(ct, other), std::invalid_argument);
+  ciphertext torn = ct;
+  torn.c1.residues.pop_back();
+  EXPECT_THROW((void)sch.decrypt(torn), std::invalid_argument);
+  // The floor cannot multiply (2 limbs -> `other` already sits there).
+  EXPECT_THROW((void)sch.multiply(other, other), std::invalid_argument);
+  // Levels past the floor are rejected outright.
+  ciphertext rogue = ct;
+  rogue.level = 9;
+  EXPECT_THROW((void)sch.decrypt(rogue), std::invalid_argument);
+  EXPECT_THROW((void)sch.basis_at(9), std::invalid_argument);
+
+  // A scheme must live in its context's ring.
+  auto params_n16 = he_rns_rlwe_level(kLimbBits, 2, 16);
+  EXPECT_THROW((void)scheme(ctx, params_n16, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpntt::crypto::rns_rlwe

@@ -455,6 +455,47 @@ TEST(Service, RnsLimbSessionMatchesADirectLimbStream) {
   EXPECT_EQ(got.outputs, expected.outputs);
 }
 
+TEST(Service, RnsRlweJobsRoundTripThroughALimbSession) {
+  // The leveled RNS-RLWE tenant's traffic shapes — a congruence-preserving
+  // rescale correction and a base-extension lift — must flow through a
+  // ring_q session's ticket path bit-identically to a direct limb stream.
+  const auto wide = runtime::runtime_options()
+                        .with_ring(32, 3137, 13)
+                        .with_backend(runtime::backend_kind::sram)
+                        .with_array(64, 39)
+                        .with_subarrays(4);
+  const auto limbs = math::first_k_ntt_primes(12, 32, 2, true);
+  const u64 limb_q = limbs[0];
+  const u64 partner_q = limbs[1];
+  common::xoshiro256ss rng(62);
+  const auto x = random_poly(32, limb_q, rng);
+  const auto dropped = random_poly(32, partner_q, rng);
+  const auto source = random_poly(32, partner_q, rng);
+
+  runtime::context direct(wide);
+  auto limb = direct.rns_stream(limb_q);
+  const auto rescale_id = limb.submit(runtime::rns_rescale_job{
+      .prime = limb_q, .drop_prime = partner_q, .x = x, .dropped = dropped,
+      .congruence = 2});
+  const auto bext_id = limb.submit(runtime::rns_base_extend_job{
+      .prime = limb_q, .source_primes = {partner_q}, .residues = {source}});
+  limb.flush();
+  const auto rescale_expected = direct.wait(rescale_id);
+  const auto bext_expected = direct.wait(bext_id);
+
+  service svc(wide);
+  auto sess = svc.open_session({.ring_q = limb_q});
+  const auto rescale_got = sess.submit(runtime::rns_rescale_job{
+      .prime = limb_q, .drop_prime = partner_q, .x = x, .dropped = dropped,
+      .congruence = 2}).get();
+  const auto bext_got = sess.submit(runtime::rns_base_extend_job{
+      .prime = limb_q, .source_primes = {partner_q}, .residues = {source}}).get();
+  EXPECT_EQ(rescale_got.status, job_status::ok);
+  EXPECT_EQ(rescale_got.outputs, rescale_expected.outputs);
+  EXPECT_EQ(bext_got.status, job_status::ok);
+  EXPECT_EQ(bext_got.outputs, bext_expected.outputs);
+}
+
 // ---- deadlines and stats ---------------------------------------------------
 
 TEST(Service, DeadlineMissesLandInServiceStats) {
