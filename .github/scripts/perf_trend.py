@@ -106,6 +106,15 @@ def soak_metrics(doc):
         val = merge.get(key)
         if isinstance(val, (int, float)) and val > 0:
             rows[key] = float(val)
+    # Queue-wait quantiles from the embedded metrics registry ("metrics" is
+    # the service's registry to_json()): the ring + drainer share of
+    # end-to-end latency.  Wall-clock, host-dependent — advisory only.
+    queue_wait = doc.get("metrics", {}).get("histograms", {}).get(
+        "service.queue_wait_ns", {})
+    for key in ("p50_ns", "p95_ns"):
+        val = queue_wait.get(key)
+        if isinstance(val, (int, float)) and val > 0:
+            rows[f"queue_wait_{key}"] = float(val)
     return rows
 
 

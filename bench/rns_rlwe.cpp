@@ -9,10 +9,14 @@
 // decryption against the plain GF(2) negacyclic square — a wrong
 // relinearization or rescale cannot emit a plausible row.
 //
-// Usage: bench_rns_rlwe [--json <path>] [--limbs <max>]
+// Usage: bench_rns_rlwe [--json <path>] [--limbs <max>] [--trace <path>]
 //   --json   also emit the sweep as JSON (CI perf artifact, conventionally
 //            BENCH_rns_rlwe.json)
 //   --limbs  largest ciphertext chain length to sweep (default 4, min 2)
+//   --trace  run the deepest sweep (--limbs) with virtual-timeline tracing
+//            on and export its Chrome trace-event JSON here — the full
+//            multiply/relinearize/rescale walk, one span per dispatch on
+//            its bank row (open in Perfetto / chrome://tracing)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,15 +57,16 @@ struct sweep_row {
   int floor_noise_bits = 0;    // budget left after walking to the floor
 };
 
-sweep_row run_one(unsigned limbs) {
+sweep_row run_one(unsigned limbs, const std::string& trace_path) {
   using namespace bpntt;
   const auto params = crypto::he_rns_rlwe_level(kLimbBits, limbs, kOrder);
   const unsigned channels =
       static_cast<unsigned>(params.primes.size() + params.ks_primes.size());
-  const auto opts = runtime::runtime_options::for_rns_param_set(params.level_set())
-                        .with_backend(runtime::backend_kind::sram)
-                        .with_topology(channels, /*banks_per_channel=*/1, /*subarrays=*/4)
-                        .with_threads(channels);
+  auto opts = runtime::runtime_options::for_rns_param_set(params.level_set())
+                  .with_backend(runtime::backend_kind::sram)
+                  .with_topology(channels, /*banks_per_channel=*/1, /*subarrays=*/4)
+                  .with_threads(channels);
+  if (!trace_path.empty()) opts.with_tracing();
   runtime::context ctx(opts);
   crypto::rns_rlwe::scheme sch(ctx, params, /*seed=*/6060 + limbs);
 
@@ -99,6 +104,16 @@ sweep_row run_one(unsigned limbs) {
                                " walk disagrees with the GF(2) oracle at level " +
                                std::to_string(walking.level));
     }
+  }
+
+  if (!trace_path.empty()) {
+    // Quiescent: the walk's wait()s drained every dispatch before this.
+    ctx.sync();
+    ctx.export_trace(trace_path);
+    const auto probe = ctx.trace_stats();
+    std::printf("trace (k=%u): %llu events (%llu dropped) -> %s\n", limbs,
+                static_cast<unsigned long long>(probe.events_recorded),
+                static_cast<unsigned long long>(probe.events_dropped), trace_path.c_str());
   }
 
   sweep_row row;
@@ -147,10 +162,13 @@ void write_json(const std::string& path, const std::vector<sweep_row>& rows) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string trace_path;
   unsigned max_limbs = 4;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--limbs") == 0 && i + 1 < argc) {
       max_limbs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
       if (max_limbs < 2 || max_limbs > 8) {
@@ -158,7 +176,8 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else {
-      std::fprintf(stderr, "usage: %s [--json <path>] [--limbs <max>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json <path>] [--limbs <max>] [--trace <path>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -168,7 +187,8 @@ int main(int argc, char** argv) {
 
   std::vector<sweep_row> rows;
   for (unsigned limbs = 2; limbs <= max_limbs; ++limbs) {
-    rows.push_back(run_one(limbs));
+    // Only the deepest sweep is traced — one trace file, the richest walk.
+    rows.push_back(run_one(limbs, limbs == max_limbs ? trace_path : std::string()));
   }
 
   bpntt::common::text_table table({"Limbs", "ΠQ", "ΠP", "Cold(cyc)", "Warm(cyc)",

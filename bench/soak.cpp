@@ -24,14 +24,20 @@
 //     tenant's miss into a hit.
 // Any of these inequalities failing exits non-zero.
 //
-// Usage: bench_soak [--json <path>] [--threads <N>] [--millis <M>]
+// Usage: bench_soak [--json <path>] [--threads <N>] [--millis <M>] [--trace <path>]
 //   --json     also emit the run as JSON (CI perf artifact, conventionally
 //              BENCH_soak.json).  Wall-clock metrics (throughput, latency
 //              quantiles) are advisory in trend checks — they measure the
-//              host, not the model.
+//              host, not the model.  The document embeds the service's full
+//              metrics registry under "metrics" (one to_json() — counters,
+//              gauges, and the latency/queue-wait/exec histograms).
 //   --threads  client threads (default 4, min 4 — the soak is only a soak
 //              with real submission concurrency)
 //   --millis   wall budget per run (default 1000)
+//   --trace    run the soak service with virtual-timeline tracing on and
+//              export the Chrome trace-event JSON here after the drain
+//              (open it in Perfetto / chrome://tracing).  Tracing is off —
+//              and costs nothing — unless this flag is given.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -93,9 +99,10 @@ struct soak_result {
   u64 lost = 0;
   u64 duplicated = 0;
   double throughput = 0.0;
+  std::string metrics_json;  // the service registry, one to_json()
 };
 
-soak_result run_soak(unsigned threads, unsigned millis) {
+soak_result run_soak(unsigned threads, unsigned millis, const std::string& trace_path) {
   // Two 12-bit NTT primes for the RNS-RLWE tenant: its session rides the
   // first limb's ring, the second plays the dropped / source limb of the
   // rescale and base-extension jobs.
@@ -112,15 +119,17 @@ soak_result run_soak(unsigned threads, unsigned millis) {
   };
   constexpr unsigned kClasses = sizeof(classes) / sizeof(classes[0]);
 
-  service::service svc(runtime::runtime_options()
-                           .with_ring(kOrder, kRingQ, kRingBits)
-                           .with_backend(runtime::backend_kind::sram)
-                           .with_array(64, 39)
-                           .with_subarrays(4)
-                           .with_topology(2, 1, 4)
-                           .with_threads(2)
-                           .with_schedule(runtime::schedule_policy::edf, /*aging=*/8)
-                           .with_cross_stream_batching());
+  auto ropts = runtime::runtime_options()
+                   .with_ring(kOrder, kRingQ, kRingBits)
+                   .with_backend(runtime::backend_kind::sram)
+                   .with_array(64, 39)
+                   .with_subarrays(4)
+                   .with_topology(2, 1, 4)
+                   .with_threads(2)
+                   .with_schedule(runtime::schedule_policy::edf, /*aging=*/8)
+                   .with_cross_stream_batching();
+  if (!trace_path.empty()) ropts.with_tracing();
+  service::service svc(std::move(ropts));
 
   std::vector<service::session> sessions;
   sessions.reserve(threads);
@@ -210,6 +219,14 @@ soak_result run_soak(unsigned threads, unsigned millis) {
   for (auto& c : clients) c.join();
   for (auto& s : sessions) s.close();
   svc.drain();
+  if (!trace_path.empty()) {
+    // Quiescent after drain(): export the whole run's virtual timeline.
+    svc.export_trace(trace_path);
+    const auto probe = svc.trace_stats();
+    std::printf("trace: %llu events (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(probe.events_recorded),
+                static_cast<unsigned long long>(probe.events_dropped), trace_path.c_str());
+  }
 
   soak_result out;
   out.threads = threads;
@@ -223,6 +240,7 @@ soak_result run_soak(unsigned threads, unsigned millis) {
   }
   out.stats = svc.stats();
   out.rt = svc.runtime_stats();
+  out.metrics_json = svc.metrics().to_json();
   for (unsigned t = 0; t < threads; ++t) {
     out.per_session.emplace_back(
         std::string(classes[t % kClasses].name) + "#" + std::to_string(t),
@@ -502,6 +520,9 @@ void write_json(const std::string& path, const soak_result& soak,
                 static_cast<unsigned long long>(soak.rt.groups_merged),
                 static_cast<unsigned long long>(soak.rt.preemption_yields));
   out += buf;
+  // The unified registry, verbatim: every instrument the stack published —
+  // the trend checker reads service.queue_wait_ns quantiles from here.
+  out += "  \"metrics\": " + soak.metrics_json + ",\n";
   std::snprintf(buf, sizeof buf,
                 "  \"edf_vs_fifo\": {\"trace_tenants\": %u, \"fifo_deadline_misses\": "
                 "%llu, \"edf_deadline_misses\": %llu},\n",
@@ -534,11 +555,14 @@ void write_json(const std::string& path, const soak_result& soak,
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string trace_path;
   unsigned threads = 4;
   unsigned millis = 1000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
       if (threads < 4 || threads > 64) {
@@ -552,15 +576,17 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else {
-      std::fprintf(stderr, "usage: %s [--json <path>] [--threads <N>] [--millis <M>]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--json <path>] [--threads <N>] [--millis <M>] "
+                   "[--trace <path>]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  std::printf("=== service-layer soak: %u client threads, %u ms wall budget, edf ===\n\n",
-              threads, millis);
-  const auto soak = run_soak(threads, millis);
+  std::printf("=== service-layer soak: %u client threads, %u ms wall budget, edf%s ===\n\n",
+              threads, millis, trace_path.empty() ? "" : ", traced");
+  const auto soak = run_soak(threads, millis, trace_path);
 
   bpntt::common::text_table table(
       {"Session", "Admitted", "Rejected", "Completed", "Failed", "Miss rate", "p50(us)",

@@ -9,8 +9,19 @@
 #include "runtime/cpu_backend.h"
 #include "runtime/reference_backend.h"
 #include "runtime/sram_backend.h"
+#include "telemetry/trace.h"
 
 namespace bpntt::runtime {
+
+void backend::note_batch(std::size_t jobs, u64 wall_cycles) noexcept {
+  if (recorder_ == nullptr || jobs == 0) return;
+  recorder_->record({.ts = recorder_->watermark(),
+                     .dur = 0,
+                     .a = wall_cycles,
+                     .track = telemetry::kTrackBackend,
+                     .arg = static_cast<telemetry::u32>(jobs),
+                     .op = telemetry::trace_op::backend_batch});
+}
 
 namespace {
 

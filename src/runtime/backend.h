@@ -23,6 +23,10 @@
 
 #include "runtime/job.h"
 
+namespace bpntt::telemetry {
+class trace_recorder;
+}
+
 namespace bpntt::runtime {
 
 class executor;
@@ -143,7 +147,18 @@ class backend {
   // repeated operands; caching may only change cycles, never outputs.
   void attach_operand_cache(operand_cache* cache) noexcept { ocache_ = cache; }
 
+  // Installed once by the owning context when tracing is enabled (nullptr =
+  // no tracing, the default).  Backends stamp one backend_batch instant per
+  // executed batch via note_batch(); tracing never changes outputs or
+  // accounting.
+  void attach_recorder(telemetry::trace_recorder* rec) noexcept { recorder_ = rec; }
+
  protected:
+  // One backend_batch instant on the backend track — jobs executed and the
+  // batch's wall cycles, stamped at the recorder's virtual-time watermark
+  // (backends do not see frontier positions).  No-op without a recorder.
+  void note_batch(std::size_t jobs, u64 wall_cycles) noexcept;
+
   // Shared chunk-budget enforcement: run the batch as ceil(n / budget)
   // sub-dispatches through the virtual entry points (each sub-batch is at
   // or under the budget, so the callee's own guard passes it straight
@@ -157,6 +172,7 @@ class backend {
 
   executor* pool_ = nullptr;
   operand_cache* ocache_ = nullptr;
+  telemetry::trace_recorder* recorder_ = nullptr;
 };
 
 // Instantiate the backend selected by opts (opts must be validated).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <bit>
+#include <fstream>
+#include <ostream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -9,6 +11,7 @@
 #include "common/xoshiro.h"
 #include "crypto/rlwe.h"
 #include "nttmath/primes.h"
+#include "telemetry/trace_export.h"
 
 namespace bpntt::runtime {
 
@@ -70,6 +73,33 @@ void context::finish_construction() {
   const unsigned resources = std::max(1u, caps_.banks());
   sched_ = std::make_unique<scheduler>(
       scheduler::policy_config{opts_.sched, opts_.aging_limit, opts_.merge_streams}, resources);
+
+  // Register every runtime instrument once; the hot paths bump these
+  // pointers directly, and stats()/metrics().to_json() read the same
+  // objects — there is no mirrored copy to fall out of sync.
+  m_.jobs_submitted = &registry_.make_counter("runtime.jobs_submitted");
+  m_.jobs_completed = &registry_.make_counter("runtime.jobs_completed");
+  m_.jobs_failed = &registry_.make_counter("runtime.jobs_failed");
+  m_.groups = &registry_.make_counter("runtime.groups");
+  m_.batches = &registry_.make_counter("runtime.batches");
+  m_.waves = &registry_.make_counter("runtime.waves");
+  m_.wall_cycles = &registry_.make_gauge("runtime.wall_cycles");
+  m_.deadline_misses = &registry_.make_counter("runtime.deadline_misses");
+  m_.energy_nj = &registry_.make_real("runtime.energy_nj");
+  m_.cache_hits = &registry_.make_counter("cache.hits");
+  m_.cache_misses = &registry_.make_counter("cache.misses");
+  m_.groups_merged = &registry_.make_counter("sched.groups_merged");
+  m_.preemption_yields = &registry_.make_counter("sched.preemption_yields");
+
+  // Tracing is opt-in: without it no recorder exists and every
+  // instrumentation site below degenerates to one null test.
+  if (opts_.tracing) {
+    recorder_ = std::make_unique<telemetry::trace_recorder>(opts_.trace_capacity);
+  }
+  sched_->attach_metrics(m_.groups_merged, m_.preemption_yields);
+  sched_->attach_recorder(recorder_.get());
+  backend_->attach_recorder(recorder_.get());
+  if (ocache_) ocache_->attach_metrics(m_.cache_hits, m_.cache_misses, recorder_.get());
 
   // The default stream (id 0) owns every bank — the legacy single-queue
   // behaviour.
@@ -252,12 +282,12 @@ void require_ring_poly(const std::vector<u64>& coeffs, u64 n, u64 q, const char*
 
 job_id context::enqueue(unsigned sid, job j) {
   const job_id id = next_id_++;
-  {
-    std::lock_guard<std::mutex> lk(smu_);
-    state_of(sid).queue.emplace_back(id, std::move(j));
-  }
-  std::lock_guard<std::mutex> lk(mu_);
-  ++stats_.jobs_submitted;
+  // Count the submission before the job becomes visible in any queue, so a
+  // concurrent stats() reading jobs_submitted *last* can never observe an
+  // outcome the submission counter has not covered yet.
+  m_.jobs_submitted->add();
+  std::lock_guard<std::mutex> lk(smu_);
+  state_of(sid).queue.emplace_back(id, std::move(j));
   return id;
 }
 
@@ -447,19 +477,55 @@ std::size_t context::open_streams() const noexcept {
 }
 
 scheduler_stats context::stats() const {
+  // Assembled straight from the registry instruments — the scheduler's and
+  // operand cache's counters are attached to the same objects, so nothing
+  // here is a mirrored copy that could go stale.  Read-order discipline
+  // replaces the old all-under-one-lock copy: outcome counters first, the
+  // in-flight gauge second, jobs_submitted *last*.  A job leaves in_flight_
+  // before its outcome counter bumps (both under mu_) and is counted
+  // submitted before it is queued anywhere, so a snapshot can never show
+  // completed + failed + in_flight > submitted.
   scheduler_stats s;
+  s.jobs_completed = m_.jobs_completed->value();
+  s.jobs_failed = m_.jobs_failed->value();
   {
     std::lock_guard<std::mutex> lk(mu_);
-    s = stats_;
     s.jobs_in_flight = in_flight_.size();
-    s.groups_merged = sched_->counters().groups_merged;
-    s.preemption_yields = sched_->counters().preemption_yields;
   }
-  if (ocache_) {
-    s.operand_cache_hits = ocache_->hits();
-    s.operand_cache_misses = ocache_->misses();
-  }
+  s.groups = m_.groups->value();
+  s.batches = m_.batches->value();
+  s.waves = m_.waves->value();
+  s.wall_cycles = m_.wall_cycles->value();
+  s.deadline_misses = m_.deadline_misses->value();
+  s.energy_nj = m_.energy_nj->value();
+  s.operand_cache_hits = m_.cache_hits->value();
+  s.operand_cache_misses = m_.cache_misses->value();
+  s.groups_merged = m_.groups_merged->value();
+  s.preemption_yields = m_.preemption_yields->value();
+  s.jobs_submitted = m_.jobs_submitted->value();
   return s;
+}
+
+void context::export_trace(std::ostream& os) const {
+  if (!recorder_) {
+    throw std::logic_error(
+        "runtime: tracing is disabled — construct the context with "
+        "runtime_options::with_tracing() to record a timeline");
+  }
+  telemetry::trace_export_layout layout;
+  layout.banks = std::max(1u, caps_.banks());
+  layout.banks_per_channel = (caps_.channels > 1 && layout.banks % caps_.channels == 0)
+                                 ? layout.banks / caps_.channels
+                                 : layout.banks;
+  telemetry::write_chrome_trace(os, recorder_->snapshot_events(), layout);
+}
+
+void context::export_trace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("runtime: cannot open trace output file " + path);
+  }
+  export_trace(os);
 }
 
 std::size_t context::operand_cache_size() const noexcept {
@@ -529,12 +595,38 @@ void context::admit_group_locked(std::shared_ptr<dispatch_group> g) {
                           &g->plan.rlwe_ids, &g->plan.rescale_ids, &g->plan.bext_ids}) {
     in_flight_.insert(ids->begin(), ids->end());
   }
-  ++stats_.groups;
+  m_.groups->add();
+  const dispatch_group* gp = g.get();
   sched_->enqueue(std::move(g));
+  if (recorder_) {
+    // The group's lifecycle starts here: seq/ref_vtime were just assigned
+    // by the scheduler.  A queue-depth sample rides along so the counter
+    // track shows the backlog the group joined.
+    recorder_->record({.ts = gp->ref_vtime,
+                       .dur = 0,
+                       .a = 0,
+                       .track = telemetry::kTrackScheduler,
+                       .arg = static_cast<telemetry::u32>(gp->seq),
+                       .op = telemetry::trace_op::group_enqueue});
+    recorder_->record({.ts = gp->ref_vtime,
+                       .dur = 0,
+                       .a = sched_->ready_groups(),
+                       .track = telemetry::kTrackScheduler,
+                       .arg = 0,
+                       .op = telemetry::trace_op::queue_depth});
+  }
 }
 
 void context::kick_locked() {
   for (auto& gp : sched_->take_runnable()) {
+    if (recorder_) {
+      recorder_->record({.ts = gp->ref_vtime,
+                         .dur = 0,
+                         .a = gp->resources.size(),
+                         .track = telemetry::kTrackScheduler,
+                         .arg = static_cast<telemetry::u32>(gp->seq),
+                         .op = telemetry::trace_op::bank_claim});
+    }
     pool_.enqueue([this, gp] { run_group(gp); });
   }
 }
@@ -702,7 +794,9 @@ void context::run_merged_group(const std::shared_ptr<dispatch_group>& g) {
     }
     if (slices.empty()) continue;
     guarded(slices, [&] {
-      distribute_merged(*g, slices, total, backend_->run_ntt(polys, dir, hints));
+      distribute_merged(*g, slices, total, backend_->run_ntt(polys, dir, hints),
+                        dir == transform_dir::forward ? telemetry::trace_op::ntt_forward
+                                                      : telemetry::trace_op::ntt_inverse);
     });
   }
 
@@ -719,7 +813,8 @@ void context::run_merged_group(const std::shared_ptr<dispatch_group>& g) {
     }
     if (!slices.empty()) {
       guarded(slices, [&] {
-        distribute_merged(*g, slices, total, backend_->run_polymul(pairs, hints));
+        distribute_merged(*g, slices, total, backend_->run_polymul(pairs, hints),
+                          telemetry::trace_op::polymul);
       });
     }
   }
@@ -738,8 +833,10 @@ void context::run_merged_group(const std::shared_ptr<dispatch_group>& g) {
       for (auto& j : m->plan.rescales) jobs.push_back(std::move(j));
     }
     if (!slices.empty()) {
-      guarded(slices,
-              [&] { distribute_merged(*g, slices, total, backend_->run_rescale(jobs, hints)); });
+      guarded(slices, [&] {
+        distribute_merged(*g, slices, total, backend_->run_rescale(jobs, hints),
+                          telemetry::trace_op::rescale);
+      });
     }
   }
 
@@ -757,7 +854,8 @@ void context::run_merged_group(const std::shared_ptr<dispatch_group>& g) {
     }
     if (!slices.empty()) {
       guarded(slices, [&] {
-        distribute_merged(*g, slices, total, backend_->run_base_extend(jobs, hints));
+        distribute_merged(*g, slices, total, backend_->run_base_extend(jobs, hints),
+                          telemetry::trace_op::base_extend);
       });
     }
   }
@@ -766,12 +864,28 @@ void context::run_merged_group(const std::shared_ptr<dispatch_group>& g) {
 
 // ---- accounting and completion ---------------------------------------------
 
-u64 context::account_locked(const dispatch_group& g, const batch_result& r) {
+u64 context::account_locked(const dispatch_group& g, const batch_result& r,
+                            telemetry::trace_op op, std::size_t jobs) {
   const u64 end = sched_->account(g, r.wall_cycles);
-  ++stats_.batches;
-  stats_.waves += r.waves;
-  stats_.wall_cycles = std::max(stats_.wall_cycles, end);
-  stats_.energy_nj += r.stats.energy_pj * 1e-3;
+  m_.batches->add();
+  m_.waves->add(r.waves);
+  m_.wall_cycles->set_max(end);
+  m_.energy_nj->add(r.stats.energy_pj * 1e-3);
+  if (recorder_) {
+    recorder_->set_watermark(end);
+    // One span per claimed bank over exactly [end - wall, end) — the
+    // interval scheduler::account just advanced the frontiers by.  The max
+    // span end across bank rows therefore *equals* stats().wall_cycles; the
+    // trace_export_test asserts that reconstruction exactly.
+    for (const unsigned b : g.resources) {
+      recorder_->record({.ts = end - r.wall_cycles,
+                         .dur = r.wall_cycles,
+                         .a = jobs,
+                         .track = b,
+                         .arg = static_cast<telemetry::u32>(g.seq),
+                         .op = op});
+    }
+  }
   return end;
 }
 
@@ -797,12 +911,22 @@ bool past_deadline(const dispatch_hints& hints, u64 ref_vtime, u64 end) noexcept
 }  // namespace
 
 void context::distribute(const dispatch_group& g, const std::vector<job_id>& ids,
-                         batch_result&& r) {
+                         batch_result&& r, telemetry::trace_op op) {
   require_output_count(r.outputs.size(), ids.size(), "a dispatch");
   std::lock_guard<std::mutex> lk(mu_);
-  const u64 end = account_locked(g, r);
+  const u64 end = account_locked(g, r, op, ids.size());
   const bool missed = past_deadline(g.hints, g.ref_vtime, end);
-  if (missed) stats_.deadline_misses += ids.size();
+  if (missed) {
+    m_.deadline_misses->add(ids.size());
+    if (recorder_) {
+      recorder_->record({.ts = end,
+                         .dur = 0,
+                         .a = ids.size(),
+                         .track = telemetry::kTrackScheduler,
+                         .arg = static_cast<telemetry::u32>(g.seq),
+                         .op = telemetry::trace_op::deadline_miss});
+    }
+  }
   for (std::size_t i = 0; i < ids.size(); ++i) {
     job_result res;
     res.outputs.push_back(std::move(r.outputs[i]));
@@ -815,22 +939,32 @@ void context::distribute(const dispatch_group& g, const std::vector<job_id>& ids
     done_.emplace(ids[i], std::move(res));
     in_flight_.erase(ids[i]);
   }
-  stats_.jobs_completed += ids.size();
+  m_.jobs_completed->add(ids.size());
   cv_.notify_all();
 }
 
 void context::distribute_merged(const dispatch_group& host,
                                 const std::vector<member_slice>& slices, std::size_t total_jobs,
-                                batch_result&& r) {
+                                batch_result&& r, telemetry::trace_op op) {
   require_output_count(r.outputs.size(), total_jobs, "a merged dispatch");
   std::lock_guard<std::mutex> lk(mu_);
   // One accounting event on the claimed union: every member's jobs finish
   // at the merged batch's end, but each member's deadline is judged from
   // its *own* flush frontier — per-tenant accounting survives the merge.
-  const u64 end = account_locked(host, r);
+  const u64 end = account_locked(host, r, op, total_jobs);
   for (const auto& s : slices) {
     const bool missed = past_deadline(s.g->hints, s.g->ref_vtime, end);
-    if (missed) stats_.deadline_misses += s.ids->size();
+    if (missed) {
+      m_.deadline_misses->add(s.ids->size());
+      if (recorder_) {
+        recorder_->record({.ts = end,
+                           .dur = 0,
+                           .a = s.ids->size(),
+                           .track = telemetry::kTrackScheduler,
+                           .arg = static_cast<telemetry::u32>(s.g->seq),
+                           .op = telemetry::trace_op::deadline_miss});
+      }
+    }
     for (std::size_t i = 0; i < s.ids->size(); ++i) {
       job_result res;
       res.outputs.push_back(std::move(r.outputs[s.offset + i]));
@@ -843,7 +977,7 @@ void context::distribute_merged(const dispatch_group& host,
       done_.emplace((*s.ids)[i], std::move(res));
       in_flight_.erase((*s.ids)[i]);
     }
-    stats_.jobs_completed += s.ids->size();
+    m_.jobs_completed->add(s.ids->size());
   }
   cv_.notify_all();
 }
@@ -860,7 +994,7 @@ void context::fail_group(const dispatch_group& g, const std::vector<job_id>& ids
     done_.emplace(id, std::move(res));
     in_flight_.erase(id);
   }
-  stats_.jobs_failed += ids.size();
+  m_.jobs_failed->add(ids.size());
   cv_.notify_all();
 }
 
@@ -869,7 +1003,9 @@ void context::dispatch_ntt_group(const dispatch_group& g, const std::vector<job_
   std::vector<std::vector<u64>> polys;
   polys.reserve(jobs.size());
   for (auto& j : jobs) polys.push_back(std::move(j.coeffs));
-  distribute(g, ids, backend_->run_ntt(polys, dir, g.hints));
+  distribute(g, ids, backend_->run_ntt(polys, dir, g.hints),
+             dir == transform_dir::forward ? telemetry::trace_op::ntt_forward
+                                           : telemetry::trace_op::ntt_inverse);
 }
 
 void context::dispatch_polymul_group(const dispatch_group& g, const std::vector<job_id>& ids,
@@ -877,18 +1013,19 @@ void context::dispatch_polymul_group(const dispatch_group& g, const std::vector<
   std::vector<core::polymul_pair> pairs;
   pairs.reserve(jobs.size());
   for (auto& j : jobs) pairs.push_back({std::move(j.a), std::move(j.b)});
-  distribute(g, ids, backend_->run_polymul(pairs, g.hints));
+  distribute(g, ids, backend_->run_polymul(pairs, g.hints), telemetry::trace_op::polymul);
 }
 
 void context::dispatch_rescale_group(const dispatch_group& g, const std::vector<job_id>& ids,
                                      std::vector<rns_rescale_job>&& jobs) {
-  distribute(g, ids, backend_->run_rescale(jobs, g.hints));
+  distribute(g, ids, backend_->run_rescale(jobs, g.hints), telemetry::trace_op::rescale);
 }
 
 void context::dispatch_base_extend_group(const dispatch_group& g,
                                          const std::vector<job_id>& ids,
                                          std::vector<rns_base_extend_job>&& jobs) {
-  distribute(g, ids, backend_->run_base_extend(jobs, g.hints));
+  distribute(g, ids, backend_->run_base_extend(jobs, g.hints),
+             telemetry::trace_op::base_extend);
 }
 
 void context::run_rlwe_group(const dispatch_group& g, const std::vector<job_id>& ids,
@@ -916,11 +1053,12 @@ void context::run_rlwe_group(const dispatch_group& g, const std::vector<job_id>&
   u64 cycles = 0;
   u64 last_end = 0;
   auto batch_mul = [&](std::vector<core::polymul_pair>&& pairs) {
+    const std::size_t stage_jobs = pairs.size();
     batch_result r = backend_->run_polymul(pairs, g.hints);
-    require_output_count(r.outputs.size(), pairs.size(), "an rlwe product stage");
+    require_output_count(r.outputs.size(), stage_jobs, "an rlwe product stage");
     {
       std::lock_guard<std::mutex> lk(mu_);
-      last_end = account_locked(g, r);
+      last_end = account_locked(g, r, telemetry::trace_op::rlwe_stage, stage_jobs);
     }
     stats += r.stats;
     cycles += r.wall_cycles;
@@ -956,7 +1094,17 @@ void context::run_rlwe_group(const dispatch_group& g, const std::vector<job_id>&
 
   std::lock_guard<std::mutex> lk(mu_);
   const bool missed = past_deadline(g.hints, g.ref_vtime, last_end);
-  if (missed) stats_.deadline_misses += m;
+  if (missed) {
+    m_.deadline_misses->add(m);
+    if (recorder_) {
+      recorder_->record({.ts = last_end,
+                         .dur = 0,
+                         .a = m,
+                         .track = telemetry::kTrackScheduler,
+                         .arg = static_cast<telemetry::u32>(g.seq),
+                         .op = telemetry::trace_op::deadline_miss});
+    }
+  }
   for (std::size_t i = 0; i < m; ++i) {
     auto decrypted = crypto::rlwe_decrypt_from_product(ring, cts[i], us[i]);
     job_result res;
@@ -974,7 +1122,7 @@ void context::run_rlwe_group(const dispatch_group& g, const std::vector<job_id>&
     done_.emplace(ids[i], std::move(res));
     in_flight_.erase(ids[i]);
   }
-  stats_.jobs_completed += m;
+  m_.jobs_completed->add(m);
   cv_.notify_all();
 }
 

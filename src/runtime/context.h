@@ -75,6 +75,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -90,13 +91,18 @@
 #include "runtime/options.h"
 #include "runtime/scheduler.h"
 #include "runtime/stream.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace bpntt::runtime {
 
 using job = std::variant<ntt_job, polymul_job, rlwe_encrypt_job, rns_rescale_job,
                          rns_base_extend_job>;
 
-// Cumulative scheduling counters across the context's lifetime.
+// Cumulative scheduling counters across the context's lifetime.  A plain
+// value snapshot — the live instruments behind every field are registry
+// entries (context::metrics()); stats() assembles this struct from them,
+// so the snapshot and the registry can never disagree.
 struct scheduler_stats {
   u64 jobs_submitted = 0;
   u64 jobs_completed = 0;  // finished ok
@@ -144,6 +150,45 @@ class context {
   // Counter snapshot (jobs_in_flight is the instantaneous gauge).  Safe
   // from any thread.
   [[nodiscard]] scheduler_stats stats() const;
+
+  // The unified metrics registry behind stats(): every runtime counter
+  // ("runtime.jobs_submitted", "runtime.wall_cycles", ...), the operand
+  // cache's ("cache.hits"/"cache.misses") and the scheduler's
+  // ("sched.groups_merged"/"sched.preemption_yields") live here, and the
+  // service layer registers its instruments into the same registry.
+  // metrics().to_json() is the one serialization bench artifacts embed.
+  // Instrument updates and value reads are safe from any thread.
+  [[nodiscard]] telemetry::metrics_registry& metrics() noexcept { return registry_; }
+  [[nodiscard]] const telemetry::metrics_registry& metrics() const noexcept {
+    return registry_;
+  }
+
+  // Tracing probes (safe from any thread).  enabled mirrors
+  // runtime_options::tracing; the counters are cumulative across the
+  // context's lifetime and stay 0 when tracing is off — the zero-overhead
+  // guarantee a test can assert.
+  struct trace_probe {
+    bool enabled = false;
+    u64 events_recorded = 0;
+    u64 events_dropped = 0;
+  };
+  [[nodiscard]] trace_probe trace_stats() const noexcept {
+    if (!recorder_) return {};
+    return {true, recorder_->events_recorded(), recorder_->events_dropped()};
+  }
+
+  // Export the recorded virtual-timeline trace as Chrome trace-event JSON
+  // (Perfetto / chrome://tracing open it directly).  Throws
+  // std::logic_error when the context was built without with_tracing().
+  // *Quiescent-only*: call after sync()/wait_all() — the recorder's rings
+  // are drained without synchronization against in-flight dispatches (the
+  // same contract as trace_recorder::snapshot_events()).
+  void export_trace(const std::string& path) const;
+  void export_trace(std::ostream& os) const;
+
+  // The raw recorder (nullptr when tracing is off) — the low-level hook the
+  // service layer uses to stamp ticket events onto the same timeline.
+  [[nodiscard]] telemetry::trace_recorder* tracer() const noexcept { return recorder_.get(); }
   // Jobs enqueued on any stream and not yet handed to the scheduler.  Safe
   // from any thread.
   [[nodiscard]] std::size_t pending() const noexcept;
@@ -276,13 +321,18 @@ class context {
 
   // Advance the group's bank frontiers by one batch (scheduler::account)
   // and fold the batch into the cumulative counters; returns the batch's
-  // completion time on the virtual timeline.  Requires mu_.
-  u64 account_locked(const dispatch_group& g, const batch_result& r);
-  void distribute(const dispatch_group& g, const std::vector<job_id>& ids, batch_result&& r);
+  // completion time on the virtual timeline.  When tracing, stamps one
+  // `op` span per claimed bank over exactly [end - wall, end) — the trace's
+  // reconstructed makespan (max span end) equals stats().wall_cycles by
+  // construction.  Requires mu_.
+  u64 account_locked(const dispatch_group& g, const batch_result& r, telemetry::trace_op op,
+                     std::size_t jobs);
+  void distribute(const dispatch_group& g, const std::vector<job_id>& ids, batch_result&& r,
+                  telemetry::trace_op op);
   // Merged distribution: account once on the claimed union, then route each
   // member's slice of the outputs with that member's deadline accounting.
   void distribute_merged(const dispatch_group& host, const std::vector<member_slice>& slices,
-                         std::size_t total_jobs, batch_result&& r);
+                         std::size_t total_jobs, batch_result&& r, telemetry::trace_op op);
   void fail_group(const dispatch_group& g, const std::vector<job_id>& ids,
                   const std::string& what);
   void dispatch_ntt_group(const dispatch_group& g, const std::vector<job_id>& ids,
@@ -312,13 +362,35 @@ class context {
   std::map<u64, unsigned> rns_streams_;
   unsigned next_stream_id_ = 1;
   job_id next_id_ = 1;
-  // Shared state, guarded by mu_: completion map, in-flight set, counters,
-  // and the scheduler module (ready groups, bank claims, bank frontiers).
+  // The unified instrument store (and the recorder when tracing is on).
+  // Every cumulative counter the old scheduler_stats member mirrored now
+  // lives in the registry; m_ caches the instrument pointers the hot paths
+  // bump (registered once in finish_construction, stable for the
+  // registry's lifetime).
+  telemetry::metrics_registry registry_;
+  std::unique_ptr<telemetry::trace_recorder> recorder_;
+  struct metric_refs {
+    telemetry::counter* jobs_submitted = nullptr;
+    telemetry::counter* jobs_completed = nullptr;
+    telemetry::counter* jobs_failed = nullptr;
+    telemetry::counter* groups = nullptr;
+    telemetry::counter* batches = nullptr;
+    telemetry::counter* waves = nullptr;
+    telemetry::gauge* wall_cycles = nullptr;  // makespan high-water mark
+    telemetry::counter* deadline_misses = nullptr;
+    telemetry::real_accum* energy_nj = nullptr;
+    telemetry::counter* cache_hits = nullptr;    // shared with the operand cache
+    telemetry::counter* cache_misses = nullptr;  //   (attach_metrics)
+    telemetry::counter* groups_merged = nullptr;      // shared with the scheduler
+    telemetry::counter* preemption_yields = nullptr;  //   (attach_metrics)
+  };
+  metric_refs m_;
+  // Shared state, guarded by mu_: completion map, in-flight set, and the
+  // scheduler module (ready groups, bank claims, bank frontiers).
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<job_id, job_result> done_;
   std::set<job_id> in_flight_;
-  scheduler_stats stats_;
   // The extracted scheduling engine (src/runtime/scheduler.h); constructed
   // once the backend's bank map is known.  Every access is under mu_.
   std::unique_ptr<scheduler> sched_;

@@ -136,7 +136,9 @@ batch_result cpu_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
     transform(a, dir, limb.get());
   });
   const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
-  return finish(std::move(outputs), elapsed.count());
+  batch_result out = finish(std::move(outputs), elapsed.count());
+  note_batch(polys.size(), out.wall_cycles);
+  return out;
 }
 
 batch_result cpu_backend::run_polymul(const std::vector<core::polymul_pair>& pairs,
@@ -151,7 +153,9 @@ batch_result cpu_backend::run_polymul(const std::vector<core::polymul_pair>& pai
   parallel_for(pool_, pairs.size(),
                [&](std::size_t i) { outputs[i] = multiply(pairs[i], hints.ring_q, limb.get()); });
   const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
-  return finish(std::move(outputs), elapsed.count());
+  batch_result out = finish(std::move(outputs), elapsed.count());
+  note_batch(pairs.size(), out.wall_cycles);
+  return out;
 }
 
 }  // namespace bpntt::runtime

@@ -1,6 +1,25 @@
 #include "runtime/operand_cache.h"
 
+#include "telemetry/trace.h"
+
 namespace bpntt::runtime {
+
+namespace {
+
+// A per-lookup instant on the cache track, stamped at the recorder's
+// virtual-time watermark (the cache never sees frontier values itself);
+// a = the limb prime so merged-limb traces separate per modulus.
+void note_lookup(telemetry::trace_recorder* rec, bool hit, core::u64 ring_q) {
+  if (rec == nullptr) return;
+  rec->record({.ts = rec->watermark(),
+               .dur = 0,
+               .a = ring_q,
+               .track = telemetry::kTrackCache,
+               .arg = 0,
+               .op = hit ? telemetry::trace_op::cache_hit : telemetry::trace_op::cache_miss});
+}
+
+}  // namespace
 
 core::u64 operand_cache::digest_of(const std::vector<core::u64>& coeffs) noexcept {
   // FNV-1a over the coefficient words plus the length, 64-bit.
@@ -28,11 +47,13 @@ std::optional<std::vector<core::u64>> operand_cache::lookup(
   std::lock_guard<std::mutex> lk(mu_);
   const auto it = entries_.find(k);
   if (it == entries_.end() || it->second.coeffs != coeffs) {
-    ++misses_;
+    misses_->add();
+    note_lookup(rec_, /*hit=*/false, ring_q);
     return std::nullopt;
   }
   touch_locked(it->second, k);
-  ++hits_;
+  hits_->add();
+  note_lookup(rec_, /*hit=*/true, ring_q);
   return it->second.transformed;
 }
 
@@ -79,16 +100,6 @@ void operand_cache::clear() {
 std::size_t operand_cache::size() const {
   std::lock_guard<std::mutex> lk(mu_);
   return entries_.size();
-}
-
-core::u64 operand_cache::hits() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return hits_;
-}
-
-core::u64 operand_cache::misses() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return misses_;
 }
 
 }  // namespace bpntt::runtime

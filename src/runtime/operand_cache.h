@@ -31,6 +31,11 @@
 #include <vector>
 
 #include "bpntt/bank.h"
+#include "telemetry/metrics.h"
+
+namespace bpntt::telemetry {
+class trace_recorder;
+}
 
 namespace bpntt::runtime {
 
@@ -77,8 +82,20 @@ class operand_cache {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] core::u64 hits() const;
-  [[nodiscard]] core::u64 misses() const;
+  [[nodiscard]] core::u64 hits() const noexcept { return hits_->value(); }
+  [[nodiscard]] core::u64 misses() const noexcept { return misses_->value(); }
+
+  // Publish hit/miss counting into registry-owned counters and (optionally)
+  // stamp per-lookup hit/miss instants into a trace recorder.  Null counter
+  // arguments keep the owned fallbacks; a null recorder records nothing.
+  // Call before the cache is shared across threads (the context does this
+  // at construction).
+  void attach_metrics(telemetry::counter* hits, telemetry::counter* misses,
+                      telemetry::trace_recorder* rec) noexcept {
+    hits_ = hits ? hits : &owned_hits_;
+    misses_ = misses ? misses : &owned_misses_;
+    rec_ = rec;
+  }
 
  private:
   struct key {
@@ -100,8 +117,13 @@ class operand_cache {
   mutable std::mutex mu_;
   std::map<key, entry> entries_;
   std::list<key> order_;  // most recently used first
-  core::u64 hits_ = 0;
-  core::u64 misses_ = 0;
+  // Hit/miss tallies are telemetry counters (atomic), owned here unless
+  // attach_metrics() pointed them at a registry — then the registry's view
+  // and hits()/misses() are the same object by construction.
+  telemetry::counter owned_hits_, owned_misses_;
+  telemetry::counter* hits_ = &owned_hits_;
+  telemetry::counter* misses_ = &owned_misses_;
+  telemetry::trace_recorder* rec_ = nullptr;
 };
 
 }  // namespace bpntt::runtime

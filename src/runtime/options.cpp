@@ -81,6 +81,11 @@ void runtime_options::validate() const {
         "runtime_options: retarget_cache_limit must be >= 1 — a zero-capacity cache would "
         "rebuild the per-modulus retarget state on every ring-overridden dispatch");
   }
+  if (tracing && trace_capacity == 0) {
+    throw std::invalid_argument(
+        "runtime_options: trace_capacity must be >= 1 when tracing is enabled — a "
+        "zero-capacity recorder would drop every event it accepts");
+  }
   // The cpu model constants feed cycle/energy accounting; a non-positive
   // value would silently produce nonsense (infinite cycles, negative
   // energy), so they are rejected for every backend, not just cpu.

@@ -109,6 +109,17 @@ struct runtime_options {
   // ordering match the pre-batching scheduler exactly.
   bool merge_streams = false;
 
+  // Virtual-timeline tracing (src/telemetry/): per-dispatch spans on the
+  // scheduler's bank frontiers, scheduler lifecycle events, cache hit/miss
+  // marks — exportable as Chrome trace-event JSON via
+  // context::export_trace().  Off by default: a context without tracing
+  // allocates no recorder and records nothing (every instrumentation site
+  // is one null-pointer test).
+  bool tracing = false;
+  // Events retained per recording thread when tracing is on (rounded up to
+  // a power of two; a full ring drops its oldest event and counts it).
+  unsigned trace_capacity = 1u << 16;
+
   runtime_options& with_backend(backend_kind k) {
     backend = k;
     return *this;
@@ -180,6 +191,11 @@ struct runtime_options {
   }
   runtime_options& with_cross_stream_batching(bool on = true) {
     merge_streams = on;
+    return *this;
+  }
+  runtime_options& with_tracing(unsigned capacity = 1u << 16) {
+    tracing = true;
+    trace_capacity = capacity;
     return *this;
   }
 

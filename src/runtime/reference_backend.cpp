@@ -59,6 +59,7 @@ batch_result reference_backend::run_ntt(const std::vector<std::vector<u64>>& pol
                                     : math::cyclic_ntt_inverse(a, *tables_);
     }
   });
+  note_batch(polys.size(), out.wall_cycles);
   return out;
 }
 
@@ -98,6 +99,7 @@ batch_result reference_backend::run_polymul(const std::vector<core::polymul_pair
                                 : math::polymul_ntt(pairs[i].a, pairs[i].b, *tables_);
     }
   });
+  note_batch(pairs.size(), out.wall_cycles);
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/trace.h"
+
 namespace bpntt::runtime {
 
 scheduler::scheduler(policy_config cfg, unsigned resources) : cfg_(cfg) {
@@ -39,7 +41,15 @@ void scheduler::requeue_preempted(std::shared_ptr<dispatch_group> g) {
   // where they were), same ref_vtime and deadline_abs (the deadline is a
   // property of the flush, not of the resume).  Banks are released by the
   // caller via release() — the urgent group claims them on the next pass.
-  ++counters_.preemption_yields;
+  yields_->add();
+  if (recorder_ != nullptr) {
+    recorder_->record({.ts = g->ref_vtime,
+                       .dur = 0,
+                       .a = g->resources.size(),
+                       .track = telemetry::kTrackScheduler,
+                       .arg = static_cast<telemetry::u32>(g->seq),
+                       .op = telemetry::trace_op::preempt_yield});
+  }
   const auto before = [this](const std::shared_ptr<dispatch_group>& a,
                              const std::shared_ptr<dispatch_group>& b) {
     return group_before(*a, *b);
@@ -76,7 +86,17 @@ void scheduler::absorb_compatible(const std::shared_ptr<dispatch_group>& host,
       }
       bank_busy_[r] = claimed[r] = 1;
     }
-    ++counters_.groups_merged;
+    merged_->add();
+    if (recorder_ != nullptr) {
+      // arg = the absorbed group's seq, a = the host's — the edge Perfetto
+      // shows as "who got pulled into whose dispatch".
+      recorder_->record({.ts = host->ref_vtime,
+                         .dur = 0,
+                         .a = host->seq,
+                         .track = telemetry::kTrackScheduler,
+                         .arg = static_cast<telemetry::u32>(h->seq),
+                         .op = telemetry::trace_op::merge_absorb});
+    }
     host->absorbed.push_back(std::move(h));
     it = ready_.erase(it);
   }

@@ -59,6 +59,11 @@
 #include "runtime/backend.h"
 #include "runtime/job.h"
 #include "runtime/options.h"
+#include "telemetry/metrics.h"
+
+namespace bpntt::telemetry {
+class trace_recorder;
+}
 
 namespace bpntt::runtime {
 
@@ -115,8 +120,10 @@ struct dispatch_group {
   return abs < dispatch_group::no_deadline - 1 ? abs : dispatch_group::no_deadline - 1;
 }
 
-// Cumulative counters the scheduler itself owns (the context folds them
-// into its scheduler_stats snapshot).
+// Snapshot of the scheduler's cumulative counters (the context folds them
+// into its scheduler_stats snapshot).  Backed by telemetry::counter
+// instruments — attach_metrics() points them at registry-owned counters so
+// the registry and this snapshot can never disagree.
 struct scheduler_counters {
   u64 groups_merged = 0;      // ready groups absorbed into another group's dispatch
   u64 preemption_yields = 0;  // chunked groups that gave their banks up mid-plan
@@ -171,8 +178,24 @@ class scheduler {
   // order), then edf/priority as configured.
   [[nodiscard]] bool group_before(const dispatch_group& a, const dispatch_group& b) const;
 
-  [[nodiscard]] const scheduler_counters& counters() const noexcept { return counters_; }
+  [[nodiscard]] scheduler_counters counters() const noexcept {
+    return {merged_->value(), yields_->value()};
+  }
   [[nodiscard]] std::size_t ready_groups() const noexcept { return ready_.size(); }
+
+  // Publish the merge/yield counters into registry-owned instruments: the
+  // scheduler increments *those* counters from here on, so the registry and
+  // counters() are literally the same numbers.  Null leaves the owned
+  // fallback in place.
+  void attach_metrics(telemetry::counter* groups_merged,
+                      telemetry::counter* preemption_yields) noexcept {
+    merged_ = groups_merged ? groups_merged : &owned_merged_;
+    yields_ = preemption_yields ? preemption_yields : &owned_yields_;
+  }
+
+  // Lifecycle tracing: merge-absorption and preemption-yield edges become
+  // explicit trace events.  Null (the default) records nothing.
+  void attach_recorder(telemetry::trace_recorder* rec) noexcept { recorder_ = rec; }
 
  private:
   // Merge scan for one freshly claimed host: absorb every compatible ready
@@ -185,7 +208,12 @@ class scheduler {
   std::vector<char> bank_busy_;
   std::vector<u64> bank_free_at_;
   u64 next_group_seq_ = 0;
-  scheduler_counters counters_;
+  // Owned fallbacks keep a bare scheduler (tests, tools) counting without a
+  // registry; attach_metrics() swaps the pointers to registry instruments.
+  telemetry::counter owned_merged_, owned_yields_;
+  telemetry::counter* merged_ = &owned_merged_;
+  telemetry::counter* yields_ = &owned_yields_;
+  telemetry::trace_recorder* recorder_ = nullptr;
 };
 
 }  // namespace bpntt::runtime

@@ -135,16 +135,18 @@ batch_result sram_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
     return run_ntt_chunked(polys, dir, hints);
   }
   const auto banks = banks_for(hints.ring_q);
-  if (hints.ring_q != 0 && ocache_ != nullptr) {
-    return run_ntt_cached(polys, dir, hints, *banks);
-  }
-  return shard(*banks, polys.size(), hints,
-               [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
-                 std::vector<std::vector<u64>> slice;
-                 slice.reserve(idx.size());
-                 for (const auto i : idx) slice.push_back(polys[i]);
-                 return bank.run_ntt_batch(slice, dir);
-               });
+  batch_result out =
+      hints.ring_q != 0 && ocache_ != nullptr
+          ? run_ntt_cached(polys, dir, hints, *banks)
+          : shard(*banks, polys.size(), hints,
+                  [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
+                    std::vector<std::vector<u64>> slice;
+                    slice.reserve(idx.size());
+                    for (const auto i : idx) slice.push_back(polys[i]);
+                    return bank.run_ntt_batch(slice, dir);
+                  });
+  note_batch(polys.size(), out.wall_cycles);
+  return out;
 }
 
 batch_result sram_backend::run_ntt_cached(const std::vector<std::vector<u64>>& polys,
@@ -189,16 +191,18 @@ batch_result sram_backend::run_polymul(const std::vector<core::polymul_pair>& pa
     return run_polymul_chunked(pairs, hints);
   }
   const auto banks = banks_for(hints.ring_q);
-  if (hints.ring_q != 0 && ocache_ != nullptr) {
-    return run_polymul_cached(pairs, hints, *banks);
-  }
-  return shard(*banks, pairs.size(), hints,
-               [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
-                 std::vector<core::polymul_pair> slice;
-                 slice.reserve(idx.size());
-                 for (const auto i : idx) slice.push_back(pairs[i]);
-                 return bank.run_polymul_batch(slice);
-               });
+  batch_result out =
+      hints.ring_q != 0 && ocache_ != nullptr
+          ? run_polymul_cached(pairs, hints, *banks)
+          : shard(*banks, pairs.size(), hints,
+                  [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
+                    std::vector<core::polymul_pair> slice;
+                    slice.reserve(idx.size());
+                    for (const auto i : idx) slice.push_back(pairs[i]);
+                    return bank.run_polymul_batch(slice);
+                  });
+  note_batch(pairs.size(), out.wall_cycles);
+  return out;
 }
 
 batch_result sram_backend::run_polymul_cached(const std::vector<core::polymul_pair>& pairs,

@@ -1,59 +1,13 @@
-// Fixed-bucket latency histogram — the service layer's tail-latency lens.
-//
-// Completion latencies land in quarter-octave buckets (HDR-histogram
-// style): values are scaled to ~microsecond units (ns >> 10); the first
-// four units get unit-wide buckets, and every power-of-two octave above
-// them is split into four linear sub-buckets, so bucket width is at most
-// 25% of the value — a reported p99 is within one bucket width of the true
-// quantile.  Bucket 0 absorbs everything below ~1 us and the last bucket
-// everything past ~2^39 us (~6.5 days).  Recording is O(1) (one bit-scan +
-// one increment), memory is one fixed array — no allocation, no reservoir,
-// no decay — and quantiles are exact over the recorded distribution up to
-// bucket resolution.
-//
-// quantile(p) returns the *upper bound* of the bucket holding the p-th
-// sample (the conventional conservative read: "p99 <= reported value" at
-// bucket granularity).  Histograms merge by bucket-wise addition, which is
-// how per-session histograms roll up into the service-wide one.
-//
-// Not internally synchronized: the service records under its stats lock.
+// Compatibility alias: the latency histogram moved to src/telemetry/ so
+// the service layer and the telemetry registry share one implementation.
+// Existing service call sites (and tests/service/histogram_test.cpp) keep
+// compiling against bpntt::service::latency_histogram.
 #pragma once
 
-#include <array>
-#include <cstddef>
-#include <cstdint>
+#include "telemetry/histogram.h"
 
 namespace bpntt::service {
 
-class latency_histogram {
- public:
-  static constexpr std::size_t kBucketsPerOctave = 4;
-  static constexpr std::size_t kOctaves = 38;  // ~1 us granules up to ~2^39 us
-  static constexpr std::size_t kBuckets = kBucketsPerOctave * kOctaves;
-
-  // Record one completion latency in nanoseconds.
-  void record_ns(std::uint64_t ns) noexcept;
-
-  // The upper bound (in nanoseconds) of the bucket holding the sample at
-  // quantile p in [0, 1]; 0 when the histogram is empty.  p = 0.5 / 0.95 /
-  // 0.99 are the service's p50/p95/p99.
-  [[nodiscard]] std::uint64_t quantile_ns(double p) const noexcept;
-
-  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
-  [[nodiscard]] std::uint64_t max_ns() const noexcept { return max_ns_; }
-
-  // Bucket-wise merge (per-session histograms -> the global one).
-  latency_histogram& operator+=(const latency_histogram& other) noexcept;
-
-  // The bucket index a latency lands in, and a bucket's upper bound —
-  // exposed so tests can pin the bucketing contract.
-  [[nodiscard]] static std::size_t bucket_of(std::uint64_t ns) noexcept;
-  [[nodiscard]] static std::uint64_t bucket_upper_ns(std::size_t bucket) noexcept;
-
- private:
-  std::array<std::uint64_t, kBuckets> counts_{};
-  std::uint64_t count_ = 0;
-  std::uint64_t max_ns_ = 0;
-};
+using latency_histogram = telemetry::latency_histogram;
 
 }  // namespace bpntt::service

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "telemetry/trace.h"
+
 namespace bpntt::service {
 
 using std::chrono::steady_clock;
@@ -88,6 +90,7 @@ std::size_t checked_queue_capacity(const service_options& sopts) {
 
 service::service(runtime::runtime_options ropts, service_options sopts)
     : sopts_(sopts), ctx_(std::move(ropts)), queue_(checked_queue_capacity(sopts)) {
+  register_metrics();
   drainer_ = std::thread([this] { drain_loop(); });
 }
 
@@ -96,7 +99,24 @@ service::service(runtime::runtime_options ropts,
     : sopts_(sopts),
       ctx_(std::move(ropts), std::move(custom_backend)),
       queue_(checked_queue_capacity(sopts)) {
+  register_metrics();
   drainer_ = std::thread([this] { drain_loop(); });
+}
+
+void service::register_metrics() {
+  auto& reg = ctx_.metrics();
+  m_.submitted = &reg.make_counter("service.submitted");
+  m_.admitted = &reg.make_counter("service.admitted");
+  m_.rej_queue_full = &reg.make_counter("service.rejected_queue_full");
+  m_.rej_backlog = &reg.make_counter("service.rejected_backlog");
+  m_.rej_in_flight = &reg.make_counter("service.rejected_in_flight");
+  m_.rej_closed = &reg.make_counter("service.rejected_closed");
+  m_.completed = &reg.make_counter("service.completed");
+  m_.failed = &reg.make_counter("service.failed");
+  m_.deadline_misses = &reg.make_counter("service.deadline_misses");
+  m_.latency_ns = &reg.make_histogram("service.latency_ns");
+  m_.queue_wait_ns = &reg.make_histogram("service.queue_wait_ns");
+  m_.exec_cycles = &reg.make_histogram("service.exec_cycles");
 }
 
 service::~service() {
@@ -147,17 +167,17 @@ void service::close_session(unsigned sid) {
 ticket service::admit(unsigned sid, service_job j) {
   auto sess = session_of(sid);
   sess->submitted.fetch_add(1, std::memory_order_relaxed);
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  m_.submitted->add();
 
   const auto reject = [&](admission_reason r, std::atomic<u64>& session_ctr,
-                          std::atomic<u64>& global_ctr, const std::string& what) -> ticket {
+                          telemetry::counter& global_ctr, const std::string& what) -> ticket {
     session_ctr.fetch_add(1, std::memory_order_relaxed);
-    global_ctr.fetch_add(1, std::memory_order_relaxed);
+    global_ctr.add();
     throw admission_error(r, what);
   };
 
   if (closed_.load(std::memory_order_acquire) || sess->closed.load(std::memory_order_acquire)) {
-    return reject(admission_reason::closed, sess->rej_closed, rej_closed_,
+    return reject(admission_reason::closed, sess->rej_closed, *m_.rej_closed,
                   "session " + std::to_string(sid) + " is closed");
   }
   // In-flight cap: checked before claiming a backlog slot so a tenant
@@ -165,13 +185,13 @@ ticket service::admit(unsigned sid, service_job j) {
   // enforced with atomics — concurrent submitters may transiently observe
   // the cap a few entries late, never unboundedly.
   if (sess->in_flight.load(std::memory_order_acquire) >= sess->opts.max_in_flight) {
-    return reject(admission_reason::session_in_flight, sess->rej_in_flight, rej_in_flight_,
+    return reject(admission_reason::session_in_flight, sess->rej_in_flight, *m_.rej_in_flight,
                   "session " + std::to_string(sid) + " is at its in-flight cap (" +
                       std::to_string(sess->opts.max_in_flight) + ")");
   }
   if (sess->queued.fetch_add(1, std::memory_order_acq_rel) + 1 > sess->opts.max_queued) {
     sess->queued.fetch_sub(1, std::memory_order_acq_rel);
-    return reject(admission_reason::session_backlog, sess->rej_backlog, rej_backlog_,
+    return reject(admission_reason::session_backlog, sess->rej_backlog, *m_.rej_backlog,
                   "session " + std::to_string(sid) + " is at its backlog cap (" +
                       std::to_string(sess->opts.max_queued) + ")");
   }
@@ -187,11 +207,11 @@ ticket service::admit(unsigned sid, service_job j) {
   if (!queue_.try_push(std::move(sub))) {
     outstanding_.fetch_sub(1, std::memory_order_acq_rel);
     sess->queued.fetch_sub(1, std::memory_order_acq_rel);
-    return reject(admission_reason::queue_full, sess->rej_queue_full, rej_queue_full_,
+    return reject(admission_reason::queue_full, sess->rej_queue_full, *m_.rej_queue_full,
                   "submission ring is full (" + std::to_string(queue_.capacity()) + " slots)");
   }
   sess->admitted.fetch_add(1, std::memory_order_relaxed);
-  admitted_.fetch_add(1, std::memory_order_relaxed);
+  m_.admitted->add();
 
   // Wake the drainer only when it declared itself idle — the common-case
   // submit never touches a mutex.
@@ -275,6 +295,20 @@ bool service::dispatch(submission&& s, std::map<runtime::job_id, inflight_rec>& 
   }
   sess->queued.fetch_sub(1, std::memory_order_acq_rel);
   sess->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  // Queue wait: admission to stream dispatch — the ring + drainer share of
+  // end-to-end latency, the number a saturated service inflates first.
+  const auto wait_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           steady_clock::now() - s.t_submit)
+                           .count();
+  m_.queue_wait_ns->record(static_cast<u64>(wait_ns));
+  if (auto* rec = ctx_.tracer()) {
+    rec->record({.ts = rec->watermark(),
+                 .dur = 0,
+                 .a = static_cast<u64>(wait_ns),
+                 .track = telemetry::kTrackService,
+                 .arg = 0,
+                 .op = telemetry::trace_op::ticket_admit});
+  }
   inflight.emplace(id, inflight_rec{std::move(sess), std::move(s.st), s.t_submit});
   return true;
 }
@@ -286,21 +320,29 @@ void service::deliver(session_state& ss, const std::shared_ptr<ticket::state>& s
                        .count();
   const bool ok = r.status == runtime::job_status::ok;
   const bool missed = r.deadline_missed;
+  // Service-wide outcome counters and distributions live in the registry;
+  // only the per-session mirrors still ride stats_mu_.
+  m_.latency_ns->record(static_cast<u64>(lat));
+  m_.exec_cycles->record(r.wall_cycles);
+  (ok ? m_.completed : m_.failed)->add();
+  if (missed) m_.deadline_misses->add();
+  if (auto* rec = ctx_.tracer()) {
+    rec->record({.ts = rec->watermark(),
+                 .dur = 0,
+                 .a = static_cast<u64>(lat),
+                 .track = telemetry::kTrackService,
+                 .arg = ok ? 0u : 1u,
+                 .op = telemetry::trace_op::ticket_complete});
+  }
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
-    latency_.record_ns(static_cast<u64>(lat));
     ss.latency.record_ns(static_cast<u64>(lat));
     if (ok) {
-      ++completed_;
       ++ss.completed;
     } else {
-      ++failed_;
       ++ss.failed;
     }
-    if (missed) {
-      ++deadline_misses_;
-      ++ss.deadline_misses;
-    }
+    if (missed) ++ss.deadline_misses;
     outstanding_.fetch_sub(1, std::memory_order_acq_rel);
     drained_cv_.notify_all();
   }
@@ -377,13 +419,17 @@ service_stats service::stats() const {
   service_stats s;
   // Outcome counters first, `submitted` last: each admission bumps
   // submitted before any outcome, so a concurrent snapshot never shows
-  // more outcomes than submissions.
-  s.admitted = admitted_.load(std::memory_order_relaxed);
-  s.rejected_queue_full = rej_queue_full_.load(std::memory_order_relaxed);
-  s.rejected_backlog = rej_backlog_.load(std::memory_order_relaxed);
-  s.rejected_in_flight = rej_in_flight_.load(std::memory_order_relaxed);
-  s.rejected_closed = rej_closed_.load(std::memory_order_relaxed);
-  s.submitted = submitted_.load(std::memory_order_acquire);
+  // more outcomes than submissions.  All reads come straight from the
+  // registry instruments the hot paths update — nothing is mirrored.
+  s.admitted = m_.admitted->value();
+  s.rejected_queue_full = m_.rej_queue_full->value();
+  s.rejected_backlog = m_.rej_backlog->value();
+  s.rejected_in_flight = m_.rej_in_flight->value();
+  s.rejected_closed = m_.rej_closed->value();
+  s.completed = m_.completed->value();
+  s.failed = m_.failed->value();
+  s.deadline_misses = m_.deadline_misses->value();
+  s.submitted = m_.submitted->value();
   s.rejected = s.rejected_queue_full + s.rejected_backlog + s.rejected_in_flight +
                s.rejected_closed;
   {
@@ -398,11 +444,7 @@ service_stats service::stats() const {
     s.groups_merged = rs.groups_merged;
     s.preemption_yields = rs.preemption_yields;
   }
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  s.completed = completed_;
-  s.failed = failed_;
-  s.deadline_misses = deadline_misses_;
-  fill_quantiles(s, latency_);
+  fill_quantiles(s, m_.latency_ns->snapshot());
   return s;
 }
 

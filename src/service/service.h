@@ -51,6 +51,7 @@
 #include "runtime/context.h"
 #include "service/histogram.h"
 #include "service/mpsc_queue.h"
+#include "telemetry/metrics.h"
 
 namespace bpntt::service {
 
@@ -228,6 +229,21 @@ class service {
   [[nodiscard]] service_stats stats() const;
   // The wrapped context's scheduler counters (thread-safe by contract).
   [[nodiscard]] runtime::scheduler_stats runtime_stats() const { return ctx_.stats(); }
+  // The unified metrics registry of the wrapped context: the runtime's
+  // "runtime."/"cache."/"sched." instruments plus this service's
+  // "service." counters and latency/queue-wait/exec histograms.  Value
+  // reads and to_json() are safe from any thread.
+  [[nodiscard]] telemetry::metrics_registry& metrics() noexcept { return ctx_.metrics(); }
+  [[nodiscard]] const telemetry::metrics_registry& metrics() const noexcept {
+    return ctx_.metrics();
+  }
+  // Chrome-trace export of the wrapped context's recorder; throws
+  // std::logic_error unless the runtime_options carried with_tracing().
+  // Quiescent-only: call after drain().
+  void export_trace(const std::string& path) const { ctx_.export_trace(path); }
+  [[nodiscard]] runtime::context::trace_probe trace_stats() const noexcept {
+    return ctx_.trace_stats();
+  }
   // Open context streams (default stream + live tenants + parked pool).
   [[nodiscard]] std::size_t open_streams() const noexcept { return ctx_.open_streams(); }
   // Streams currently parked in the reuse pool.
@@ -292,6 +308,7 @@ class service {
   };
 
   ticket admit(unsigned sid, service_job j);
+  void register_metrics();
   [[nodiscard]] std::shared_ptr<session_state> session_of(unsigned sid) const;
   void close_session(unsigned sid);
   [[nodiscard]] service_stats session_stats(unsigned sid) const;
@@ -315,14 +332,32 @@ class service {
   std::map<unsigned, std::shared_ptr<session_state>> sessions_;
   unsigned next_session_ = 1;
 
-  // Submit-side global counters (atomic: any client thread).
-  std::atomic<u64> submitted_{0}, admitted_{0};
-  std::atomic<u64> rej_queue_full_{0}, rej_backlog_{0}, rej_in_flight_{0}, rej_closed_{0};
+  // Service-wide instruments, registered under "service." in the wrapped
+  // context's metrics registry (register_metrics(), called by both ctors
+  // before the drainer starts).  Counter updates are lock-free from any
+  // client thread; histogram records take the cell's own mutex.  The
+  // registry owns the cells — these are stable references, so stats() and
+  // metrics().to_json() read the very counters the hot path bumps.
+  struct metric_refs {
+    telemetry::counter* submitted = nullptr;
+    telemetry::counter* admitted = nullptr;
+    telemetry::counter* rej_queue_full = nullptr;
+    telemetry::counter* rej_backlog = nullptr;
+    telemetry::counter* rej_in_flight = nullptr;
+    telemetry::counter* rej_closed = nullptr;
+    telemetry::counter* completed = nullptr;
+    telemetry::counter* failed = nullptr;
+    telemetry::counter* deadline_misses = nullptr;
+    telemetry::histogram_cell* latency_ns = nullptr;     // submit -> harvest, wall clock
+    telemetry::histogram_cell* queue_wait_ns = nullptr;  // submit -> stream dispatch
+    telemetry::histogram_cell* exec_cycles = nullptr;    // backend wall_cycles per job
+  };
+  metric_refs m_;
 
-  // Completion-side stats (histograms, misses), global and per session.
+  // Per-session completion-side state (session_state histograms and
+  // misses) stays under stats_mu_; the service-wide equivalents moved
+  // into the registry above.
   mutable std::mutex stats_mu_;
-  u64 completed_ = 0, failed_ = 0, deadline_misses_ = 0;
-  latency_histogram latency_;
   std::condition_variable drained_cv_;
   std::atomic<u64> outstanding_{0};  // admitted - delivered
 

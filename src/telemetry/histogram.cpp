@@ -1,13 +1,13 @@
-#include "service/histogram.h"
+#include "telemetry/histogram.h"
 
 #include <algorithm>
 #include <bit>
 
-namespace bpntt::service {
+namespace bpntt::telemetry {
 
 namespace {
 
-// Latencies are bucketed in ~microsecond units: ns >> kUnitShift.  1024 ns
+// Samples are bucketed in ~microsecond units: ns >> kUnitShift.  1024 ns
 // "microseconds" keep every boundary a shift, no division anywhere.
 constexpr unsigned kUnitShift = 10;
 
@@ -68,4 +68,4 @@ latency_histogram& latency_histogram::operator+=(const latency_histogram& other)
   return *this;
 }
 
-}  // namespace bpntt::service
+}  // namespace bpntt::telemetry

@@ -1,0 +1,44 @@
+// Chrome trace-event JSON export: turn a trace_recorder's event buffer
+// into a file Perfetto / chrome://tracing opens directly.
+//
+// Row mapping follows the chip topology: every *channel* becomes a trace
+// process (pid = channel index, named "channel N") and every *bank* a
+// thread inside it (tid = global bank id, named "bank N"), so dispatch
+// spans lay out exactly like the hardware — one row per bank, spans
+// showing which dispatch held the bank over which virtual-time interval.
+// Scheduler lifecycle events (enqueue, claim, merge, yield, deadline
+// miss), operand-cache hits/misses, backend batch marks and service
+// ticket marks land on synthetic processes after the channels.  Counter
+// tracks ("C" events) are emitted for operand-cache hits/misses, deadline
+// misses and ready-queue depth, so the aggregate story rides above the
+// per-bank spans.
+//
+// Timestamps: the virtual timeline's cycles are written 1:1 into the
+// trace's microsecond field — a cycle reads as a "µs" in the UI.  The
+// timeline is the scheduler's, not wall time; what matters is relative
+// extent, and cycles-as-µs keeps every number exact (no division, no
+// rounding), so the reconstructed makespan — the max span end across bank
+// rows — equals scheduler_stats::wall_cycles exactly.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "telemetry/trace.h"
+
+namespace bpntt::telemetry {
+
+// The topology facts the exporter needs to map tracks to pid/tid rows.
+struct trace_export_layout {
+  unsigned banks = 1;              // global bank count (spans' track ids)
+  unsigned banks_per_channel = 1;  // pid = bank / banks_per_channel
+};
+
+// Write the events as one Chrome trace-event JSON document:
+//   {"displayTimeUnit":"ns","traceEvents":[...]}
+// Events should be ts-sorted (trace_recorder::snapshot_events() already
+// is); metadata rows naming processes/threads are emitted first.
+void write_chrome_trace(std::ostream& os, const std::vector<trace_event>& events,
+                        const trace_export_layout& layout);
+
+}  // namespace bpntt::telemetry
