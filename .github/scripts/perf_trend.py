@@ -6,7 +6,7 @@ so it is deterministic and host-independent:
 
   * BENCH_table1.json     — measured in-SRAM rows, latency_us per row
   * BENCH_rns_bigmul.json — RNS limb sweep, makespan_cycles per limb count
-  * BENCH_rescale.json    — rescale limb sweep, cold_cycles per limb count
+  * BENCH_rescale.json    — rescale limb sweep, cold/warm cycles per limb count
   * BENCH_rns_rlwe.json   — leveled RLWE sweep, warm-key multiply cycles
 
 Each current value is compared against two references: the committed
@@ -69,12 +69,37 @@ def rns_metrics(doc):
 
 
 def rescale_metrics(doc):
+    """Cold and warm makespans per limb count.  The warm repeat is the
+    residency path — same operands, transforms served from device-resident
+    rows — so gating it catches placement or eviction regressions that the
+    cold path cannot see."""
     rows = {}
     for row in doc.get("rows", []):
-        cold = row.get("cold_cycles")
         limbs = row.get("limbs")
-        if isinstance(cold, (int, float)) and cold > 0 and limbs is not None:
-            rows[f"{limbs} limbs cold"] = float(cold)
+        if limbs is None:
+            continue
+        for key, label in (("cold_cycles", "cold"), ("warm_cycles", "warm")):
+            val = row.get(key)
+            if isinstance(val, (int, float)) and val > 0:
+                rows[f"{limbs} limbs {label}"] = float(val)
+    return rows
+
+
+def residency_metrics(doc):
+    """Advisory view of the on-array residency counters the benches embed:
+    the device-row high-water mark and the scheduler's residency-affinity
+    claims.  These shift legitimately whenever placement policy changes, so
+    they inform the trend report without gating."""
+    rows = {}
+    for row in doc.get("rows", []):
+        limbs = row.get("limbs")
+        if limbs is None:
+            continue
+        for key, label in (("resident_rows_peak", "rows peak"),
+                           ("affinity_hits", "affinity hits")):
+            val = row.get(key)
+            if isinstance(val, (int, float)) and val > 0:
+                rows[f"{limbs} limbs {label}"] = float(val)
     return rows
 
 
@@ -126,6 +151,8 @@ GATED = [
 ]
 ADVISORY = [
     ("service soak", "BENCH_soak.json", soak_metrics, ""),
+    ("rescale residency", "BENCH_rescale.json", residency_metrics, ""),
+    ("rlwe residency", "BENCH_rns_rlwe.json", residency_metrics, ""),
 ]
 
 

@@ -59,6 +59,11 @@ struct sweep_row {
   bpntt::core::u64 warm_cycles = 0;  // repeat with cached operand transforms
   bpntt::core::u64 cache_hits = 0;   // operand-cache hits the repeat produced
   double warm_saving = 0.0;          // 1 - warm / cold
+  // On-array residency: high-water mark of device rows held by resident
+  // operands, and scheduler claims that landed on a bank already holding
+  // the stream's limb operands.
+  bpntt::core::u64 resident_rows_peak = 0;
+  bpntt::core::u64 affinity_hits = 0;
 };
 
 sweep_row run_one(unsigned limbs) {
@@ -120,6 +125,8 @@ sweep_row run_one(unsigned limbs) {
                         ? 0.0
                         : 1.0 - static_cast<double>(row.warm_cycles) /
                                     static_cast<double>(row.cold_cycles);
+  row.resident_rows_peak = warm_end.resident_rows_peak;
+  row.affinity_hits = warm_end.residency_affinity_hits;
   return row;
 }
 
@@ -127,15 +134,18 @@ void write_json(const std::string& path, const std::vector<sweep_row>& rows) {
   std::string out = "{\n  \"bench\": \"rescale\",\n  \"n\": " + std::to_string(kOrder) +
                     ",\n  \"limb_bits\": " + std::to_string(kLimbBits) + ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    char buf[320];
+    char buf[448];
     std::snprintf(buf, sizeof buf,
                   "    {\"limbs\": %u, \"modulus_bits\": %u, \"rescaled_bits\": %u, "
                   "\"cold_cycles\": %llu, \"warm_cycles\": %llu, \"cache_hits\": %llu, "
-                  "\"warm_saving\": %.4f}",
+                  "\"warm_saving\": %.4f, \"resident_rows_peak\": %llu, "
+                  "\"affinity_hits\": %llu}",
                   rows[i].limbs, rows[i].modulus_bits, rows[i].rescaled_bits,
                   static_cast<unsigned long long>(rows[i].cold_cycles),
                   static_cast<unsigned long long>(rows[i].warm_cycles),
-                  static_cast<unsigned long long>(rows[i].cache_hits), rows[i].warm_saving);
+                  static_cast<unsigned long long>(rows[i].cache_hits), rows[i].warm_saving,
+                  static_cast<unsigned long long>(rows[i].resident_rows_peak),
+                  static_cast<unsigned long long>(rows[i].affinity_hits));
     out += buf;
     out += i + 1 < rows.size() ? ",\n" : "\n";
   }
@@ -179,13 +189,14 @@ int main(int argc, char** argv) {
   }
 
   bpntt::common::text_table table({"Limbs", "Modulus", "Rescaled", "Cold(cyc)", "Warm(cyc)",
-                                   "Cache hits", "Warm saved"});
+                                   "Cache hits", "Warm saved", "Rows peak", "Affinity"});
   for (const auto& r : rows) {
     char saved[32];
     std::snprintf(saved, sizeof saved, "%.1f%%", 100.0 * r.warm_saving);
     table.add_row({std::to_string(r.limbs), std::to_string(r.modulus_bits) + "b",
                    std::to_string(r.rescaled_bits) + "b", std::to_string(r.cold_cycles),
-                   std::to_string(r.warm_cycles), std::to_string(r.cache_hits), saved});
+                   std::to_string(r.warm_cycles), std::to_string(r.cache_hits), saved,
+                   std::to_string(r.resident_rows_peak), std::to_string(r.affinity_hits)});
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("\nevery row verified against the wide_uint divide-and-round oracle\n");

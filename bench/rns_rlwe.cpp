@@ -55,6 +55,10 @@ struct sweep_row {
   u64 cache_hits = 0;          // operand-cache hits the repeat produced
   double warm_saving = 0.0;    // 1 - warm / cold
   int floor_noise_bits = 0;    // budget left after walking to the floor
+  // On-array residency: device-row high-water mark (the pinned evaluation
+  // key plus transient ciphertext operands) and residency-affinity claims.
+  u64 resident_rows_peak = 0;
+  u64 affinity_hits = 0;
 };
 
 sweep_row run_one(unsigned limbs, const std::string& trace_path) {
@@ -128,6 +132,9 @@ sweep_row run_one(unsigned limbs, const std::string& trace_path) {
                         : 1.0 - static_cast<double>(row.warm_cycles) /
                                     static_cast<double>(row.cold_cycles);
   row.floor_noise_bits = sch.noise_budget_bits(walking);
+  const auto final_stats = ctx.stats();
+  row.resident_rows_peak = final_stats.resident_rows_peak;
+  row.affinity_hits = final_stats.residency_affinity_hits;
   return row;
 }
 
@@ -135,16 +142,19 @@ void write_json(const std::string& path, const std::vector<sweep_row>& rows) {
   std::string out = "{\n  \"bench\": \"rns_rlwe\",\n  \"n\": " + std::to_string(kOrder) +
                     ",\n  \"limb_bits\": " + std::to_string(kLimbBits) + ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    char buf[320];
+    char buf[448];
     std::snprintf(buf, sizeof buf,
                   "    {\"limbs\": %u, \"modulus_bits\": %u, \"ks_bits\": %u, "
                   "\"cold_cycles\": %llu, \"warm_cycles\": %llu, \"cache_hits\": %llu, "
-                  "\"warm_saving\": %.4f, \"floor_noise_bits\": %d}",
+                  "\"warm_saving\": %.4f, \"floor_noise_bits\": %d, "
+                  "\"resident_rows_peak\": %llu, \"affinity_hits\": %llu}",
                   rows[i].limbs, rows[i].modulus_bits, rows[i].ks_bits,
                   static_cast<unsigned long long>(rows[i].cold_cycles),
                   static_cast<unsigned long long>(rows[i].warm_cycles),
                   static_cast<unsigned long long>(rows[i].cache_hits),
-                  rows[i].warm_saving, rows[i].floor_noise_bits);
+                  rows[i].warm_saving, rows[i].floor_noise_bits,
+                  static_cast<unsigned long long>(rows[i].resident_rows_peak),
+                  static_cast<unsigned long long>(rows[i].affinity_hits));
     out += buf;
     out += i + 1 < rows.size() ? ",\n" : "\n";
   }
@@ -192,14 +202,16 @@ int main(int argc, char** argv) {
   }
 
   bpntt::common::text_table table({"Limbs", "ΠQ", "ΠP", "Cold(cyc)", "Warm(cyc)",
-                                   "Cache hits", "Warm saved", "Floor noise"});
+                                   "Cache hits", "Warm saved", "Floor noise", "Rows peak",
+                                   "Affinity"});
   for (const auto& r : rows) {
     char saved[32];
     std::snprintf(saved, sizeof saved, "%.1f%%", 100.0 * r.warm_saving);
     table.add_row({std::to_string(r.limbs), std::to_string(r.modulus_bits) + "b",
                    std::to_string(r.ks_bits) + "b", std::to_string(r.cold_cycles),
                    std::to_string(r.warm_cycles), std::to_string(r.cache_hits), saved,
-                   std::to_string(r.floor_noise_bits) + "b"});
+                   std::to_string(r.floor_noise_bits) + "b",
+                   std::to_string(r.resident_rows_peak), std::to_string(r.affinity_hits)});
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("\nevery level of every walk verified against the GF(2) negacyclic oracle\n");

@@ -197,6 +197,15 @@ void scheme::build_evaluation_key() {
       limb[c] = math::add_mod(v, math::mul_mod(pp, signed_residue(s2_[c], q), q), q);
     }
   }
+  // The evaluation key is the hottest fixed operand in the workload — every
+  // relinearization multiplies against both halves on every union limb.
+  // Pin its NTT images so capacity pressure from transient ciphertext
+  // operands can never evict them (rotate_evaluation_key still drops them
+  // explicitly via invalidate_operand, which overrides the pin).
+  for (std::size_t u = 0; u < ku; ++u) {
+    ctx_.pin_operand(evk_a_[u]);
+    ctx_.pin_operand(evk_b_[u]);
+  }
 }
 
 void scheme::rotate_evaluation_key() {

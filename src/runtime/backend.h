@@ -30,7 +30,7 @@ class trace_recorder;
 namespace bpntt::runtime {
 
 class executor;
-class operand_cache;
+class residency_manager;
 struct runtime_options;
 
 // Static description of a backend's execution envelope.  The context
@@ -142,10 +142,13 @@ class backend {
   // run serially.  Outputs must be bit-identical either way.
   void attach_executor(executor* pool) noexcept { pool_ = pool; }
 
-  // Installed once by the owning context (nullptr = caching disabled).
-  // Backends consult it on ring-overridden dispatches to skip transforms of
-  // repeated operands; caching may only change cycles, never outputs.
-  void attach_operand_cache(operand_cache* cache) noexcept { ocache_ = cache; }
+  // Installed once by the owning context (nullptr = residency disabled).
+  // Backends consult it on ring-overridden dispatches to serve resident
+  // operands instead of re-transforming: a warm operand on an executing
+  // bank costs zero array cycles, a warm operand on a foreign bank costs an
+  // on-chip row move, a miss transforms and takes up residence.  Residency
+  // may only change cycles, never outputs.
+  void attach_residency(residency_manager* resman) noexcept { resman_ = resman; }
 
   // Installed once by the owning context when tracing is enabled (nullptr =
   // no tracing, the default).  Backends stamp one backend_batch instant per
@@ -171,7 +174,7 @@ class backend {
                                    const dispatch_hints& hints);
 
   executor* pool_ = nullptr;
-  operand_cache* ocache_ = nullptr;
+  residency_manager* resman_ = nullptr;
   telemetry::trace_recorder* recorder_ = nullptr;
 };
 

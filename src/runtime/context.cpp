@@ -48,11 +48,32 @@ context::context(runtime_options opts, std::unique_ptr<backend> custom_backend)
 
 void context::finish_construction() {
   backend_->attach_executor(&pool_);
-  if (opts_.operand_cache_entries != 0) {
-    ocache_ = std::make_unique<operand_cache>(opts_.operand_cache_entries);
-    backend_->attach_operand_cache(ocache_.get());
-  }
   caps_ = backend_->capabilities();
+
+  // On-array residency: the manager's placement domains come from the
+  // backend's capabilities (banks and channels), its per-bank subarray
+  // count from the configured topology (minus the CTRL/CMD subarray), and
+  // its row budget either directly (residency_rows) or via the legacy
+  // entries knob — entries x n rows spread evenly over the device's data
+  // subarrays, so "room for k operands" means the same thing it used to.
+  // Host backends (no banks) collapse to one single-subarray pseudo-bank,
+  // which makes the entries shim exact: entries x n rows = entries slots.
+  if (opts_.operand_cache_entries != 0 || opts_.residency_rows != 0) {
+    residency_manager::config rc;
+    rc.banks = std::max(1u, caps_.banks());
+    rc.channels = std::min(rc.banks, std::max(1u, caps_.channels));
+    rc.data_subarrays = caps_.banks() != 0 ? std::max(1u, opts_.topo.subarrays - 1) : 1;
+    rc.rows_per_operand = static_cast<unsigned>(opts_.params.n);
+    if (opts_.residency_rows != 0) {
+      rc.rows_per_subarray = opts_.residency_rows;
+    } else {
+      const u64 total_rows = static_cast<u64>(opts_.operand_cache_entries) * opts_.params.n;
+      const u64 regions = static_cast<u64>(rc.banks) * rc.data_subarrays;
+      rc.rows_per_subarray = static_cast<unsigned>((total_rows + regions - 1) / regions);
+    }
+    resman_ = std::make_unique<residency_manager>(rc);
+    backend_->attach_residency(resman_.get());
+  }
 
   // The configured ring must fit the backend's envelope — a narrower
   // backend (or a stub advertising one) is rejected here, not at dispatch.
@@ -90,16 +111,25 @@ void context::finish_construction() {
   m_.cache_misses = &registry_.make_counter("cache.misses");
   m_.groups_merged = &registry_.make_counter("sched.groups_merged");
   m_.preemption_yields = &registry_.make_counter("sched.preemption_yields");
+  m_.residency_affinity_hits = &registry_.make_counter("sched.residency_affinity_hits");
+  m_.residency_evictions = &registry_.make_counter("residency.evictions");
+  m_.residency_moves = &registry_.make_counter("residency.moves");
+  m_.resident_rows = &registry_.make_gauge("residency.resident_rows");
+  m_.resident_rows_peak = &registry_.make_gauge("residency.resident_rows_peak");
 
   // Tracing is opt-in: without it no recorder exists and every
   // instrumentation site below degenerates to one null test.
   if (opts_.tracing) {
     recorder_ = std::make_unique<telemetry::trace_recorder>(opts_.trace_capacity);
   }
-  sched_->attach_metrics(m_.groups_merged, m_.preemption_yields);
+  sched_->attach_metrics(m_.groups_merged, m_.preemption_yields, m_.residency_affinity_hits);
   sched_->attach_recorder(recorder_.get());
   backend_->attach_recorder(recorder_.get());
-  if (ocache_) ocache_->attach_metrics(m_.cache_hits, m_.cache_misses, recorder_.get());
+  if (resman_) {
+    resman_->attach_metrics(m_.cache_hits, m_.cache_misses, m_.residency_evictions,
+                            m_.residency_moves, m_.resident_rows, m_.resident_rows_peak,
+                            recorder_.get());
+  }
 
   // The default stream (id 0) owns every bank — the legacy single-queue
   // behaviour.
@@ -502,6 +532,11 @@ scheduler_stats context::stats() const {
   s.operand_cache_misses = m_.cache_misses->value();
   s.groups_merged = m_.groups_merged->value();
   s.preemption_yields = m_.preemption_yields->value();
+  s.residency_evictions = m_.residency_evictions->value();
+  s.residency_moves = m_.residency_moves->value();
+  s.residency_affinity_hits = m_.residency_affinity_hits->value();
+  s.resident_rows = m_.resident_rows->value();
+  s.resident_rows_peak = m_.resident_rows_peak->value();
   s.jobs_submitted = m_.jobs_submitted->value();
   return s;
 }
@@ -529,15 +564,31 @@ void context::export_trace(const std::string& path) const {
 }
 
 std::size_t context::operand_cache_size() const noexcept {
-  return ocache_ ? ocache_->size() : 0;
+  return resman_ ? resman_->size() : 0;
 }
 
-void context::invalidate_operand(const std::vector<u64>& coeffs) noexcept {
-  if (ocache_) ocache_->invalidate(coeffs);
+u64 context::resident_rows() const noexcept {
+  return resman_ ? resman_->resident_rows() : 0;
 }
 
-void context::invalidate_operand_cache() noexcept {
-  if (ocache_) ocache_->clear();
+u64 context::resident_row_capacity() const noexcept {
+  return resman_ ? resman_->capacity_rows() : 0;
+}
+
+std::size_t context::invalidate_operand(const std::vector<u64>& coeffs) noexcept {
+  return resman_ ? resman_->invalidate(coeffs) : 0;
+}
+
+std::size_t context::invalidate_operand_cache() noexcept {
+  return resman_ ? resman_->clear() : 0;
+}
+
+void context::pin_operand(const std::vector<u64>& coeffs) noexcept {
+  if (resman_) resman_->pin(coeffs);
+}
+
+void context::unpin_operand(const std::vector<u64>& coeffs) noexcept {
+  if (resman_) resman_->unpin(coeffs);
 }
 
 // ---- group building and admission ------------------------------------------
@@ -582,6 +633,11 @@ std::shared_ptr<dispatch_group> context::build_group(unsigned sid) {
   // scheduler fiction); banked backends are confined to the stream's banks.
   if (caps_.banks() != 0) g->hints.bank_set = ss.resources;
   g->resources = ss.resources;
+  // Residency affinity hint: the banks currently holding images for this
+  // stream's ring — the scheduler counts a hit when the claim lands on one.
+  if (resman_ && ss.sopts.ring_q != 0 && caps_.banks() != 0) {
+    g->affinity_banks = resman_->banks_holding(ss.sopts.ring_q);
+  }
   // Merge eligibility: R-LWE groups run a staged multi-dispatch flow that
   // cannot share a dispatch, and a stream may opt out wholesale.
   g->mergeable = !ss.sopts.no_merge && g->plan.rlwe_ids.empty();

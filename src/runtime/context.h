@@ -87,8 +87,8 @@
 #include "runtime/backend.h"
 #include "runtime/executor.h"
 #include "runtime/job.h"
-#include "runtime/operand_cache.h"
 #include "runtime/options.h"
+#include "runtime/residency_manager.h"
 #include "runtime/scheduler.h"
 #include "runtime/stream.h"
 #include "telemetry/metrics.h"
@@ -116,11 +116,24 @@ struct scheduler_stats {
   u64 wall_cycles = 0;
   u64 deadline_misses = 0;  // jobs that completed past their stream's deadline
   double energy_nj = 0.0;
-  // NTT-domain operand cache counters (cumulative): transforms served from
-  // the cache vs computed fresh on ring-overridden (RNS limb) dispatches.
-  // Both stay 0 when the cache is disabled (operand_cache_entries == 0).
+  // On-array residency counters (cumulative): transforms served resident
+  // vs computed fresh on ring-overridden (RNS limb) dispatches.  All stay
+  // 0 when residency is disabled (operand_cache_entries == 0 and
+  // residency_rows == 0).
   u64 operand_cache_hits = 0;
   u64 operand_cache_misses = 0;
+  // Residents dropped under capacity pressure (LRU within the unpinned
+  // class, charged against the subarray row budget).
+  u64 residency_evictions = 0;
+  // Warm serves paid as on-chip cross-bank row moves (operand resident,
+  // but not on a bank the dispatch held).
+  u64 residency_moves = 0;
+  // Scheduler claims that landed a group on a bank already holding its
+  // limb operands.
+  u64 residency_affinity_hits = 0;
+  // Device rows currently reserved by residents / lifetime high-water mark.
+  u64 resident_rows = 0;
+  u64 resident_rows_peak = 0;
   // Cross-stream batching: ready groups absorbed into another group's
   // merged dispatch (0 unless runtime_options::merge_streams is on).
   u64 groups_merged = 0;
@@ -196,15 +209,31 @@ class context {
   // thread — the probe a stream pool sizes itself against.
   [[nodiscard]] std::size_t open_streams() const noexcept;
 
-  // NTT-domain operand cache surface.  Entries currently held (0 when the
-  // cache is disabled via runtime_options::operand_cache_entries == 0).
+  // On-array residency surface.  Operands currently resident (0 when
+  // residency is disabled).
   [[nodiscard]] std::size_t operand_cache_size() const noexcept;
-  // Drop the cached transforms of one operand (across every limb prime and
-  // direction) — for callers that mutate or retire a polynomial the cache
-  // may hold (a rotated key, a freed ciphertext).
-  void invalidate_operand(const std::vector<u64>& coeffs) noexcept;
-  // Drop every cached transform (counters are cumulative and survive).
-  void invalidate_operand_cache() noexcept;
+  // Device rows currently reserved by resident operands, and the total row
+  // budget (banks x data subarrays x rows per subarray).  Safe from any
+  // thread.
+  [[nodiscard]] u64 resident_rows() const noexcept;
+  [[nodiscard]] u64 resident_row_capacity() const noexcept;
+  // Drop the resident images of one operand (across every limb prime and
+  // direction) — for callers that mutate or retire a polynomial the device
+  // may hold (a rotated key, a freed ciphertext).  Pinned entries are
+  // dropped too, and the operand's pin registration is forgotten: pinning
+  // protects against *capacity eviction* only, explicit invalidation
+  // always wins.  Returns the number of entries dropped.
+  std::size_t invalidate_operand(const std::vector<u64>& coeffs) noexcept;
+  // Drop every resident image, pinned included (counters are cumulative
+  // and survive; pin registrations persist — the operands still exist).
+  // Returns the number of entries dropped.
+  std::size_t invalidate_operand_cache() noexcept;
+  // Pin/unpin an operand's residency: pinned entries (current and future
+  // inserts of the same coefficients) are exempt from capacity eviction —
+  // for long-lived operands like evaluation keys that every multiply
+  // touches.  No-ops when residency is disabled.
+  void pin_operand(const std::vector<u64>& coeffs) noexcept;
+  void unpin_operand(const std::vector<u64>& coeffs) noexcept;
   // The backend's lazy per-modulus retarget cache occupancy (LRU-bounded
   // by runtime_options::retarget_cache_limit).
   [[nodiscard]] std::size_t retarget_cache_size() const noexcept {
@@ -348,10 +377,12 @@ class context {
 
   runtime_options opts_;
   std::unique_ptr<backend> backend_;
-  // The NTT-domain operand cache backends consult on ring-overridden
-  // dispatches; null when disabled (operand_cache_entries == 0).
-  std::unique_ptr<operand_cache> ocache_;
   backend_caps caps_;
+  // The on-array residency manager backends consult on ring-overridden
+  // dispatches; null when disabled (operand_cache_entries == 0 and
+  // residency_rows == 0).  Built after caps_ — its bank/channel/subarray
+  // shape comes from the backend's capabilities.
+  std::unique_ptr<residency_manager> resman_;
   // Client-thread state: per-stream queues and the id counters.  Only the
   // client thread mutates streams_ (always under smu_); smu_ exists so a
   // non-client observer (stats thread) reading pending()/open_streams()
@@ -379,10 +410,15 @@ class context {
     telemetry::gauge* wall_cycles = nullptr;  // makespan high-water mark
     telemetry::counter* deadline_misses = nullptr;
     telemetry::real_accum* energy_nj = nullptr;
-    telemetry::counter* cache_hits = nullptr;    // shared with the operand cache
-    telemetry::counter* cache_misses = nullptr;  //   (attach_metrics)
+    telemetry::counter* cache_hits = nullptr;    // shared with the residency
+    telemetry::counter* cache_misses = nullptr;  //   manager (attach_metrics)
+    telemetry::counter* residency_evictions = nullptr;
+    telemetry::counter* residency_moves = nullptr;
+    telemetry::gauge* resident_rows = nullptr;
+    telemetry::gauge* resident_rows_peak = nullptr;
     telemetry::counter* groups_merged = nullptr;      // shared with the scheduler
     telemetry::counter* preemption_yields = nullptr;  //   (attach_metrics)
+    telemetry::counter* residency_affinity_hits = nullptr;
   };
   metric_refs m_;
   // Shared state, guarded by mu_: completion map, in-flight set, and the

@@ -6,7 +6,7 @@
 
 #include "nttmath/poly.h"
 #include "runtime/executor.h"
-#include "runtime/operand_cache.h"
+#include "runtime/residency_manager.h"
 
 namespace bpntt::runtime {
 
@@ -60,8 +60,8 @@ std::vector<u64> cpu_backend::multiply(const core::polymul_pair& pair, u64 ring_
       return f;
     };
     const auto forward_of = [&](const std::vector<u64>& p) {
-      return ocache_ != nullptr
-                 ? ocache_->transformed_or(ring_q, transform_dir::forward, p, fresh)
+      return resman_ != nullptr
+                 ? resman_->transformed_or(ring_q, transform_dir::forward, p, fresh)
                  : fresh(p);
     };
     const std::vector<u64> a = forward_of(pair.a);
@@ -125,8 +125,8 @@ batch_result cpu_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
   // the pool; each task owns its output slot.
   parallel_for(pool_, outputs.size(), [&](std::size_t i) {
     auto& a = outputs[i];
-    if (limb != nullptr && ocache_ != nullptr) {
-      a = ocache_->transformed_or(hints.ring_q, dir, a, [&](const std::vector<u64>& p) {
+    if (limb != nullptr && resman_ != nullptr) {
+      a = resman_->transformed_or(hints.ring_q, dir, a, [&](const std::vector<u64>& p) {
         std::vector<u64> t = p;
         transform(t, dir, limb.get());
         return t;

@@ -87,11 +87,19 @@ struct runtime_options {
   // dispatched moduli are evicted and rebuilt on next use; must be >= 1.
   unsigned retarget_cache_limit = 16;
 
-  // Capacity (in entries) of the NTT-domain operand cache: memoized
-  // forward/inverse transforms of repeated operands on ring-overridden
-  // (RNS limb) dispatches, keyed by operand digest x limb prime x
-  // direction.  0 disables caching entirely.
+  // Compat shim over the on-array residency budget: the historical "cache
+  // capacity in entries" knob, now translated into a per-subarray row
+  // budget at context construction (entries x ring order n rows, spread
+  // over the device's data subarrays — see context::finish_construction).
+  // 0 disables residency entirely.  Prefer with_residency_rows() for new
+  // code: it states the budget in the device's own currency.
   unsigned operand_cache_entries = 64;
+
+  // Direct residency budget: reservable rows per data subarray for
+  // device-resident operands.  0 = derive from operand_cache_entries (the
+  // compat path); nonzero overrides the shim.  An operand occupies n rows,
+  // so a subarray holds floor(rows / n) resident operands.
+  unsigned residency_rows = 0;
 
   // Ready-queue ordering under bank contention (see schedule_policy).
   schedule_policy sched = schedule_policy::priority;
@@ -180,8 +188,14 @@ struct runtime_options {
     retarget_cache_limit = moduli;
     return *this;
   }
+  // Compat shim (see operand_cache_entries); with_residency_rows() is the
+  // native spelling of the same budget.
   runtime_options& with_operand_cache(unsigned entries) {
     operand_cache_entries = entries;
+    return *this;
+  }
+  runtime_options& with_residency_rows(unsigned rows_per_subarray) {
+    residency_rows = rows_per_subarray;
     return *this;
   }
   runtime_options& with_schedule(schedule_policy p, unsigned aging = 0) {

@@ -2,7 +2,7 @@
 
 #include "nttmath/poly.h"
 #include "runtime/executor.h"
-#include "runtime/operand_cache.h"
+#include "runtime/residency_manager.h"
 
 namespace bpntt::runtime {
 
@@ -46,7 +46,7 @@ batch_result reference_backend::run_ntt(const std::vector<std::vector<u64>>& pol
                                       : math::ntt_inverse(t, *limb);
         return t;
       };
-      a = ocache_ != nullptr ? ocache_->transformed_or(hints.ring_q, dir, a, fresh)
+      a = resman_ != nullptr ? resman_->transformed_or(hints.ring_q, dir, a, fresh)
                              : fresh(a);
     } else if (itables_) {
       dir == transform_dir::forward ? math::incomplete_ntt_forward(a, *itables_)
@@ -84,8 +84,8 @@ batch_result reference_backend::run_polymul(const std::vector<core::polymul_pair
         return f;
       };
       const auto forward_of = [&](const std::vector<u64>& p) {
-        return ocache_ != nullptr
-                   ? ocache_->transformed_or(hints.ring_q, transform_dir::forward, p, fresh)
+        return resman_ != nullptr
+                   ? resman_->transformed_or(hints.ring_q, transform_dir::forward, p, fresh)
                    : fresh(p);
       };
       const std::vector<u64> fa = forward_of(pairs[i].a);

@@ -1,0 +1,225 @@
+// On-array operand residency: the NTT-domain operand cache rebuilt as a
+// device-resident memory model.
+//
+// BP-NTT's operands live *in* the SRAM subarrays — a "warm" operand is not
+// an entry in a host-side table, it is n physical rows of a particular
+// bank's subarray that stayed allocated between dispatches.  The residency
+// manager owns that story for the whole runtime: every cached transform is
+// keyed by (operand digest, limb prime, direction) and mapped to a
+// *placement* — a bank/subarray row span reserved against the real
+// per-subarray row budget (sram::row_budget).  Capacity pressure is
+// resolved by LRU eviction within the unpinned pressure class (pinned
+// entries — evaluation keys, long-lived constants — are exempt); an insert
+// that cannot place even after eviction is dropped, never misfiled.
+//
+// Placement policy is limb-aware: distinct limb primes are assigned home
+// banks round-robin across channels in first-seen order, so when an RNS
+// operand's limbs outnumber the channels the limbs spread instead of
+// piling onto one bank, and a fixed evaluation key's per-limb images stay
+// warm on the bank their limb stream dispatches to.  The sram backend
+// overrides the home with the executing dispatch's bank (the rows are
+// written where the transform ran); host backends (cpu/reference) model a
+// single one-subarray pseudo-bank and keep exact semantic parity through
+// the same transformed_or() seam.
+//
+// Correctness contract is unchanged from the operand cache it replaces:
+// a 64-bit FNV-1a digest qualified by modulus and direction, exact-match
+// coefficients guard against collisions (a collision reads as a miss,
+// never wrong data), and residency may only ever change cycles, never
+// outputs.
+//
+// Pin-vs-invalidate contract: pin() protects an operand's entries from
+// *capacity eviction* only.  Explicit invalidation always wins — both
+// invalidate() and clear() drop pinned entries too (and invalidate()
+// additionally forgets the pin registration, since the operand itself is
+// being retired).  A pin registered before the operand was ever inserted
+// applies to future inserts of the same coefficients; clear() keeps
+// registrations (the operands still exist, only their images were
+// dropped).  Both return the number of entries dropped.
+//
+// Thread-safe throughout: limb dispatch groups on disjoint banks genuinely
+// run concurrently, and observer threads probe size()/resident_rows() on
+// live contexts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "bpntt/bank.h"
+#include "sram/row_budget.h"
+#include "telemetry/metrics.h"
+
+namespace bpntt::telemetry {
+class trace_recorder;
+}
+
+namespace bpntt::runtime {
+
+class residency_manager {
+ public:
+  struct config {
+    unsigned banks = 1;             // placement domains (sram banks, or 1 host region)
+    unsigned channels = 1;          // limb spreading domains (home banks round-robin)
+    unsigned data_subarrays = 1;    // reservable subarrays per bank (CTRL/CMD excluded)
+    unsigned rows_per_subarray = 0; // row budget per subarray; 0 disables residency
+    unsigned rows_per_operand = 1;  // rows one resident operand occupies (= ring order n)
+  };
+
+  // A warm lookup: the cached NTT image plus where it resides — the
+  // backend compares home_bank against its executing bank set to price the
+  // serve (same-bank zero, cross-bank an on-chip row move).
+  struct hit {
+    std::vector<core::u64> transformed;
+    unsigned home_bank = 0;
+  };
+
+  explicit residency_manager(const config& cfg);
+
+  residency_manager(const residency_manager&) = delete;
+  residency_manager& operator=(const residency_manager&) = delete;
+
+  // The resident image of `coeffs` under (ring_q, dir) and its placement,
+  // bumping the entry to most-recently-used — or std::nullopt (a miss).
+  [[nodiscard]] std::optional<hit> lookup(core::u64 ring_q, core::transform_dir dir,
+                                          const std::vector<core::u64>& coeffs);
+
+  // Make transformed = NTT_{ring_q,dir}(coeffs) resident.  Placement
+  // prefers bank_hint (the bank the transform executed on) and falls back
+  // to the limb's home bank; capacity pressure evicts LRU unpinned entries
+  // (hint bank first, then anywhere).  When nothing can be evicted — the
+  // budget is exhausted by pinned entries, or an operand outsizes every
+  // subarray — the insert is dropped.  Re-inserting a resident key
+  // refreshes recency (and, on a digest collision, the payload) in place.
+  void insert(core::u64 ring_q, core::transform_dir dir, const std::vector<core::u64>& coeffs,
+              std::vector<core::u64> transformed,
+              std::optional<unsigned> bank_hint = std::nullopt);
+
+  // The lookup-or-compute-and-insert step host backends share: the
+  // resident image of `coeffs` under (ring_q, dir), or `compute(coeffs)`
+  // made resident and returned.  One definition keeps miss counting and
+  // insert ordering identical across every consult site.
+  template <typename Compute>
+  [[nodiscard]] std::vector<core::u64> transformed_or(core::u64 ring_q,
+                                                      core::transform_dir dir,
+                                                      const std::vector<core::u64>& coeffs,
+                                                      Compute&& compute) {
+    if (auto cached = lookup(ring_q, dir, coeffs)) return std::move(cached->transformed);
+    std::vector<core::u64> t = compute(coeffs);
+    insert(ring_q, dir, coeffs, t);
+    return t;
+  }
+
+  // Drop every entry derived from `coeffs` (all rings and directions),
+  // releasing their rows, pinned entries included, and forget any pin
+  // registration for the operand — the retire hook for mutated or freed
+  // polynomials (a rotated key, a dropped ciphertext).  Returns the number
+  // of entries dropped.
+  std::size_t invalidate(const std::vector<core::u64>& coeffs);
+  // Drop everything (pinned entries included; pin registrations and the
+  // cumulative counters survive).  Returns the number of entries dropped.
+  std::size_t clear();
+
+  // Pin/unpin an operand by value: pinned entries are exempt from capacity
+  // eviction (see the pin-vs-invalidate contract above).  Pinning applies
+  // to the operand's current entries and to future inserts of the same
+  // coefficients.  Idempotent.
+  void pin(const std::vector<core::u64>& coeffs);
+  void unpin(const std::vector<core::u64>& coeffs);
+
+  // Banks currently holding any entry of this limb prime, ascending — the
+  // scheduler's residency-affinity hint for bank claiming.
+  [[nodiscard]] std::vector<unsigned> banks_holding(core::u64 ring_q) const;
+
+  // A cross-bank warm serve happened: count it and stamp a resident_move
+  // instant (the backend, which knows its executing bank set, calls this
+  // once per remotely served operand).
+  void note_move(core::u64 ring_q, unsigned from_bank);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] core::u64 resident_rows() const;
+  [[nodiscard]] core::u64 capacity_rows() const noexcept { return budget_.capacity_rows(); }
+  [[nodiscard]] const config& configuration() const noexcept { return cfg_; }
+  [[nodiscard]] core::u64 hits() const noexcept { return hits_->value(); }
+  [[nodiscard]] core::u64 misses() const noexcept { return misses_->value(); }
+  [[nodiscard]] core::u64 evictions() const noexcept { return evictions_->value(); }
+  [[nodiscard]] core::u64 moves() const noexcept { return moves_->value(); }
+
+  // Publish the residency instruments into registry-owned objects and
+  // (optionally) stamp lookup/evict/pin/move instants plus resident-row
+  // counter samples into a trace recorder.  Null counter/gauge arguments
+  // keep the owned fallbacks; a null recorder records nothing.  Call
+  // before the manager is shared across threads (the context does this at
+  // construction).
+  void attach_metrics(telemetry::counter* hits, telemetry::counter* misses,
+                      telemetry::counter* evictions, telemetry::counter* moves,
+                      telemetry::gauge* resident_rows, telemetry::gauge* resident_rows_peak,
+                      telemetry::trace_recorder* rec) noexcept {
+    hits_ = hits ? hits : &owned_hits_;
+    misses_ = misses ? misses : &owned_misses_;
+    evictions_ = evictions ? evictions : &owned_evictions_;
+    moves_ = moves ? moves : &owned_moves_;
+    resident_rows_ = resident_rows;
+    resident_rows_peak_ = resident_rows_peak;
+    rec_ = rec;
+  }
+
+ private:
+  struct key {
+    core::u64 ring_q = 0;
+    int dir = 0;
+    core::u64 digest = 0;
+    auto operator<=>(const key&) const = default;
+  };
+  struct entry {
+    std::vector<core::u64> coeffs;       // exact-match guard against digest collisions
+    std::vector<core::u64> transformed;  // the resident NTT image
+    sram::row_span span;                 // where it lives on the device
+    bool pinned = false;                 // exempt from capacity eviction
+    std::list<key>::iterator lru;        // position in order_ (front = most recent)
+  };
+
+  [[nodiscard]] static core::u64 digest_of(const std::vector<core::u64>& coeffs) noexcept;
+  void touch_locked(entry& e, const key& k);
+  // The limb's home bank: round-robin over channels in first-seen order.
+  [[nodiscard]] unsigned home_bank_locked(core::u64 ring_q);
+  [[nodiscard]] bool pinned_registered_locked(core::u64 digest,
+                                              const std::vector<core::u64>& coeffs) const;
+  // Evict the least recently used unpinned entry (confined to `bank` when
+  // set); returns whether anything was evicted.
+  bool evict_one_locked(std::optional<unsigned> bank);
+  // Reserve rows for a new entry near `want_bank`, evicting under
+  // pressure.  std::nullopt when no placement exists.
+  [[nodiscard]] std::optional<sram::row_span> place_locked(unsigned want_bank, unsigned rows);
+  void erase_locked(std::map<key, entry>::iterator it);
+  void publish_rows_locked();
+
+  const config cfg_;
+  mutable std::mutex mu_;
+  sram::row_budget budget_;
+  std::map<key, entry> entries_;
+  std::list<key> order_;  // most recently used first
+  // Limb prime -> home bank, assigned round-robin across channels at first
+  // sight; survives eviction so a limb's operands keep returning home.
+  std::map<core::u64, unsigned> home_;
+  unsigned next_home_ = 0;
+  // Pin registrations by operand digest (exact coefficients kept per
+  // registration — same collision discipline as the entries).
+  std::map<core::u64, std::vector<std::vector<core::u64>>> pins_;
+  // Instruments: owned fallbacks unless attach_metrics() pointed them at a
+  // registry — then the registry's view and the probes are one object.
+  telemetry::counter owned_hits_, owned_misses_, owned_evictions_, owned_moves_;
+  telemetry::counter* hits_ = &owned_hits_;
+  telemetry::counter* misses_ = &owned_misses_;
+  telemetry::counter* evictions_ = &owned_evictions_;
+  telemetry::counter* moves_ = &owned_moves_;
+  telemetry::gauge* resident_rows_ = nullptr;
+  telemetry::gauge* resident_rows_peak_ = nullptr;
+  telemetry::trace_recorder* rec_ = nullptr;
+};
+
+}  // namespace bpntt::runtime

@@ -115,6 +115,7 @@ std::vector<std::shared_ptr<dispatch_group>> scheduler::take_runnable() {
     for (const unsigned r : g.resources) runnable = runnable && !claimed[r];
     if (runnable) {
       for (const unsigned r : g.resources) bank_busy_[r] = claimed[r] = 1;
+      note_affinity(g);
       auto gp = *it;
       it = ready_.erase(it);
       absorb_compatible(gp, claimed);
@@ -152,6 +153,28 @@ void scheduler::age_passed_over() {
                             const std::shared_ptr<dispatch_group>& b) {
                        return group_before(*a, *b);
                      });
+  }
+}
+
+void scheduler::note_affinity(const dispatch_group& g) {
+  // One hit per claimed group whose banks intersect the residency hint:
+  // the group will find (some of) its limb operands already resident on
+  // banks it holds — the zero-cost warm path, not a cross-bank move.
+  if (g.affinity_banks.empty()) return;
+  bool intersects = false;
+  for (const unsigned r : g.resources) {
+    intersects = intersects || std::find(g.affinity_banks.begin(), g.affinity_banks.end(),
+                                         r) != g.affinity_banks.end();
+  }
+  if (!intersects) return;
+  affinity_->add();
+  if (recorder_ != nullptr) {
+    recorder_->record({.ts = g.ref_vtime,
+                       .dur = 0,
+                       .a = g.seq,
+                       .track = telemetry::kTrackScheduler,
+                       .arg = static_cast<telemetry::u32>(g.hints.stream),
+                       .op = telemetry::trace_op::affinity_hit});
   }
 }
 

@@ -7,7 +7,8 @@
 #include <utility>
 
 #include "runtime/executor.h"
-#include "runtime/operand_cache.h"
+#include "runtime/residency_manager.h"
+#include "sram/tech_model.h"
 
 namespace bpntt::runtime {
 
@@ -136,7 +137,7 @@ batch_result sram_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
   }
   const auto banks = banks_for(hints.ring_q);
   batch_result out =
-      hints.ring_q != 0 && ocache_ != nullptr
+      hints.ring_q != 0 && resman_ != nullptr
           ? run_ntt_cached(polys, dir, hints, *banks)
           : shard(*banks, polys.size(), hints,
                   [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
@@ -149,22 +150,48 @@ batch_result sram_backend::run_ntt(const std::vector<std::vector<u64>>& polys,
   return out;
 }
 
+u64 sram_backend::warm_serve_cycles(const std::vector<unsigned>& set, unsigned home_bank,
+                                    std::size_t rows, u64 ring_q, sram::op_stats& stats) {
+  if (std::find(set.begin(), set.end(), home_bank) != set.end()) return 0;
+  // Resident, but on a bank this dispatch does not hold: serve it over the
+  // shared data bus — one on-chip row move per operand row, serialized
+  // (the bus is one resource), still far below a cold re-transform.
+  const auto r = static_cast<unsigned>(rows);
+  stats.energy_pj += sram::energy_row_move_pj(bank_cfg_.array.tech, bank_cfg_.array.cols, r);
+  resman_->note_move(ring_q, home_bank);
+  return sram::row_move_cycles(bank_cfg_.array.tech, r);
+}
+
+unsigned sram_backend::insert_bank(const std::vector<unsigned>& set,
+                                   const std::vector<core::bp_ntt_bank>& banks,
+                                   std::size_t k) const {
+  const unsigned block_width = std::max(1u, banks[set.front()].lanes_per_wave());
+  return set[(k / block_width) % set.size()];
+}
+
 batch_result sram_backend::run_ntt_cached(const std::vector<std::vector<u64>>& polys,
                                           transform_dir dir, const dispatch_hints& hints,
                                           std::vector<core::bp_ntt_bank>& banks) {
-  // Cache-hit transforms skip the array entirely; only the misses ride a
-  // bank batch, so a fully-warm dispatch costs zero array cycles.
+  // Resident transforms skip the array: same-bank serves are free,
+  // foreign-bank serves pay a row move; only the misses ride a bank batch,
+  // so a fully-warm same-bank dispatch costs zero array cycles.
   batch_result out;
   out.outputs.resize(polys.size());
+  const std::vector<unsigned> set = resolve_bank_set(hints);
   std::vector<std::size_t> miss;
   for (std::size_t i = 0; i < polys.size(); ++i) {
-    if (auto cached = ocache_->lookup(hints.ring_q, dir, polys[i])) {
-      out.outputs[i] = std::move(*cached);
+    if (auto cached = resman_->lookup(hints.ring_q, dir, polys[i])) {
+      out.wall_cycles +=
+          warm_serve_cycles(set, cached->home_bank, polys[i].size(), hints.ring_q, out.stats);
+      out.outputs[i] = std::move(cached->transformed);
     } else {
       miss.push_back(i);
     }
   }
-  if (miss.empty()) return out;
+  if (miss.empty()) {
+    out.stats.cycles = out.wall_cycles;
+    return out;
+  }
   std::vector<std::vector<u64>> pending;
   pending.reserve(miss.size());
   for (const auto i : miss) pending.push_back(polys[i]);
@@ -176,12 +203,17 @@ batch_result sram_backend::run_ntt_cached(const std::vector<std::vector<u64>>& p
                                return bank.run_ntt_batch(slice, dir);
                              });
   for (std::size_t k = 0; k < miss.size(); ++k) {
-    ocache_->insert(hints.ring_q, dir, pending[k], fresh.outputs[k]);
+    // Residency lands on the bank whose wave actually computed the image
+    // (mirrors shard()'s block round-robin), so the next same-stream
+    // dispatch finds its operands on banks it already holds.
+    resman_->insert(hints.ring_q, dir, pending[k], fresh.outputs[k],
+                    insert_bank(set, banks, k));
     out.outputs[miss[k]] = std::move(fresh.outputs[k]);
   }
-  out.wall_cycles = fresh.wall_cycles;
+  out.wall_cycles += fresh.wall_cycles;
   out.waves = fresh.waves;
-  out.stats = fresh.stats;
+  out.stats += fresh.stats;
+  out.stats.cycles = out.wall_cycles;
   return out;
 }
 
@@ -192,7 +224,7 @@ batch_result sram_backend::run_polymul(const std::vector<core::polymul_pair>& pa
   }
   const auto banks = banks_for(hints.ring_q);
   batch_result out =
-      hints.ring_q != 0 && ocache_ != nullptr
+      hints.ring_q != 0 && resman_ != nullptr
           ? run_polymul_cached(pairs, hints, *banks)
           : shard(*banks, pairs.size(), hints,
                   [&](core::bp_ntt_bank& bank, const std::vector<std::size_t>& idx) {
@@ -222,12 +254,17 @@ batch_result sram_backend::run_polymul_cached(const std::vector<core::polymul_pa
   };
   std::map<const std::vector<u64>*, std::vector<u64>, decltype(by_value)> transformed(
       by_value);  // operand -> forward image
+  const std::vector<unsigned> set = resolve_bank_set(hints);
+  u64 move_cycles = 0;
+  sram::op_stats move_stats;
   std::vector<const std::vector<u64>*> miss;
   for (const auto& pr : pairs) {
     for (const auto* op : {&pr.a, &pr.b}) {
       if (transformed.count(op) != 0) continue;
-      if (auto cached = ocache_->lookup(hints.ring_q, transform_dir::forward, *op)) {
-        transformed.emplace(op, std::move(*cached));
+      if (auto cached = resman_->lookup(hints.ring_q, transform_dir::forward, *op)) {
+        move_cycles +=
+            warm_serve_cycles(set, cached->home_bank, op->size(), hints.ring_q, move_stats);
+        transformed.emplace(op, std::move(cached->transformed));
       } else {
         transformed.emplace(op, std::vector<u64>{});  // placeholder, filled below
         miss.push_back(op);
@@ -248,7 +285,8 @@ batch_result sram_backend::run_polymul_cached(const std::vector<core::polymul_pa
                   return bank.run_ntt_batch(slice, transform_dir::forward);
                 });
     for (std::size_t k = 0; k < miss.size(); ++k) {
-      ocache_->insert(hints.ring_q, transform_dir::forward, pending[k], fwd.outputs[k]);
+      resman_->insert(hints.ring_q, transform_dir::forward, pending[k], fwd.outputs[k],
+                      insert_bank(set, banks, k));
       transformed[miss[k]] = std::move(fwd.outputs[k]);
     }
   }
@@ -264,11 +302,12 @@ batch_result sram_backend::run_polymul_cached(const std::vector<core::polymul_pa
                              for (const auto i : idx) slice.push_back(staged[i]);
                              return bank.run_transformed_polymul_batch(slice);
                            });
-  // The two phases run back-to-back on the same bank subset: cycles add,
-  // waves and op counts accumulate.
-  out.wall_cycles += fwd.wall_cycles;
+  // The two phases (plus any cross-bank serves) run back-to-back on the
+  // same bank subset: cycles add, waves and op counts accumulate.
+  out.wall_cycles += fwd.wall_cycles + move_cycles;
   out.waves += fwd.waves;
   out.stats += fwd.stats;
+  out.stats += move_stats;
   out.stats.cycles = out.wall_cycles;
   return out;
 }

@@ -12,11 +12,15 @@
 // concurrently — that is how the context overlaps independent streams.
 //
 // Ring-overridden (RNS limb) dispatches additionally consult the runtime's
-// NTT-domain operand cache: transforms whose operand digest is cached skip
-// the array entirely (zero cycles — the modelled win of operand reuse), and
-// a limb product splits into "forward-transform the missing operands" +
-// "pointwise and inverse on transformed operands" so repeated multiplicands
-// pay the forward NTT exactly once.
+// residency manager: a warm operand resident on one of the dispatch's own
+// banks is served in place (zero array cycles — the modelled win of operand
+// reuse), a warm operand resident on a foreign bank pays an on-chip
+// bank-to-bank row move (tech_model::row_move_cycles — strictly between
+// free and a cold re-transform), and a miss transforms on the array and
+// takes up residence on the bank that ran it.  A limb product splits into
+// "forward-transform the missing operands" + "pointwise and inverse on
+// transformed operands" so repeated multiplicands pay the forward NTT
+// exactly once.
 #pragma once
 
 #include <memory>
@@ -67,13 +71,27 @@ class sram_backend final : public backend {
   // run concurrently with their primary twin.
   [[nodiscard]] std::shared_ptr<std::vector<core::bp_ntt_bank>> banks_for(u64 ring_q);
 
-  // The operand-cache-aware limb paths (hints.ring_q != 0, cache attached).
+  // The residency-aware limb paths (hints.ring_q != 0, manager attached).
   batch_result run_ntt_cached(const std::vector<std::vector<u64>>& polys, transform_dir dir,
                               const dispatch_hints& hints,
                               std::vector<core::bp_ntt_bank>& banks);
   batch_result run_polymul_cached(const std::vector<core::polymul_pair>& pairs,
                                   const dispatch_hints& hints,
                                   std::vector<core::bp_ntt_bank>& banks);
+
+  // Price one warm serve against the executing bank subset: zero when the
+  // operand is resident on a dispatch bank, an on-chip row move otherwise
+  // (cycles returned, move energy charged into `stats`, the move counted
+  // with the residency manager).
+  u64 warm_serve_cycles(const std::vector<unsigned>& set, unsigned home_bank,
+                        std::size_t rows, u64 ring_q, sram::op_stats& stats);
+
+  // The bank a missed operand is written back to: the shard assignment of
+  // miss block `k` over the dispatch subset (mirrors shard()'s round-robin,
+  // so residency lands where the transform actually ran).
+  [[nodiscard]] unsigned insert_bank(const std::vector<unsigned>& set,
+                                     const std::vector<core::bp_ntt_bank>& banks,
+                                     std::size_t k) const;
 
   unsigned channels_ = 1;
   core::bank_config bank_cfg_;

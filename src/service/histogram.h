@@ -1,8 +1,14 @@
-// Compatibility alias: the latency histogram moved to src/telemetry/ so
-// the service layer and the telemetry registry share one implementation.
-// Existing service call sites (and tests/service/histogram_test.cpp) keep
-// compiling against bpntt::service::latency_histogram.
+// DEPRECATED compatibility alias: the latency histogram lives in
+// src/telemetry/histogram.h so the service layer and the telemetry registry
+// share one implementation.  Include "telemetry/histogram.h" and spell the
+// type telemetry::latency_histogram (or alias it locally, as service.h
+// does).  This forwarding header will be removed once no call site names
+// it; no in-tree code includes it anymore.
 #pragma once
+
+#pragma message( \
+    "service/histogram.h is deprecated - include telemetry/histogram.h " \
+    "and use bpntt::telemetry::latency_histogram")
 
 #include "telemetry/histogram.h"
 

@@ -49,13 +49,16 @@
 #include <vector>
 
 #include "runtime/context.h"
-#include "service/histogram.h"
 #include "service/mpsc_queue.h"
+#include "telemetry/histogram.h"
 #include "telemetry/metrics.h"
 
 namespace bpntt::service {
 
 using runtime::u64;
+// The latency histogram lives in telemetry/ (shared with the metrics
+// registry); the service layer keeps its historical unqualified spelling.
+using latency_histogram = telemetry::latency_histogram;
 
 class service;
 

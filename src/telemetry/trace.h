@@ -78,6 +78,16 @@ enum class trace_op : std::uint8_t {
   ticket_complete,
   // Counter sample (track = kTrackScheduler; a = ready-queue depth).
   queue_depth,
+  // Residency lifecycle instants (track = kTrackCache; arg = bank).
+  resident_evict,
+  resident_pin,
+  resident_unpin,
+  resident_move,
+  // Scheduler claimed a bank already holding the group's limb (track =
+  // kTrackScheduler; a = group seq).
+  affinity_hit,
+  // Counter sample (track = kTrackCache; a = device rows reserved).
+  resident_rows,
 };
 
 [[nodiscard]] const char* to_string(trace_op op) noexcept;

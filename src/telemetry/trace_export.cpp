@@ -164,6 +164,12 @@ void write_chrome_trace(std::ostream& os, const std::vector<trace_event>& events
                            std::to_string(cache_misses) + "}");
         break;
       }
+      case trace_op::resident_rows:
+        // Device-row occupancy counter track: one sample per residency
+        // mutation, so the Perfetto row shows the fill/evict sawtooth.
+        counter_sample(w, "resident_rows", e.ts, pids.cache(),
+                       "{\"rows\":" + std::to_string(e.a) + "}");
+        break;
       case trace_op::deadline_miss:
         ++deadline_misses;
         instant(w, e, pids.pid_of(e.track));

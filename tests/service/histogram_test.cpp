@@ -9,10 +9,12 @@
 #include <vector>
 
 #include "common/xoshiro.h"
-#include "service/histogram.h"
+#include "telemetry/histogram.h"
 
 namespace bpntt::service {
 namespace {
+
+using telemetry::latency_histogram;
 
 TEST(LatencyHistogram, ValuesLandStrictlyBelowTheirBucketUpperBound) {
   common::xoshiro256ss rng(41);
